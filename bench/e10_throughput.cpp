@@ -1,0 +1,91 @@
+// E10 — wall-clock throughput (google-benchmark): the practical
+// counterpart of the step-complexity experiments, in the spirit of the
+// scalable-statistics-counters motivation the paper cites ([10]).
+//
+// Each benchmark drives one shared counter from `Threads(t)` benchmark
+// threads (thread index = pid) with a 90% increment / 10% read mix.
+// Wall-clock on this machine is a secondary signal (the paper's model is
+// steps); shapes, not absolute numbers, are the point.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "base/kmath.hpp"
+#include "sim/adapters.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace approx;
+
+constexpr unsigned kMaxThreads = 8;
+
+template <typename MakeCounter>
+void run_mix(benchmark::State& state, MakeCounter&& make) {
+  // One shared instance per benchmark run; thread 0 sets it up.
+  static std::unique_ptr<sim::ICounter> counter;
+  if (state.thread_index() == 0) {
+    counter = make();
+  }
+  // google-benchmark synchronizes threads around the setup block.
+  const auto pid = static_cast<unsigned>(state.thread_index());
+  sim::Rng rng(pid * 1009 + 7);
+  for (auto _ : state) {
+    if (rng.chance(0.1)) {
+      benchmark::DoNotOptimize(counter->read(pid));
+    } else {
+      counter->increment(pid);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.SetLabel(counter->name());
+  }
+}
+
+void BM_KMult(benchmark::State& state) {
+  run_mix(state, [] {
+    return std::make_unique<sim::KMultCounterAdapter>(
+        kMaxThreads, base::ceil_sqrt(kMaxThreads));
+  });
+}
+
+void BM_KMultCorrected(benchmark::State& state) {
+  run_mix(state, [] {
+    return std::make_unique<sim::KMultCounterCorrectedAdapter>(
+        kMaxThreads, base::ceil_sqrt(kMaxThreads));
+  });
+}
+
+void BM_Collect(benchmark::State& state) {
+  run_mix(state,
+          [] { return std::make_unique<sim::CollectCounterAdapter>(kMaxThreads); });
+}
+
+void BM_Aach(benchmark::State& state) {
+  run_mix(state,
+          [] { return std::make_unique<sim::AachCounterAdapter>(kMaxThreads); });
+}
+
+void BM_FetchAdd(benchmark::State& state) {
+  run_mix(state,
+          [] { return std::make_unique<sim::FetchAddCounterAdapter>(); });
+}
+
+void BM_KAdditive(benchmark::State& state) {
+  run_mix(state, [] {
+    return std::make_unique<sim::KAdditiveCounterAdapter>(kMaxThreads, 64);
+  });
+}
+
+BENCHMARK(BM_KMult)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_KMultCorrected)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_Collect)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_Aach)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_FetchAdd)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_KAdditive)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E4 — Theorem III.11: any solo-terminating k-multiplicative counter from
+// read/write/conditional primitives has executions with
+// Ω(n·log(n/k²)) events when every process performs one increment and one
+// read, for k ≤ √n/2.
+//
+// A lower bound over all implementations cannot be "run"; what can be
+// measured is (a) the analytic curve itself, and (b) the total events our
+// implementations spend on exactly the theorem's workload, showing where
+// each sits relative to the bound:
+//   * Algorithm 1 with k ≥ √n lives *outside* the bound's k ≤ √n/2 regime
+//     and beats the curve — that is the paper's point;
+//   * with small k (k ≤ √n/2) every correct implementation must respect
+//     the curve;
+//     collect/aach are exact (k = 1) and do.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+#include "sim/adapters.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace approx;
+
+// Total events in the theorem's canonical workload: each process performs
+// one CounterIncrement then one CounterRead.
+std::uint64_t total_events(sim::ICounter& counter, unsigned n) {
+  base::StepRecorder recorder;
+  {
+    base::ScopedRecording on(recorder);
+    for (unsigned pid = 0; pid < n; ++pid) counter.increment(pid);
+    for (unsigned pid = 0; pid < n; ++pid) counter.read(pid);
+  }
+  return recorder.total();
+}
+
+double analytic_bound(unsigned n, std::uint64_t k) {
+  const double ratio = static_cast<double>(n) / static_cast<double>(k * k);
+  if (ratio <= 2.0) return 0.0;  // bound degenerate outside k <= sqrt(n)/2
+  return static_cast<double>(n) * std::log2(ratio);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E4: amortized lower bound workload (Theorem III.11)\n"
+            << "Every process: one increment, then one read. Total events "
+               "measured;\n"
+            << "analytic curve n*log2(n/k^2) applies to implementations "
+               "with k <= sqrt(n)/2.\n\n";
+
+  sim::Table table({"n", "k", "impl", "events", "events/op",
+                    "n*log2(n/k^2)"});
+  for (const unsigned n : {4u, 16u, 64u, 256u, 1024u}) {
+    const std::uint64_t ops = 2 * static_cast<std::uint64_t>(n);
+    // Exact baselines (k = 1: deep inside the bound's regime).
+    {
+      sim::CollectCounterAdapter collect(n);
+      const std::uint64_t events = total_events(collect, n);
+      table.add_row({sim::Table::num(std::uint64_t{n}), "1", "collect",
+                     sim::Table::num(events),
+                     sim::Table::num(static_cast<double>(events) /
+                                         static_cast<double>(ops), 2),
+                     sim::Table::num(analytic_bound(n, 1), 0)});
+    }
+    {
+      sim::AachCounterAdapter aach(n);
+      const std::uint64_t events = total_events(aach, n);
+      table.add_row({sim::Table::num(std::uint64_t{n}), "1", "aach",
+                     sim::Table::num(events),
+                     sim::Table::num(static_cast<double>(events) /
+                                         static_cast<double>(ops), 2),
+                     sim::Table::num(analytic_bound(n, 1), 0)});
+    }
+    // Algorithm 1 inside the bound's regime (k small) and outside it
+    // (k = ceil(sqrt(n)), where the paper's O(1) amortized bound holds).
+    std::vector<std::uint64_t> ks = {2, base::ceil_sqrt(n) / 2,
+                                     base::ceil_sqrt(n)};
+    std::sort(ks.begin(), ks.end());
+    ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+    for (const std::uint64_t k : ks) {
+      if (k < 2) continue;
+      sim::KMultCounterAdapter kmult(n, k);
+      const std::uint64_t events = total_events(kmult, n);
+      table.add_row({sim::Table::num(std::uint64_t{n}), sim::Table::num(k),
+                     "kmult",
+                     sim::Table::num(events),
+                     sim::Table::num(static_cast<double>(events) /
+                                         static_cast<double>(ops), 2),
+                     sim::Table::num(analytic_bound(n, k), 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: collect events ~ n + n^2 (>= curve); "
+               "kmult with k = ceil(sqrt(n)) stays ~2-3 events/op, beating "
+               "the (inapplicable) curve — the separation the paper "
+               "establishes. The k <= sqrt(n)/2 rows show our algorithm "
+               "still cheap in events but *sacrificing the band* (see E3): "
+               "the bound constrains correct implementations only.\n";
+  return 0;
+}

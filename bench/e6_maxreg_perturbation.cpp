@@ -1,0 +1,62 @@
+// E6 — Lemma V.1 / Theorem V.2: the perturbation lower bound for
+// m-bounded k-multiplicative max registers, run as an executable
+// experiment.
+//
+// The adversary writes v_r = k²·v_{r−1} + 1 and measures a solo Read
+// after every round: the bound says *some* read of any obstruction-free
+// implementation from historyless primitives must touch
+// Ω(min(log₂ L, n)) distinct base objects, with L = Θ(log_k m) rounds.
+// Our Algorithm 2 matches the bound (its reads touch Θ(log₂ log_k m)
+// objects); the exact register shows the Θ(log₂ m) cost the relaxation
+// removes.
+#include <cstdint>
+#include <iostream>
+
+#include "base/kmath.hpp"
+#include "sim/adapters.hpp"
+#include "sim/metrics.hpp"
+#include "sim/perturbation.hpp"
+
+namespace {
+using namespace approx;
+}
+
+int main() {
+  std::cout << "E6: max-register perturbation experiment (Lemma V.1, "
+               "Theorem V.2)\n"
+            << "Perturbing writes v_r = k^2*v_{r-1}+1; solo read measured "
+               "after each round.\n\n";
+
+  for (const unsigned log2m : {16u, 32u, 48u, 60u}) {
+    const std::uint64_t m = std::uint64_t{1} << log2m;
+    const std::uint64_t k = 2;
+    sim::KMultMaxRegisterAdapter kmult(m, k);
+    sim::ExactBoundedMaxRegisterAdapter exact(m);
+    const auto kmult_series = sim::perturb_max_register(kmult, k, m);
+    const auto exact_series = sim::perturb_max_register(exact, k, m);
+
+    std::cout << "m = 2^" << log2m << ", k = " << k << " ("
+              << kmult_series.size() - 1 << " perturbation rounds; bound "
+              << "log2(log_k m) = "
+              << base::ceil_log2(base::floor_log_k(k, m - 1) + 2) << ")\n";
+    sim::Table table({"round", "v_r", "kmult rd-steps", "kmult objs",
+                      "exact rd-steps", "exact objs"});
+    for (std::size_t r = 0; r < kmult_series.size(); ++r) {
+      table.add_row({
+          sim::Table::num(kmult_series[r].round),
+          sim::Table::num(kmult_series[r].perturbation),
+          sim::Table::num(kmult_series[r].read_steps),
+          sim::Table::num(kmult_series[r].distinct_objects),
+          sim::Table::num(exact_series[r].read_steps),
+          sim::Table::num(exact_series[r].distinct_objects),
+      });
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: kmult columns stay at ~log2(log2 m) across "
+               "all rounds; exact columns sit at ~log2(m). Both are flat "
+               "per round here because reads are tree descents; the bound "
+               "constrains the *worst* read, matched by the final rounds.\n";
+  return 0;
+}

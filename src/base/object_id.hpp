@@ -1,0 +1,26 @@
+// object_id.hpp — unique identifiers for shared base objects.
+//
+// Every base object (register, test&set bit, ...) draws a process-wide
+// unique id at construction. The ids exist purely for instrumentation:
+// the perturbation experiments (Lemmas V.1/V.3 of the paper) need the set
+// of *distinct* base objects an operation accesses, which is exactly the
+// quantity the Aspnes et al. perturbation bound speaks about.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace approx::base {
+
+/// Identifier of a shared base object. Dense, starting at 1 (0 = invalid).
+using ObjectId = std::uint64_t;
+
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+/// Allocates the next process-wide unique object id. Thread-safe.
+inline ObjectId next_object_id() noexcept {
+  static std::atomic<ObjectId> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace approx::base

@@ -1,0 +1,62 @@
+// register.hpp — atomic read/write register base object.
+//
+// The paper's model: processes communicate through shared base objects
+// accessed by primitives. `Register<T>` is the multi-reader/multi-writer
+// atomic register supporting the historyless {read, write} primitives.
+//
+// Sequential consistency note: all primitives use seq_cst ordering. The
+// paper assumes atomic (linearizable) registers in a sequentially
+// consistent shared memory; we favour model fidelity over weaker-ordering
+// micro-optimizations (see DESIGN.md §5).
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "base/object_id.hpp"
+#include "base/step_recorder.hpp"
+
+namespace approx::base {
+
+/// Multi-reader multi-writer atomic register over a trivially copyable T
+/// that fits in a lock-free std::atomic. Instrumented: every primitive
+/// charges one step to the current thread's StepRecorder.
+template <typename T>
+class Register {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Register requires a trivially copyable value type");
+
+ public:
+  explicit Register(T initial = T{}) noexcept
+      : id_(next_object_id()), cell_(initial) {}
+
+  Register(const Register&) = delete;
+  Register& operator=(const Register&) = delete;
+
+  /// read primitive: returns the current value.
+  [[nodiscard]] T read() const noexcept {
+    record_step(id_, PrimitiveKind::kRead);
+    return cell_.load(std::memory_order_seq_cst);
+  }
+
+  /// write primitive: unconditionally overwrites the value (historyless).
+  void write(T value) noexcept {
+    record_step(id_, PrimitiveKind::kWrite);
+    cell_.store(value, std::memory_order_seq_cst);
+  }
+
+  /// Base-object identity (instrumentation only).
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+
+  /// Un-instrumented peek for tests/debug; NOT a model primitive and never
+  /// used by algorithm code.
+  [[nodiscard]] T peek_unrecorded() const noexcept {
+    return cell_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  ObjectId id_;
+  std::atomic<T> cell_;
+};
+
+}  // namespace approx::base

@@ -1,0 +1,103 @@
+// segmented_array.hpp — unbounded array of base objects.
+//
+// Algorithm 1 assumes an infinite sequence of switch bits
+// switch_0, switch_1, ... that exist from the initial configuration.
+// A real process cannot pre-allocate infinitely many bits, so we realize
+// the sequence as a segmented array: a directory of fixed-size segments
+// allocated on first touch and published with a single CAS. After
+// publication every access is wait-free; the allocation race is resolved
+// by the CAS (the loser frees its segment), so growth is lock-free.
+//
+// Step accounting charges only the primitives applied to the *elements*,
+// never the directory bookkeeping: in the paper's model the infinite
+// array pre-exists and indexing it is local computation.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace approx::base {
+
+/// Unbounded array of default-constructed, non-movable elements (base
+/// objects such as TasBit or Register). Elements are never destroyed
+/// before the array itself; references remain valid for the array's
+/// lifetime.
+///
+/// @tparam T element type (default-constructible; need not be movable)
+/// @tparam kSegmentSize elements per segment (power of two)
+/// @tparam kMaxSegments directory capacity; the array can hold
+///   kSegmentSize * kMaxSegments elements, far beyond any reachable index
+///   in practice (indices grow at most linearly in the number of
+///   operations performed).
+template <typename T, std::size_t kSegmentSize = 1024,
+          std::size_t kMaxSegments = 1 << 20>
+class SegmentedArray {
+  static_assert((kSegmentSize & (kSegmentSize - 1)) == 0,
+                "kSegmentSize must be a power of two");
+
+ public:
+  SegmentedArray() {
+    directory_ = std::make_unique<std::atomic<Segment*>[]>(kMaxSegments);
+    for (std::size_t i = 0; i < kMaxSegments; ++i) {
+      directory_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~SegmentedArray() {
+    for (std::size_t i = 0; i < kMaxSegments; ++i) {
+      delete directory_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  SegmentedArray(const SegmentedArray&) = delete;
+  SegmentedArray& operator=(const SegmentedArray&) = delete;
+
+  /// Returns the element at `index`, allocating its segment if this is the
+  /// first touch. Wait-free once the segment exists; lock-free otherwise.
+  T& at(std::size_t index) {
+    const std::size_t seg_idx = index / kSegmentSize;
+    assert(seg_idx < kMaxSegments && "SegmentedArray directory exhausted");
+    std::atomic<Segment*>& slot = directory_[seg_idx];
+    Segment* seg = slot.load(std::memory_order_acquire);
+    if (seg == nullptr) {
+      auto fresh = std::make_unique<Segment>();
+      if (slot.compare_exchange_strong(seg, fresh.get(),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        seg = fresh.release();
+      }
+      // else: another thread published first; `seg` now holds the winner
+      // and `fresh` frees the loser.
+    }
+    return seg->elems[index % kSegmentSize];
+  }
+
+  /// Read-only variant; same allocation semantics (reading an untouched
+  /// element must observe its initial value, so the segment is created).
+  const T& at(std::size_t index) const {
+    return const_cast<SegmentedArray*>(this)->at(index);
+  }
+
+  /// Number of segments currently allocated (diagnostics).
+  [[nodiscard]] std::size_t allocated_segments() const noexcept {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kMaxSegments; ++i) {
+      if (directory_[i].load(std::memory_order_relaxed) != nullptr) ++count;
+    }
+    return count;
+  }
+
+  static constexpr std::size_t segment_size() noexcept { return kSegmentSize; }
+
+ private:
+  struct Segment {
+    T elems[kSegmentSize];
+  };
+
+  std::unique_ptr<std::atomic<Segment*>[]> directory_;
+};
+
+}  // namespace approx::base

@@ -1,0 +1,15 @@
+#include "base/step_recorder.hpp"
+
+namespace approx::base::detail {
+
+StepRecorder*& tls_recorder() noexcept {
+  thread_local StepRecorder* recorder = nullptr;
+  return recorder;
+}
+
+YieldHook*& tls_yield_hook() noexcept {
+  thread_local YieldHook* hook = nullptr;
+  return hook;
+}
+
+}  // namespace approx::base::detail

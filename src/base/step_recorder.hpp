@@ -1,0 +1,171 @@
+// step_recorder.hpp — step accounting in the paper's cost model.
+//
+// The paper measures complexity in *steps*: applications of a primitive
+// (read, write, test&set) to a shared base object. Local computation is
+// free. This module provides a thread-local recorder that base objects
+// notify on every primitive application.
+//
+// Usage:
+//   StepRecorder rec;
+//   {
+//     ScopedRecording on(rec);     // installs rec on this thread
+//     counter.increment(pid);      // primitives are charged to rec
+//   }
+//   rec.total();                   // steps performed while installed
+//
+// Recording is opt-in per thread: when no recorder is installed the
+// per-primitive cost is a single thread-local pointer test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+#include "base/object_id.hpp"
+
+namespace approx::base {
+
+/// Kind of primitive applied to a base object.
+enum class PrimitiveKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kTestAndSet = 2,
+};
+
+inline constexpr int kNumPrimitiveKinds = 3;
+
+/// Accumulates step counts (and optionally the set of distinct base
+/// objects accessed) for one measurement scope. Not thread-safe by itself;
+/// install on exactly one thread at a time via ScopedRecording.
+class StepRecorder {
+ public:
+  /// @param track_objects when true, additionally record the set of
+  ///   distinct base-object ids accessed (needed by the perturbation
+  ///   experiments; costs a hash insertion per step).
+  explicit StepRecorder(bool track_objects = false)
+      : track_objects_(track_objects) {}
+
+  /// Called by base objects on each primitive application.
+  void on_primitive(ObjectId id, PrimitiveKind kind) {
+    counts_[static_cast<int>(kind)] += 1;
+    if (track_objects_) objects_.insert(id);
+  }
+
+  /// Total number of steps recorded.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// Steps of one primitive kind.
+  [[nodiscard]] std::uint64_t count(PrimitiveKind kind) const noexcept {
+    return counts_[static_cast<int>(kind)];
+  }
+
+  [[nodiscard]] std::uint64_t reads() const noexcept {
+    return count(PrimitiveKind::kRead);
+  }
+  [[nodiscard]] std::uint64_t writes() const noexcept {
+    return count(PrimitiveKind::kWrite);
+  }
+  [[nodiscard]] std::uint64_t test_and_sets() const noexcept {
+    return count(PrimitiveKind::kTestAndSet);
+  }
+
+  /// Number of distinct base objects accessed (0 unless track_objects).
+  [[nodiscard]] std::size_t distinct_objects() const noexcept {
+    return objects_.size();
+  }
+
+  [[nodiscard]] bool tracking_objects() const noexcept {
+    return track_objects_;
+  }
+
+  /// Resets all counters (and the distinct-object set).
+  void reset() {
+    counts_ = {};
+    objects_.clear();
+  }
+
+ private:
+  bool track_objects_;
+  std::array<std::uint64_t, kNumPrimitiveKinds> counts_{};
+  std::unordered_set<ObjectId> objects_;
+};
+
+/// Hook invoked immediately BEFORE every primitive application on the
+/// current thread. Used by sim::StepScheduler to serialize executions at
+/// primitive granularity (deterministic, seed-driven interleavings); not
+/// installed in normal operation.
+class YieldHook {
+ public:
+  virtual ~YieldHook() = default;
+  /// Blocks until the scheduler grants this thread its next step.
+  virtual void yield() = 0;
+};
+
+namespace detail {
+/// The recorder installed on the current thread, or nullptr.
+StepRecorder*& tls_recorder() noexcept;
+/// The yield hook installed on the current thread, or nullptr.
+YieldHook*& tls_yield_hook() noexcept;
+}  // namespace detail
+
+/// Charges one step to the current thread's recorder, if any, after
+/// passing the scheduler yield point. Called by every base-object
+/// primitive immediately before the primitive's atomic operation.
+inline void record_step(ObjectId id, PrimitiveKind kind) {
+  if (YieldHook* hook = detail::tls_yield_hook(); hook != nullptr) {
+    hook->yield();
+  }
+  if (StepRecorder* rec = detail::tls_recorder(); rec != nullptr) {
+    rec->on_primitive(id, kind);
+  }
+}
+
+/// RAII installation of a yield hook on the current thread.
+class ScopedYieldHook {
+ public:
+  explicit ScopedYieldHook(YieldHook& hook) noexcept
+      : previous_(detail::tls_yield_hook()) {
+    detail::tls_yield_hook() = &hook;
+  }
+  ~ScopedYieldHook() { detail::tls_yield_hook() = previous_; }
+
+  ScopedYieldHook(const ScopedYieldHook&) = delete;
+  ScopedYieldHook& operator=(const ScopedYieldHook&) = delete;
+
+ private:
+  YieldHook* previous_;
+};
+
+/// RAII installation of a recorder on the current thread. Nestable: the
+/// previous recorder (if any) is restored on destruction and does NOT see
+/// the steps charged to the inner recorder.
+class ScopedRecording {
+ public:
+  explicit ScopedRecording(StepRecorder& rec) noexcept
+      : previous_(detail::tls_recorder()) {
+    detail::tls_recorder() = &rec;
+  }
+  ~ScopedRecording() { detail::tls_recorder() = previous_; }
+
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+
+ private:
+  StepRecorder* previous_;
+};
+
+/// Convenience: run `fn()` with a fresh recorder installed and return the
+/// total step count it accrued.
+template <typename Fn>
+std::uint64_t steps_of(Fn&& fn) {
+  StepRecorder rec;
+  ScopedRecording on(rec);
+  fn();
+  return rec.total();
+}
+
+}  // namespace approx::base

@@ -1,0 +1,51 @@
+// test_and_set.hpp — one-bit test&set base object.
+//
+// Algorithm 1 of the paper uses an unbounded sequence of 1-bit registers
+// ("switches") supporting test&set and read. test&set is historyless: it
+// overwrites any other nontrivial primitive applied to the bit (and
+// itself), which places Algorithm 1 inside the model of the
+// Jayanti–Tan–Toueg and perturbation lower bounds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/object_id.hpp"
+#include "base/step_recorder.hpp"
+
+namespace approx::base {
+
+/// A single bit, initially 0, supporting test&set and read primitives.
+class TasBit {
+ public:
+  TasBit() noexcept : id_(next_object_id()), bit_(0) {}
+
+  TasBit(const TasBit&) = delete;
+  TasBit& operator=(const TasBit&) = delete;
+
+  /// test&set primitive: atomically sets the bit to 1 and returns the
+  /// previous value (0 exactly for the unique winning application).
+  bool test_and_set() noexcept {
+    record_step(id_, PrimitiveKind::kTestAndSet);
+    return bit_.exchange(1, std::memory_order_seq_cst) != 0;
+  }
+
+  /// read primitive.
+  [[nodiscard]] bool read() const noexcept {
+    record_step(id_, PrimitiveKind::kRead);
+    return bit_.load(std::memory_order_seq_cst) != 0;
+  }
+
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+
+  /// Un-instrumented peek for tests/debug; never used by algorithm code.
+  [[nodiscard]] bool peek_unrecorded() const noexcept {
+    return bit_.load(std::memory_order_seq_cst) != 0;
+  }
+
+ private:
+  ObjectId id_;
+  std::atomic<std::uint8_t> bit_;
+};
+
+}  // namespace approx::base

@@ -1,0 +1,51 @@
+// approx.hpp — approximation-band predicates.
+//
+// Central definitions of the paper's accuracy contracts, shared by the
+// implementations, the linearizability checkers and the tests:
+//
+//   k-multiplicative-accurate:  v/k ≤ x ≤ v·k   (rational inequalities)
+//   k-additive-accurate:        v−k ≤ x ≤ v+k
+//
+// where v is the exact abstract value at the operation's linearization
+// point and x the value returned.
+#pragma once
+
+#include <cstdint>
+
+#include "base/kmath.hpp"
+
+namespace approx::core {
+
+/// True iff x is a valid k-multiplicative approximation of exact value v:
+/// v/k ≤ x ≤ v·k, evaluated over the rationals (no integer-division loss).
+[[nodiscard]] constexpr bool within_mult_band(std::uint64_t x,
+                                              std::uint64_t v,
+                                              std::uint64_t k) noexcept {
+  if (v == 0) return x == 0;          // band [0, 0]
+  // v/k ≤ x  ⇔  v ≤ x·k ;  x ≤ v·k. sat_mul only errs toward acceptance
+  // at ≥ 2^64, unreachable for honest values.
+  return base::sat_mul(x, k) >= v && x <= base::sat_mul(v, k);
+}
+
+/// True iff x is a valid k-additive approximation of v: v−k ≤ x ≤ v+k.
+[[nodiscard]] constexpr bool within_add_band(std::uint64_t x,
+                                             std::uint64_t v,
+                                             std::uint64_t k) noexcept {
+  return base::sat_add(x, k) >= v && x <= base::sat_add(v, k);
+}
+
+/// Smallest exact value v for which x is k-multiplicative-valid:
+/// v ≥ x/k ⇒ v_min = ⌈x/k⌉.
+[[nodiscard]] constexpr std::uint64_t mult_band_v_min(std::uint64_t x,
+                                                      std::uint64_t k) noexcept {
+  return x / k + (x % k != 0 ? 1 : 0);  // overflow-safe ⌈x/k⌉
+}
+
+/// Largest exact value v for which x is k-multiplicative-valid:
+/// v ≤ x·k (saturating).
+[[nodiscard]] constexpr std::uint64_t mult_band_v_max(std::uint64_t x,
+                                                      std::uint64_t k) noexcept {
+  return base::sat_mul(x, k);
+}
+
+}  // namespace approx::core

@@ -1,0 +1,121 @@
+// kmult_counter.hpp — Algorithm 1 of the paper.
+//
+// Wait-free linearizable *unbounded* k-multiplicative-accurate counter
+// with O(1) amortized step complexity for k ≥ √n (Theorem III.9).
+//
+// Shared state (paper lines 1–3):
+//   switch_j, j ∈ ℕ — 1-bit registers supporting test&set and read,
+//     initially 0, realized as a SegmentedArray<TasBit>;
+//   H[n] — helping array of (switch index, sequence number) pairs.
+//
+// Per-process persistent locals (lines 4–9): last_i, lcounter_i, limit_i,
+// sn_i, l0_i — kept in a cache-line-padded per-process block; operations
+// take an explicit pid and each pid must be driven by at most one thread
+// at a time (the standard "process" discipline of the model).
+//
+// How it works (paper §III). switch_0 accounts for 1 increment; the
+// switches are then partitioned into consecutive intervals of length k,
+// and each switch in interval [qk+1, (q+1)k] accounts for k^{q+1}
+// increments. A process batches increments locally until its lcounter
+// reaches limit = k^j, then tries to announce the batch by test&setting
+// one switch of interval j (resuming inside the interval at its
+// persistent l0). Success resets the batch; winning the *last* switch of
+// the interval — or losing every attempt in it — multiplies limit by k.
+// Reads scan only the first and last switch of each interval (persistent
+// last_i avoids rescanning), and every n loop iterations scan H: a pair
+// whose sequence number advanced by ≥ 2 since the first scan proves a
+// switch was set entirely within the read — the read can return its
+// value, which makes reads wait-free under concurrent increments.
+//
+// The returned value is ReturnValue(p, q) = k·(1 + p·k^{q+1} + Σ_{l=1}^{q}
+// k^{l+1}) where qk+p is the last switch the read saw set; Claim III.6
+// shows the exact count v linearized before the read satisfies
+// v/k ≤ ReturnValue ≤ v·k whenever k ≥ √n.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/register.hpp"
+#include "base/segmented_array.hpp"
+#include "base/test_and_set.hpp"
+
+namespace approx::core {
+
+/// Wait-free linearizable k-multiplicative-accurate unbounded counter
+/// (Algorithm 1). Accuracy requires k ≥ √n; the constructor accepts any
+/// k ≥ 2 so the k-sensitivity experiment (E3) can explore the threshold.
+class KMultCounter {
+ public:
+  /// @param num_processes n; pids are 0..n-1.
+  /// @param k accuracy parameter, k ≥ 2. The paper's accuracy guarantee
+  ///   (Theorem III.9) holds for k ≥ √n.
+  KMultCounter(unsigned num_processes, std::uint64_t k);
+
+  KMultCounter(const KMultCounter&) = delete;
+  KMultCounter& operator=(const KMultCounter&) = delete;
+
+  /// CounterIncrement (paper lines 10–29). At most one thread per pid.
+  void increment(unsigned pid);
+
+  /// CounterRead (paper lines 35–58): returns x with v/k ≤ x ≤ v·k for
+  /// the exact count v at the linearization point (for k ≥ √n).
+  std::uint64_t read(unsigned pid);
+
+  [[nodiscard]] unsigned num_processes() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+
+  /// True iff this instance satisfies the paper's k ≥ √n accuracy
+  /// precondition.
+  [[nodiscard]] bool accuracy_guaranteed() const noexcept;
+
+  // --- test/diagnostic accessors (un-instrumented; not part of the
+  //     algorithm and never called by it) ---
+
+  /// Peeks switch_index without charging a step (invariant tests).
+  [[nodiscard]] bool switch_set_unrecorded(std::uint64_t index) const;
+
+  /// Smallest index whose switch is 0. By Lemma III.2 the set switches
+  /// always form the prefix [0, first_unset).
+  [[nodiscard]] std::uint64_t first_unset_switch_unrecorded() const;
+
+  /// ReturnValue(p, q) from paper lines 30–34 (exposed for unit tests).
+  [[nodiscard]] std::uint64_t return_value(std::uint64_t p,
+                                           std::uint64_t q) const;
+
+  /// Number of CounterRead instances by `pid` that returned through the
+  /// helping mechanism (lines 50–55) rather than by finding an unset
+  /// switch. Diagnostic for the E13 helping ablation; not part of the
+  /// algorithm.
+  [[nodiscard]] std::uint64_t reads_via_helping(unsigned pid) const {
+    return locals_[pid].helping_returns;
+  }
+
+ private:
+  struct alignas(64) Local {
+    std::uint64_t last = 0;      // last_i: scan cursor over the switches
+    std::uint64_t lcounter = 0;  // unannounced increments
+    std::uint64_t limit = 1;     // announce threshold, always a power of k
+    std::uint64_t sn = 0;        // successful test&sets by this process
+    std::uint64_t l0 = 1;        // resume offset within the current interval
+    std::uint64_t helping_returns = 0;  // diagnostic (see reads_via_helping)
+    std::vector<std::uint64_t> help;  // baseline seq numbers (helping scan)
+  };
+
+  static std::uint64_t pack(std::uint64_t val, std::uint64_t sn) noexcept {
+    return (val << 24) | (sn & 0xFFFFFF);
+  }
+  static std::uint64_t unpack_val(std::uint64_t h) noexcept { return h >> 24; }
+  static std::uint64_t unpack_sn(std::uint64_t h) noexcept {
+    return h & 0xFFFFFF;
+  }
+
+  unsigned n_;
+  std::uint64_t k_;
+  base::SegmentedArray<base::TasBit> switches_;
+  std::unique_ptr<base::Register<std::uint64_t>[]> h_;  // H[n], packed pairs
+  std::unique_ptr<Local[]> locals_;
+};
+
+}  // namespace approx::core

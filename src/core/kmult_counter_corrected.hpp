@@ -1,0 +1,129 @@
+// kmult_counter_corrected.hpp — Algorithm 1 with the bootstrap-phase fix.
+//
+// REPRODUCTION FINDING (see EXPERIMENTS.md "Deviations"). The paper's
+// Algorithm 1 violates the k-multiplicative band in the *bootstrap
+// phase*: after one process wins switch_0, every process can batch up to
+// k−1 increments locally (limit = k) while reads still stop at switch_0
+// and return ReturnValue(0,0) = k. The exact count can reach
+// v = 1 + n(k−1), and v/k ≤ k requires n ≤ k+1 — NOT implied by the
+// paper's k ≥ √n precondition. Claim III.6's closing algebra
+// ("vop = ... + k^{q+2}") silently assumes q ≥ 1; at q = 0 the pulled-out
+// k^{q+2} term does not exist. Concretely: n = 25, k = 5 = √n, 38
+// round-robin increments → read returns 5 < 38/5.
+//
+// The fix implemented here keeps the paper's structure but re-weights the
+// switch sequence:
+//
+//   * positions 0..k ("singles") each announce ONE increment — instead of
+//     the paper's lone switch_0;
+//   * interval I_q = [qk+1, (q+1)k] for q ≥ 1 announces k^q per switch —
+//     one k-power *lower* than the paper's k^{q+1}.
+//
+// A process's announce threshold (limit) is 1 while singles remain, then
+// k^q while attempting I_q. The prefix invariant (Lemma III.2) is
+// preserved, and now: if the singles are not exhausted, every completed
+// increment has been announced (a process that loses every single has
+// proven them full); once they are exhausted a read returns at least
+// k·(k+1), which dominates the ≤ n(k^q − 1) hidden increments for
+// k ≥ √n at *every* q, including the former q = 0 hole.
+//
+// Cost of the fix: a process can spend up to k+1 test&sets losing the
+// singles region (once, ever — the cursor never rescans), so executions
+// shorter than ~n·k steps see O(k) = O(√n) amortized bootstrap cost;
+// asymptotically the amortized complexity is O(1) exactly as in the
+// paper. Reads additionally scan the k+1 singles densely (once per
+// process, amortized O(1)). The wait-free helping mechanism is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/register.hpp"
+#include "base/segmented_array.hpp"
+#include "base/test_and_set.hpp"
+
+namespace approx::core {
+
+/// Wait-free linearizable k-multiplicative-accurate unbounded counter —
+/// corrected variant. The accuracy band v/k ≤ x ≤ v·k holds in *all*
+/// execution phases for k ≥ √n.
+class KMultCounterCorrected {
+ public:
+  KMultCounterCorrected(unsigned num_processes, std::uint64_t k);
+
+  KMultCounterCorrected(const KMultCounterCorrected&) = delete;
+  KMultCounterCorrected& operator=(const KMultCounterCorrected&) = delete;
+
+  /// CounterIncrement. At most one thread per pid.
+  void increment(unsigned pid);
+
+  /// CounterRead: returns x with v/k ≤ x ≤ v·k for k ≥ √n.
+  std::uint64_t read(unsigned pid);
+
+  /// CounterRead via doubling + binary search (extension; §VI of the
+  /// paper leaves the worst-case complexity of bounded approximate
+  /// counters open). By the prefix invariant the set switches always
+  /// form [0, S): a read can locate the boundary with O(log₂ S) probes
+  /// instead of the linear cursor scan, then verify the boundary pair in
+  /// order (h seen set, then h+1 seen unset ⇒ a linearization point
+  /// exists where the prefix is exactly [0, h]). If writers keep growing
+  /// the prefix past the verification, falls back to the helping-based
+  /// linear read, preserving wait-freedom. Worst-case
+  /// O(log₂(k·log_k v)) steps on the fast path, vs Θ(k·log_k v) for a
+  /// cold-cursor linear read. Trade-off: does not use the persistent
+  /// cursor, so its *amortized* cost is O(log) rather than O(1).
+  std::uint64_t read_fast(unsigned pid);
+
+  [[nodiscard]] unsigned num_processes() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+  [[nodiscard]] bool accuracy_guaranteed() const noexcept;
+
+  // --- test/diagnostic accessors (un-instrumented) ---
+  [[nodiscard]] bool switch_set_unrecorded(std::uint64_t index) const;
+  [[nodiscard]] std::uint64_t first_unset_switch_unrecorded() const;
+
+  /// Value a read returns when the last switch it saw set is `position`:
+  /// k·(position+1) for singles, k·((k+1) + Σ_{l<q} k^{l+1} + p·k^q) for
+  /// position = qk+p in I_q. Exposed for unit tests.
+  [[nodiscard]] std::uint64_t value_at_position(std::uint64_t position) const;
+
+  /// Reads by `pid` that returned through the helping mechanism
+  /// (diagnostic for the E13 ablation; not part of the algorithm).
+  [[nodiscard]] std::uint64_t reads_via_helping(unsigned pid) const {
+    return locals_[pid].helping_returns;
+  }
+
+ private:
+  struct alignas(64) Local {
+    std::uint64_t last = 0;       // read cursor over scan positions
+    std::uint64_t lcounter = 0;   // unannounced increments
+    std::uint64_t limit = 1;      // announce threshold (1 or a power of k)
+    std::uint64_t sn = 0;         // successful announces
+    std::uint64_t single_cursor = 0;  // next single to try (absolute, ≤ k+1)
+    std::uint64_t offset = 1;     // resume offset within the current I_q
+    std::uint64_t helping_returns = 0;  // diagnostic
+    std::vector<std::uint64_t> help;
+  };
+
+  static std::uint64_t pack(std::uint64_t val, std::uint64_t sn) noexcept {
+    return (val << 24) | (sn & 0xFFFFFF);
+  }
+  static std::uint64_t unpack_val(std::uint64_t h) noexcept { return h >> 24; }
+  static std::uint64_t unpack_sn(std::uint64_t h) noexcept {
+    return h & 0xFFFFFF;
+  }
+
+  // Scan-position helpers (singles scanned densely, intervals at their
+  // first and last switch).
+  [[nodiscard]] std::uint64_t next_scan_position(std::uint64_t pos) const;
+  [[nodiscard]] std::uint64_t previous_scan_position(std::uint64_t pos) const;
+
+  unsigned n_;
+  std::uint64_t k_;
+  base::SegmentedArray<base::TasBit> switches_;
+  std::unique_ptr<base::Register<std::uint64_t>[]> h_;
+  std::unique_ptr<Local[]> locals_;
+};
+
+}  // namespace approx::core

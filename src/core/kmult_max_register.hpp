@@ -1,0 +1,59 @@
+// kmult_max_register.hpp — Algorithm 2 of the paper.
+//
+// Wait-free linearizable m-bounded k-multiplicative-accurate max register
+// with worst-case step complexity O(min(log₂ log_k m, n)) — Theorem IV.2,
+// matching the perturbation lower bound of Theorem V.2, and an
+// *exponential* improvement over the Θ(log₂ m) exact bound.
+//
+// The idea (paper §IV): store only the index of the bit to the left of
+// the most-significant base-k digit of each written value, i.e.
+// p = ⌊log_k v⌋ + 1, in an *exact* (⌊log_k(m−1)⌋ + 1)-bounded max
+// register M (the AACH tree). A read returns k^p for the largest index p
+// written (0 if none): since every value v with index p lies in
+// [k^{p−1}, k^p − 1], the returned x = k^p satisfies v ≤ x ≤ v·k — within
+// the two-sided band v/k ≤ x ≤ v·k.
+#pragma once
+
+#include <cstdint>
+
+#include "exact/bounded_max_register.hpp"
+
+namespace approx::core {
+
+/// m-bounded k-multiplicative-accurate max register (Algorithm 2).
+/// Writes accept values in [0, m); reads may return up to k·(m−1)
+/// (the approximation may overshoot the domain, as in the paper).
+class KMultMaxRegister {
+ public:
+  /// @param m bound: writable values are {0, ..., m−1}, m ≥ 2.
+  /// @param k accuracy parameter, k ≥ 2.
+  KMultMaxRegister(std::uint64_t m, std::uint64_t k);
+
+  KMultMaxRegister(const KMultMaxRegister&) = delete;
+  KMultMaxRegister& operator=(const KMultMaxRegister&) = delete;
+
+  /// Write(v), paper lines 7–10. Requires v < m. Writing 0 is a no-op on
+  /// the abstract maximum (the initial value is 0).
+  void write(std::uint64_t v);
+
+  /// Read(), paper lines 2–6: returns x with v/k ≤ x ≤ v·k for the
+  /// maximum v written before the linearization point; 0 iff nothing
+  /// (non-zero) was written.
+  [[nodiscard]] std::uint64_t read() const;
+
+  [[nodiscard]] std::uint64_t m() const noexcept { return m_; }
+  [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+
+  /// Depth of the underlying exact index register =
+  /// ⌈log₂(⌊log_k(m−1)⌋ + 2)⌉; both operations perform O(depth) steps.
+  [[nodiscard]] unsigned index_register_depth() const noexcept {
+    return index_.depth();
+  }
+
+ private:
+  std::uint64_t m_;
+  std::uint64_t k_;
+  exact::BoundedMaxRegister index_;  // M: holds p = ⌊log_k v⌋ + 1
+};
+
+}  // namespace approx::core

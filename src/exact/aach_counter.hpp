@@ -1,0 +1,60 @@
+// aach_counter.hpp — exact counter from monotone circuits (AACH [8]).
+//
+// The sub-linear exact counter of Aspnes, Attiya and Censor-Hillel that
+// §I.A of the paper describes: CounterIncrement in
+// O(min(log n · log v, n)) steps and CounterRead in O(min(log v, n))
+// steps, where v is the current value.
+//
+// Construction: a complete binary tree with one leaf per process. Leaves
+// are single-writer registers holding each process's increment count;
+// every internal node is an (unbounded) exact max register. To increment,
+// a process bumps its leaf and then, walking leaf-to-root, rewrites each
+// ancestor with the sum of its two children's current values. A read
+// returns the root's value. Monotonicity of all inputs makes every gate
+// of this "adder circuit" a max register, which is the heart of the AACH
+// linearizability proof.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/register.hpp"
+#include "exact/unbounded_max_register.hpp"
+
+namespace approx::exact {
+
+/// Exact wait-free linearizable counter with polylogarithmic operations:
+/// O(log n · log v) increment, O(log v) read.
+class AachCounter {
+ public:
+  explicit AachCounter(unsigned num_processes);
+
+  AachCounter(const AachCounter&) = delete;
+  AachCounter& operator=(const AachCounter&) = delete;
+
+  /// Adds one to the count. May be called only by process `pid`.
+  void increment(unsigned pid);
+
+  /// Returns the exact number of increments linearized before some point
+  /// within the call's interval.
+  [[nodiscard]] std::uint64_t read() const;
+
+  [[nodiscard]] unsigned num_processes() const noexcept { return n_; }
+
+ private:
+  // Heap layout: internal nodes 1..width_-1, leaves width_..2*width_-1
+  // (width_ = n rounded up to a power of two; unused leaves stay 0).
+  [[nodiscard]] std::uint64_t node_value(std::size_t index) const;
+
+  unsigned n_;
+  std::size_t width_;
+  std::vector<std::unique_ptr<UnboundedMaxRegister>> internal_;  // [1, width_)
+  struct alignas(64) Leaf {
+    base::Register<std::uint64_t> reg{0};
+    std::uint64_t shadow = 0;  // owner-only mirror
+  };
+  std::unique_ptr<Leaf[]> leaves_;
+};
+
+}  // namespace approx::exact

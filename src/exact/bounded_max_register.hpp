@@ -1,0 +1,78 @@
+// bounded_max_register.hpp — exact m-bounded max register (AACH).
+//
+// The tree-based bounded max register of Aspnes, Attiya and Censor-Hillel
+// ("Polylogarithmic concurrent data structures from monotone circuits",
+// J. ACM 2012; ref [8] of the paper). It is the substrate of the paper's
+// Algorithm 2 (which stores base-k MSB indices in an exact bounded max
+// register) and of the exact AACH counter baseline.
+//
+// Construction. MaxReg_m for m > 2 is a node with a 1-bit switch and two
+// recursive halves: `left` represents values [0, m/2), `right` represents
+// values [m/2, m) shifted down by m/2.
+//   write(v): if v ≥ m/2  → right.write(v − m/2); then switch.write(1)
+//             else        → if switch.read() == 0 then left.write(v)
+//   read():   if switch.read() == 1 → m/2 + right.read()
+//             else                  → left.read()
+// The base case m ≤ 2 is a single monotone bit register (write(0) is a
+// no-op; the initial value is already 0). Writing the right half *before*
+// raising the switch is what makes reads linearizable.
+//
+// Both operations touch one node per level: worst-case step complexity is
+// Θ(⌈log₂ m⌉), the optimal bound for m-bounded max registers [5].
+//
+// The tree is allocated lazily along accessed paths (CAS-published nodes),
+// so a register with capacity 2^62 costs 62 node allocations per distinct
+// path, not 2^62. Allocation is bookkeeping below the model: only switch
+// and leaf primitives are charged as steps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/object_id.hpp"
+#include "base/register.hpp"
+
+namespace approx::exact {
+
+/// Wait-free linearizable exact max register over values [0, capacity),
+/// built from read/write registers only. Worst-case O(log capacity) steps
+/// per operation.
+class BoundedMaxRegister {
+ public:
+  /// @param capacity number of representable values; the register holds
+  ///   the maximum value written among {0, ..., capacity-1}. capacity ≥ 1.
+  explicit BoundedMaxRegister(std::uint64_t capacity);
+  ~BoundedMaxRegister();
+
+  BoundedMaxRegister(const BoundedMaxRegister&) = delete;
+  BoundedMaxRegister& operator=(const BoundedMaxRegister&) = delete;
+
+  /// Writes v (a no-op on the abstract state unless v exceeds the current
+  /// maximum). Requires v < capacity().
+  void write(std::uint64_t v);
+
+  /// Returns the maximum value written so far (0 if none).
+  [[nodiscard]] std::uint64_t read() const;
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Tree depth = ⌈log₂ capacity⌉; both operations perform at most
+  /// depth()+1 steps.
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+
+ private:
+  struct Node;
+
+  static Node* child(std::atomic<Node*>& slot);
+  static void destroy(Node* node) noexcept;
+
+  static void write_at(Node& node, std::uint64_t span, std::uint64_t v);
+  static std::uint64_t read_at(const Node& node, std::uint64_t span);
+
+  std::uint64_t capacity_;
+  std::uint64_t span_;  // capacity rounded up to a power of two
+  unsigned depth_;
+  Node* root_;
+};
+
+}  // namespace approx::exact

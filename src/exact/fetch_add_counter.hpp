@@ -1,0 +1,45 @@
+// fetch_add_counter.hpp — hardware fetch&add reference baseline.
+//
+// NOT inside the paper's primitive model: fetch&add is neither historyless
+// nor conditional, so none of the paper's lower bounds constrain it. It is
+// included purely as the "what the hardware gives you" reference point in
+// the throughput experiment (E10), the role the scalable-statistics-
+// counters literature ([10] in the paper) plays in the motivation.
+//
+// For step accounting we charge one write step per increment and one read
+// step per read; the hardware RMW has no counterpart among the model's
+// primitive kinds (documented in DESIGN.md §2.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/object_id.hpp"
+#include "base/step_recorder.hpp"
+
+namespace approx::exact {
+
+/// Exact linearizable counter backed by a single fetch&add cell.
+class FetchAddCounter {
+ public:
+  FetchAddCounter() : id_(base::next_object_id()) {}
+
+  FetchAddCounter(const FetchAddCounter&) = delete;
+  FetchAddCounter& operator=(const FetchAddCounter&) = delete;
+
+  void increment() {
+    base::record_step(id_, base::PrimitiveKind::kWrite);
+    cell_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] std::uint64_t read() const {
+    base::record_step(id_, base::PrimitiveKind::kRead);
+    return cell_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  base::ObjectId id_;
+  std::atomic<std::uint64_t> cell_{0};
+};
+
+}  // namespace approx::exact

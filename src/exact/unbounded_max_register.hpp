@@ -1,0 +1,71 @@
+// unbounded_max_register.hpp — exact max register over the full uint64
+// domain.
+//
+// The paper cites Baig, Hendler, Milani and Travers (DISC 2019; ref [9])
+// for unbounded max registers; that paper's construction is not restated
+// in the reproduced paper, so we build the closest substitute (see
+// DESIGN.md §3): a two-level AACH-style decomposition by binary exponent.
+//
+//   * A 66-bounded exact max register `level_` stores t = ⌊log₂ v⌋ + 1 for
+//     every written value v ≥ 1 (t = 0 means "nothing written yet").
+//   * For each exponent e ≥ 1, a lazily-created 2^e-bounded exact max
+//     register `mantissa_[e]` stores v − 2^e for the values with that
+//     exponent.
+//
+//   write(v): e = ⌊log₂ v⌋; write the mantissa first, then announce e+1
+//             in `level_` (announce-after-publish, as in the AACH tree).
+//   read():   t = level_.read(); if t == 0 return 0; else return
+//             2^(t−1) + mantissa_[t−1].read().
+//
+// Linearizability sketch. `level_` and each mantissa register are
+// linearizable max registers. A read that obtains t returns a value
+// x ∈ [2^(t−1), 2^t): (i) x is dominated by no completed write — any write
+// of w with exponent e_w completed before the read began announced
+// e_w + 1 ≤ t, and if e_w + 1 = t the mantissa register returns at least
+// w's mantissa, so x ≥ w; (ii) x is justified — the mantissa value read
+// was written by some write of exactly x whose mantissa step already
+// happened, so that write can be linearized before the read. Monotonicity
+// across reads follows from monotonicity of `level_` and of each mantissa
+// register.
+//
+// Worst-case step complexity: O(log 66) + O(log v) = O(log v) per
+// operation, matching the AACH unbounded construction. (The *amortized*
+// polylog(n) bound of Baig et al. needs their more elaborate helping
+// machinery; the k-multiplicative plug-in in src/core does not need it —
+// see kmult_unbounded_max_register.hpp.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "exact/bounded_max_register.hpp"
+
+namespace approx::exact {
+
+/// Wait-free linearizable exact max register over [0, 2^64), built from
+/// read/write registers only. O(log v) worst-case steps per operation.
+class UnboundedMaxRegister {
+ public:
+  UnboundedMaxRegister();
+  ~UnboundedMaxRegister();
+
+  UnboundedMaxRegister(const UnboundedMaxRegister&) = delete;
+  UnboundedMaxRegister& operator=(const UnboundedMaxRegister&) = delete;
+
+  /// Writes v; no-op on the abstract state unless v exceeds the maximum.
+  void write(std::uint64_t v);
+
+  /// Returns the maximum value written so far (0 if none).
+  [[nodiscard]] std::uint64_t read() const;
+
+ private:
+  static constexpr unsigned kMaxExponent = 64;
+
+  BoundedMaxRegister* mantissa(unsigned exponent) const;
+
+  BoundedMaxRegister level_;  // stores ⌊log₂ v⌋ + 1 ∈ [0, 65]
+  mutable std::atomic<BoundedMaxRegister*> mantissa_[kMaxExponent];
+};
+
+}  // namespace approx::exact

@@ -1,0 +1,203 @@
+// adapters.hpp — uniform counter/max-register views for measurement code.
+//
+// Benchmarks, the perturbation harness and the workload driver compare
+// several implementations with different concrete APIs. These thin
+// adapters present them behind two tiny virtual interfaces. The virtual
+// dispatch costs nothing in the step-complexity model (it is local
+// computation) and is negligible against a shared-memory operation in
+// wall-clock benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/kadditive_counter.hpp"
+#include "core/kmult_counter.hpp"
+#include "core/kmult_counter_corrected.hpp"
+#include "core/kmult_max_register.hpp"
+#include "core/kmult_unbounded_max_register.hpp"
+#include "exact/aach_counter.hpp"
+#include "exact/bounded_max_register.hpp"
+#include "exact/collect_counter.hpp"
+#include "exact/fetch_add_counter.hpp"
+#include "exact/snapshot_counter.hpp"
+#include "exact/unbounded_max_register.hpp"
+
+namespace approx::sim {
+
+/// A counter under measurement. `k` reports the accuracy parameter the
+/// implementation promises (1 = exact) so checkers know what to verify.
+class ICounter {
+ public:
+  virtual ~ICounter() = default;
+  virtual void increment(unsigned pid) = 0;
+  virtual std::uint64_t read(unsigned pid) = 0;
+  [[nodiscard]] virtual std::uint64_t k() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// A max register under measurement.
+class IMaxRegister {
+ public:
+  virtual ~IMaxRegister() = default;
+  virtual void write(std::uint64_t value) = 0;
+  virtual std::uint64_t read() = 0;
+  [[nodiscard]] virtual std::uint64_t k() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------------
+// Counter adapters
+// ---------------------------------------------------------------------
+
+class KMultCounterAdapter final : public ICounter {
+ public:
+  KMultCounterAdapter(unsigned n, std::uint64_t k) : counter_(n, k) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override { return counter_.k(); }
+  [[nodiscard]] std::string name() const override {
+    return "kmult(k=" + std::to_string(counter_.k()) + ")";
+  }
+  [[nodiscard]] core::KMultCounter& impl() noexcept { return counter_; }
+
+ private:
+  core::KMultCounter counter_;
+};
+
+class KMultCounterCorrectedAdapter final : public ICounter {
+ public:
+  KMultCounterCorrectedAdapter(unsigned n, std::uint64_t k) : counter_(n, k) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override { return counter_.k(); }
+  [[nodiscard]] std::string name() const override {
+    return "kmult-fix(k=" + std::to_string(counter_.k()) + ")";
+  }
+  [[nodiscard]] core::KMultCounterCorrected& impl() noexcept {
+    return counter_;
+  }
+
+ private:
+  core::KMultCounterCorrected counter_;
+};
+
+class CollectCounterAdapter final : public ICounter {
+ public:
+  explicit CollectCounterAdapter(unsigned n) : counter_(n) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned) override { return counter_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "collect"; }
+
+ private:
+  exact::CollectCounter counter_;
+};
+
+class SnapshotCounterAdapter final : public ICounter {
+ public:
+  explicit SnapshotCounterAdapter(unsigned n) : counter_(n) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned) override { return counter_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "snapshot"; }
+
+ private:
+  exact::SnapshotCounter counter_;
+};
+
+class AachCounterAdapter final : public ICounter {
+ public:
+  explicit AachCounterAdapter(unsigned n) : counter_(n) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned) override { return counter_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "aach"; }
+
+ private:
+  exact::AachCounter counter_;
+};
+
+class FetchAddCounterAdapter final : public ICounter {
+ public:
+  void increment(unsigned) override { counter_.increment(); }
+  std::uint64_t read(unsigned) override { return counter_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "fetch&add"; }
+
+ private:
+  exact::FetchAddCounter counter_;
+};
+
+class KAdditiveCounterAdapter final : public ICounter {
+ public:
+  KAdditiveCounterAdapter(unsigned n, std::uint64_t k) : counter_(n, k) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned) override { return counter_.read(); }
+  // Reports k = 1: additive accuracy is a different contract; callers
+  // use the additive checker/band directly (see tests and E11).
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "kadditive"; }
+  [[nodiscard]] core::KAdditiveCounter& impl() noexcept { return counter_; }
+
+ private:
+  core::KAdditiveCounter counter_;
+};
+
+// ---------------------------------------------------------------------
+// Max-register adapters
+// ---------------------------------------------------------------------
+
+class KMultMaxRegisterAdapter final : public IMaxRegister {
+ public:
+  KMultMaxRegisterAdapter(std::uint64_t m, std::uint64_t k) : reg_(m, k) {}
+  void write(std::uint64_t value) override { reg_.write(value); }
+  std::uint64_t read() override { return reg_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return reg_.k(); }
+  [[nodiscard]] std::string name() const override {
+    return "kmult-bounded(k=" + std::to_string(reg_.k()) + ")";
+  }
+
+ private:
+  core::KMultMaxRegister reg_;
+};
+
+class ExactBoundedMaxRegisterAdapter final : public IMaxRegister {
+ public:
+  explicit ExactBoundedMaxRegisterAdapter(std::uint64_t m) : reg_(m) {}
+  void write(std::uint64_t value) override { reg_.write(value); }
+  std::uint64_t read() override { return reg_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "exact-bounded"; }
+
+ private:
+  exact::BoundedMaxRegister reg_;
+};
+
+class ExactUnboundedMaxRegisterAdapter final : public IMaxRegister {
+ public:
+  void write(std::uint64_t value) override { reg_.write(value); }
+  std::uint64_t read() override { return reg_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "exact-unbounded"; }
+
+ private:
+  exact::UnboundedMaxRegister reg_;
+};
+
+class KMultUnboundedMaxRegisterAdapter final : public IMaxRegister {
+ public:
+  explicit KMultUnboundedMaxRegisterAdapter(std::uint64_t k) : reg_(k) {}
+  void write(std::uint64_t value) override { reg_.write(value); }
+  std::uint64_t read() override { return reg_.read(); }
+  [[nodiscard]] std::uint64_t k() const override { return reg_.k(); }
+  [[nodiscard]] std::string name() const override {
+    return "kmult-unbounded(k=" + std::to_string(reg_.k()) + ")";
+  }
+
+ private:
+  core::KMultUnboundedMaxRegister reg_;
+};
+
+}  // namespace approx::sim

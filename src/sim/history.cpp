@@ -1,0 +1,29 @@
+#include "sim/history.hpp"
+
+#include <cassert>
+
+namespace approx::sim {
+
+HistoryRecorder::HistoryRecorder(unsigned num_processes)
+    : buffers_(num_processes) {
+  assert(num_processes >= 1);
+  for (auto& buffer : buffers_) buffer.reserve(1024);
+}
+
+void HistoryRecorder::append(unsigned pid, const OpRecord& record) {
+  assert(pid < buffers_.size());
+  buffers_[pid].push_back(record);
+}
+
+std::vector<OpRecord> HistoryRecorder::merged() const {
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer.size();
+  std::vector<OpRecord> all;
+  all.reserve(total);
+  for (const auto& buffer : buffers_) {
+    all.insert(all.end(), buffer.begin(), buffer.end());
+  }
+  return all;
+}
+
+}  // namespace approx::sim

@@ -1,0 +1,89 @@
+// history.hpp — concurrent history recording.
+//
+// Captures invoke/response events of high-level operations so that the
+// linearizability checkers (lin_check.hpp) can verify executions against
+// the k-multiplicative (or exact, k = 1) sequential specifications.
+//
+// Timestamps come from a single global atomic clock: unique, totally
+// ordered, and consistent with real time (an operation's invoke stamp is
+// taken after its response is enabled... i.e. inside its interval).
+// Records are kept in per-process buffers (no contention on the hot path
+// beyond the clock itself) and merged on demand.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace approx::sim {
+
+enum class OpType : std::uint8_t {
+  kIncrement = 0,  // counter increment (no argument, no result)
+  kRead = 1,       // counter/max-register read (result)
+  kWrite = 2,      // max-register write (argument)
+};
+
+struct OpRecord {
+  OpType type = OpType::kRead;
+  unsigned pid = 0;
+  std::uint64_t arg = 0;       // write argument (kWrite only)
+  std::uint64_t result = 0;    // read result (kRead only)
+  std::uint64_t invoke = 0;    // global clock at invocation
+  std::uint64_t response = 0;  // global clock at response; 0 = incomplete
+};
+
+/// Per-process history buffers with a shared logical clock.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(unsigned num_processes);
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  /// Draws the next (unique) clock value. Thread-safe.
+  std::uint64_t tick() noexcept {
+    return clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Appends a completed record to `pid`'s buffer. One thread per pid.
+  void append(unsigned pid, const OpRecord& record);
+
+  /// Convenience wrappers that stamp invoke/response around `fn`.
+  template <typename Fn>
+  void record_increment(unsigned pid, Fn&& fn) {
+    OpRecord rec{OpType::kIncrement, pid, 0, 0, tick(), 0};
+    fn();
+    rec.response = tick();
+    append(pid, rec);
+  }
+
+  template <typename Fn>
+  std::uint64_t record_read(unsigned pid, Fn&& fn) {
+    OpRecord rec{OpType::kRead, pid, 0, 0, tick(), 0};
+    rec.result = fn();
+    rec.response = tick();
+    append(pid, rec);
+    return rec.result;
+  }
+
+  template <typename Fn>
+  void record_write(unsigned pid, std::uint64_t value, Fn&& fn) {
+    OpRecord rec{OpType::kWrite, pid, value, 0, tick(), 0};
+    fn();
+    rec.response = tick();
+    append(pid, rec);
+  }
+
+  /// All records from all processes (unordered). Call after quiescence.
+  [[nodiscard]] std::vector<OpRecord> merged() const;
+
+  [[nodiscard]] unsigned num_processes() const noexcept {
+    return static_cast<unsigned>(buffers_.size());
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::vector<OpRecord>> buffers_;
+};
+
+}  // namespace approx::sim

@@ -1,0 +1,215 @@
+#include "sim/lin_check.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/approx.hpp"
+
+namespace approx::sim {
+namespace {
+
+std::string describe_read(const OpRecord& read) {
+  std::ostringstream out;
+  out << "read by p" << read.pid << " [" << read.invoke << ","
+      << read.response << ") returned " << read.result;
+  return out.str();
+}
+
+// Number of elements in the sorted vector strictly below `bound`.
+std::uint64_t count_below(const std::vector<std::uint64_t>& sorted,
+                          std::uint64_t bound) {
+  return static_cast<std::uint64_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), bound) - sorted.begin());
+}
+
+struct ReadState {
+  OpRecord record;
+  std::uint64_t window_lo = 0;   // band ∩ real-time lower bound
+  std::uint64_t window_hi = 0;   // band ∩ real-time upper bound
+  std::uint64_t lb_snapshot = 0; // greedy monotone lower bound at invoke
+  std::uint64_t wc_snapshot = 0; // max-register: completed max at invoke
+  std::uint64_t assigned = 0;    // greedy minimal feasible value
+};
+
+enum class EventKind : std::uint8_t {
+  // Tie-break order within one timestamp (timestamps are unique, so this
+  // ordering is irrelevant in practice but keeps the sort deterministic).
+  kWriteInvoke = 0,
+  kReadResponse = 1,
+  kWriteResponse = 2,
+  kReadInvoke = 3,
+};
+
+struct Event {
+  std::uint64_t stamp;
+  EventKind kind;
+  std::size_t index;  // into the reads or writes array
+
+  bool operator<(const Event& other) const noexcept {
+    if (stamp != other.stamp) return stamp < other.stamp;
+    return kind < other.kind;
+  }
+};
+
+}  // namespace
+
+LinCheckResult check_counter_history(const std::vector<OpRecord>& history,
+                                     std::uint64_t k) {
+  std::vector<std::uint64_t> inc_invokes;
+  std::vector<std::uint64_t> inc_responses;  // completed increments only
+  std::vector<ReadState> reads;
+
+  for (const OpRecord& record : history) {
+    switch (record.type) {
+      case OpType::kIncrement:
+        inc_invokes.push_back(record.invoke);
+        if (record.response != 0) inc_responses.push_back(record.response);
+        break;
+      case OpType::kRead:
+        if (record.response != 0) reads.push_back(ReadState{record});
+        break;
+      case OpType::kWrite:
+        return {false, "counter history contains a kWrite record"};
+    }
+  }
+  std::sort(inc_invokes.begin(), inc_invokes.end());
+  std::sort(inc_responses.begin(), inc_responses.end());
+
+  // Per-read feasible window: real-time increment count bounds ∩ band.
+  for (ReadState& read : reads) {
+    const std::uint64_t x = read.record.result;
+    const std::uint64_t real_lo = count_below(inc_responses, read.record.invoke);
+    const std::uint64_t real_hi = count_below(inc_invokes, read.record.response);
+    read.window_lo = std::max(real_lo, core::mult_band_v_min(x, k));
+    read.window_hi = std::min(real_hi, core::mult_band_v_max(x, k));
+    if (read.window_lo > read.window_hi) {
+      std::ostringstream out;
+      out << describe_read(read.record) << ": no exact count v with "
+          << real_lo << " ≤ v ≤ " << real_hi << " satisfies v/" << k
+          << " ≤ " << x << " ≤ v·" << k;
+      return {false, out.str()};
+    }
+  }
+
+  // Greedy monotone sweep: reads completed before another read's invoke
+  // must be assigned smaller-or-equal counts.
+  std::vector<Event> events;
+  events.reserve(reads.size() * 2);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    events.push_back({reads[i].record.invoke, EventKind::kReadInvoke, i});
+    events.push_back({reads[i].record.response, EventKind::kReadResponse, i});
+  }
+  std::sort(events.begin(), events.end());
+
+  std::uint64_t max_lb = 0;
+  for (const Event& event : events) {
+    ReadState& read = reads[event.index];
+    if (event.kind == EventKind::kReadInvoke) {
+      read.assigned = std::max(read.window_lo, max_lb);
+      if (read.assigned > read.window_hi) {
+        std::ostringstream out;
+        out << describe_read(read.record)
+            << ": preceding reads force a count of at least " << read.assigned
+            << " but the feasible window ends at " << read.window_hi;
+        return {false, out.str()};
+      }
+    } else {
+      max_lb = std::max(max_lb, read.assigned);
+    }
+  }
+  return {};
+}
+
+LinCheckResult check_max_register_history(const std::vector<OpRecord>& history,
+                                          std::uint64_t k) {
+  std::vector<OpRecord> writes;
+  std::vector<ReadState> reads;
+  for (const OpRecord& record : history) {
+    switch (record.type) {
+      case OpType::kWrite:
+        writes.push_back(record);
+        break;
+      case OpType::kRead:
+        if (record.response != 0) reads.push_back(ReadState{record});
+        break;
+      case OpType::kIncrement:
+        return {false, "max-register history contains a kIncrement record"};
+    }
+  }
+
+  std::vector<Event> events;
+  events.reserve(reads.size() * 2 + writes.size() * 2);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    events.push_back({reads[i].record.invoke, EventKind::kReadInvoke, i});
+    events.push_back({reads[i].record.response, EventKind::kReadResponse, i});
+  }
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    events.push_back({writes[i].invoke, EventKind::kWriteInvoke, i});
+    if (writes[i].response != 0) {
+      events.push_back({writes[i].response, EventKind::kWriteResponse, i});
+    }
+  }
+  std::sort(events.begin(), events.end());
+
+  std::multiset<std::uint64_t> invoked_values;  // writes invoked so far
+  std::uint64_t completed_max = 0;              // max completed write value
+  std::uint64_t max_lb = 0;                     // greedy monotone bound
+
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case EventKind::kWriteInvoke:
+        invoked_values.insert(writes[event.index].arg);
+        break;
+      case EventKind::kWriteResponse:
+        completed_max = std::max(completed_max, writes[event.index].arg);
+        break;
+      case EventKind::kReadInvoke: {
+        ReadState& read = reads[event.index];
+        read.lb_snapshot = max_lb;
+        read.wc_snapshot = completed_max;
+        break;
+      }
+      case EventKind::kReadResponse: {
+        ReadState& read = reads[event.index];
+        const std::uint64_t x = read.record.result;
+        const std::uint64_t band_lo = core::mult_band_v_min(x, k);
+        const std::uint64_t band_hi = core::mult_band_v_max(x, k);
+        // v must be ≥ every lower bound and realizable as a maximum:
+        // either the completed maximum itself, or the value of some write
+        // invoked before this read responded.
+        const std::uint64_t lo = std::max(band_lo, read.lb_snapshot);
+        std::uint64_t assigned;
+        if (read.wc_snapshot >= lo) {
+          assigned = read.wc_snapshot;  // minimal realizable v
+        } else {
+          auto it = invoked_values.lower_bound(lo);
+          if (it == invoked_values.end()) {
+            std::ostringstream out;
+            out << describe_read(read.record)
+                << ": needs a maximum of at least " << lo
+                << " but no write invoked before its response has such a "
+                   "value (completed max = "
+                << read.wc_snapshot << ")";
+            return {false, out.str()};
+          }
+          assigned = *it;
+        }
+        if (assigned > band_hi) {
+          std::ostringstream out;
+          out << describe_read(read.record)
+              << ": the smallest realizable maximum is " << assigned
+              << ", outside the band [" << band_lo << ", " << band_hi
+              << "] for k = " << k;
+          return {false, out.str()};
+        }
+        read.assigned = assigned;
+        max_lb = std::max(max_lb, assigned);
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace approx::sim

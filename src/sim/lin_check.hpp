@@ -1,0 +1,60 @@
+// lin_check.hpp — linearizability checkers for relaxed monotone objects.
+//
+// Decides whether a recorded concurrent history admits a linearization
+// satisfying the k-multiplicative-accurate counter / max-register
+// sequential specification (k = 1 checks the exact object).
+//
+// Both objects are monotone with indistinguishable mutators, which makes
+// checking tractable (no exponential search):
+//
+//   * Counter. A read returning x is linearized after some number v of
+//     increments with v/k ≤ x ≤ v·k. Necessarily
+//     v ∈ [L(r), U(r)] where L(r) = #increments that completed before the
+//     read's invocation and U(r) = #increments invoked before its
+//     response. A linearization exists iff each read can be assigned
+//     v(r) in its window such that reads ordered by real time get
+//     non-decreasing v. We assign greedily minimal values through a time
+//     sweep; greedy-minimal is optimal for monotone chain constraints, so
+//     the check is exact for complete histories (and conservative —
+//     never reporting a false violation — when increments are left
+//     incomplete: those may or may not be linearized, so they extend U
+//     but not L).
+//
+//   * Max register. A read returning x needs a linearization-point
+//     maximum v with v/k ≤ x ≤ v·k, where v is either the maximum value
+//     of writes completed before the read's invocation (W_c) or the value
+//     of some write invoked before the read's response with value ≥ W_c.
+//     Same greedy-minimal monotone sweep over this candidate set.
+//
+// Every violation reported is a genuine violation of k-multiplicative
+// linearizability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/history.hpp"
+
+namespace approx::sim {
+
+/// Outcome of a linearizability check.
+struct LinCheckResult {
+  bool ok = true;
+  std::string violation;  // human-readable description when !ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Checks a counter history (kIncrement/kRead records) against the
+/// k-multiplicative-accurate counter specification. k = 1 ⇒ exact.
+[[nodiscard]] LinCheckResult check_counter_history(
+    const std::vector<OpRecord>& history, std::uint64_t k);
+
+/// Checks a max-register history (kWrite/kRead records) against the
+/// k-multiplicative-accurate max-register specification. k = 1 ⇒ exact.
+[[nodiscard]] LinCheckResult check_max_register_history(
+    const std::vector<OpRecord>& history, std::uint64_t k);
+
+}  // namespace approx::sim

@@ -1,0 +1,75 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace approx::sim {
+
+Stats Stats::of(std::vector<double> samples) {
+  Stats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  auto percentile = [&](double p) {
+    const auto index = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(index, samples.size() - 1)];
+  };
+  stats.p50 = percentile(0.50);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string Table::num(std::uint64_t value) { return std::to_string(value); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out.width(static_cast<std::streamsize>(widths[c]));
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace approx::sim

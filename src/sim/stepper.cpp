@@ -1,0 +1,124 @@
+#include "sim/stepper.hpp"
+
+#include <cassert>
+#include <thread>
+
+#include "base/step_recorder.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::sim {
+namespace {
+
+// Shared arbiter state. One mutex/condvar pair serializes everything —
+// by design: the whole point is one primitive in flight at a time.
+struct Arbiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<bool> waiting;   // worker is parked at a yield point
+  std::vector<bool> granted;   // worker may take its next step
+  std::vector<bool> done;      // program finished
+  unsigned alive = 0;
+  unsigned in_flight = 0;      // granted but not yet woken/re-parked
+
+  explicit Arbiter(unsigned n)
+      : waiting(n, false), granted(n, false), done(n, false), alive(n) {}
+};
+
+// Per-worker yield hook: parks the thread until the arbiter grants it.
+class WorkerGate final : public base::YieldHook {
+ public:
+  WorkerGate(Arbiter& arbiter, unsigned pid)
+      : arbiter_(arbiter), pid_(pid) {}
+
+  void yield() override {
+    std::unique_lock<std::mutex> lock(arbiter_.mutex);
+    arbiter_.waiting[pid_] = true;
+    arbiter_.cv.notify_all();
+    arbiter_.cv.wait(lock, [&] { return arbiter_.granted[pid_]; });
+    arbiter_.granted[pid_] = false;
+    arbiter_.waiting[pid_] = false;
+    arbiter_.in_flight -= 1;
+    // The worker now executes exactly one primitive (plus local code up
+    // to its next yield point) while every other worker is parked.
+  }
+
+ private:
+  Arbiter& arbiter_;
+  unsigned pid_;
+};
+
+}  // namespace
+
+SchedulePicker StepScheduler::uniform_picker(std::uint64_t seed) {
+  // Shared state captured by value into the picker; the picker is called
+  // from the single arbiter loop, so no synchronization is needed.
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng](const std::vector<unsigned>& runnable) {
+    return runnable[static_cast<std::size_t>(rng->below(runnable.size()))];
+  };
+}
+
+SchedulePicker StepScheduler::starvation_picker(unsigned victim,
+                                                std::uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng, victim](const std::vector<unsigned>& runnable) {
+    std::vector<unsigned> others;
+    others.reserve(runnable.size());
+    for (unsigned pid : runnable) {
+      if (pid != victim) others.push_back(pid);
+    }
+    if (others.empty()) return victim;
+    return others[static_cast<std::size_t>(rng->below(others.size()))];
+  };
+}
+
+void StepScheduler::run(std::vector<std::function<void()>> programs,
+                        const SchedulePicker& picker) {
+  const auto n = static_cast<unsigned>(programs.size());
+  assert(n >= 1);
+  Arbiter arbiter(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned pid = 0; pid < n; ++pid) {
+    workers.emplace_back([&arbiter, pid, program = std::move(programs[pid])] {
+      WorkerGate gate(arbiter, pid);
+      base::ScopedYieldHook install(gate);
+      program();
+      const std::lock_guard<std::mutex> lock(arbiter.mutex);
+      arbiter.done[pid] = true;
+      arbiter.alive -= 1;
+      arbiter.cv.notify_all();
+    });
+  }
+
+  // Arbiter loop: wait until every live worker is parked (so the
+  // previously granted step has completed), then grant one.
+  std::unique_lock<std::mutex> lock(arbiter.mutex);
+  std::vector<unsigned> runnable;
+  for (;;) {
+    arbiter.cv.wait(lock, [&] {
+      if (arbiter.alive == 0) return true;
+      if (arbiter.in_flight != 0) return false;  // a step is executing
+      for (unsigned pid = 0; pid < n; ++pid) {
+        if (!arbiter.done[pid] && !arbiter.waiting[pid]) return false;
+      }
+      return true;
+    });
+    if (arbiter.alive == 0) break;
+    runnable.clear();
+    for (unsigned pid = 0; pid < n; ++pid) {
+      if (arbiter.waiting[pid]) runnable.push_back(pid);
+    }
+    const unsigned chosen = picker(runnable);
+    assert(arbiter.waiting[chosen]);
+    arbiter.granted[chosen] = true;
+    arbiter.in_flight += 1;
+    arbiter.cv.notify_all();
+  }
+  lock.unlock();
+
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace approx::sim

@@ -1,0 +1,64 @@
+// stepper.hpp — deterministic step-level schedule control.
+//
+// The paper's model is an adversarial scheduler interleaving processes at
+// primitive granularity. Real threads only sample a tiny, OS-dependent
+// slice of that schedule space. StepScheduler reconstructs the model
+// inside the process: each "process" is a worker thread that blocks at a
+// yield point immediately before every shared-memory primitive
+// (base::record_step), and a seed-driven arbiter hands out steps one at a
+// time. Consequences:
+//
+//   * executions are *serialized* at primitive granularity — exactly the
+//     interleaving semantics of the model (and trivially seq_cst);
+//   * executions are *deterministic*: same programs + same seed ⇒ the
+//     same interleaving, the same return values, the same history —
+//     failing seeds reproduce;
+//   * schedules can be *shaped*: the picker can be biased (e.g. starve a
+//     reader, stampede writers at one switch) to drive the algorithms
+//     into the corners the proofs care about.
+//
+// This is a testing substrate: it multiplexes logical processes over real
+// threads for faithfulness to the algorithms' blocking-free code, at the
+// price of wall-clock speed (every step is a condvar round-trip). Use it
+// for invariant/linearizability property sweeps, not throughput.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace approx::sim {
+
+/// Picks the next process to step among `runnable` (non-empty, sorted
+/// ascending). Returning a pid not in `runnable` is undefined.
+using SchedulePicker =
+    std::function<unsigned(const std::vector<unsigned>& runnable)>;
+
+/// Runs one program per process under a controlled interleaving.
+class StepScheduler {
+ public:
+  /// Seed-driven uniform picker (the default adversary).
+  static SchedulePicker uniform_picker(std::uint64_t seed);
+
+  /// Picker that starves `victim`: schedules it only when it is the sole
+  /// runnable process (models the weakest fairness the paper's
+  /// wait-freedom claims must survive).
+  static SchedulePicker starvation_picker(unsigned victim,
+                                          std::uint64_t seed);
+
+  /// Executes `programs[pid]()` for every pid, interleaved at primitive
+  /// granularity by `picker`. Blocks until all programs finish.
+  /// Programs must be deterministic for replayability.
+  static void run(std::vector<std::function<void()>> programs,
+                  const SchedulePicker& picker);
+
+  /// Convenience: run with the uniform seeded picker.
+  static void run(std::vector<std::function<void()>> programs,
+                  std::uint64_t seed) {
+    run(std::move(programs), uniform_picker(seed));
+  }
+};
+
+}  // namespace approx::sim

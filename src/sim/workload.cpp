@@ -1,0 +1,127 @@
+#include "sim/workload.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+
+namespace approx::sim {
+
+std::uint64_t Rng::log_uniform(std::uint64_t max_value) noexcept {
+  assert(max_value >= 1);
+  const unsigned max_exp = base::floor_log2(max_value);
+  const unsigned e = static_cast<unsigned>(below(max_exp + 1));
+  const std::uint64_t lo = std::uint64_t{1} << e;
+  const std::uint64_t hi =
+      e == max_exp ? max_value : (std::uint64_t{1} << (e + 1)) - 1;
+  return lo + below(hi - lo + 1);
+}
+
+namespace {
+
+// Shared driver skeleton: spawn threads, barrier-start, aggregate.
+template <typename PerOpFn>
+WorkloadResult drive(const WorkloadConfig& config, PerOpFn&& per_op) {
+  assert(config.num_threads >= 1);
+  WorkloadResult result;
+  std::mutex merge_mutex;
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+
+  auto worker = [&](unsigned pid) {
+    Rng rng(config.seed * 0x100000001B3ull + pid + 1);
+    base::StepRecorder mutate_rec;
+    base::StepRecorder read_rec;
+    std::uint64_t mutations = 0;
+    std::uint64_t reads = 0;
+
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (std::uint64_t i = 0; i < config.ops_per_thread; ++i) {
+      const bool is_read = rng.chance(config.read_fraction);
+      base::ScopedRecording on(is_read ? read_rec : mutate_rec);
+      per_op(pid, is_read, rng);
+      (is_read ? reads : mutations) += 1;
+    }
+
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    result.reads += reads;
+    result.mutate_steps += mutate_rec.total();
+    result.read_steps += read_rec.total();
+    // Caller fixes up increments vs writes (one of them is zero).
+    result.increments += mutations;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.num_threads);
+  for (unsigned pid = 0; pid < config.num_threads; ++pid) {
+    threads.emplace_back(worker, pid);
+  }
+  while (ready.load(std::memory_order_acquire) < config.num_threads) {
+    std::this_thread::yield();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+}  // namespace
+
+WorkloadResult run_counter_workload(ICounter& counter,
+                                    const WorkloadConfig& config,
+                                    HistoryRecorder* history) {
+  assert(history == nullptr || history->num_processes() >= config.num_threads);
+  return drive(config, [&](unsigned pid, bool is_read, Rng&) {
+    if (is_read) {
+      if (history != nullptr) {
+        history->record_read(pid, [&] { return counter.read(pid); });
+      } else {
+        counter.read(pid);
+      }
+    } else {
+      if (history != nullptr) {
+        history->record_increment(pid, [&] { counter.increment(pid); });
+      } else {
+        counter.increment(pid);
+      }
+    }
+  });
+}
+
+WorkloadResult run_max_register_workload(IMaxRegister& reg,
+                                         const WorkloadConfig& config,
+                                         HistoryRecorder* history) {
+  assert(history == nullptr || history->num_processes() >= config.num_threads);
+  WorkloadResult result = drive(config, [&](unsigned pid, bool is_read,
+                                            Rng& rng) {
+    if (is_read) {
+      if (history != nullptr) {
+        history->record_read(pid, [&] { return reg.read(); });
+      } else {
+        reg.read();
+      }
+    } else {
+      const std::uint64_t value = rng.log_uniform(config.max_write_value);
+      if (history != nullptr) {
+        history->record_write(pid, value, [&] { reg.write(value); });
+      } else {
+        reg.write(value);
+      }
+    }
+  });
+  result.writes = result.increments;  // mutations were writes here
+  result.increments = 0;
+  return result;
+}
+
+}  // namespace approx::sim

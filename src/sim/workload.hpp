@@ -1,0 +1,101 @@
+// workload.hpp — deterministic multi-threaded workload driver.
+//
+// Drives a counter or max register from `num_threads` threads (one pid
+// each) with a seeded operation mix, collecting the paper's cost measure
+// (steps, via StepRecorder) alongside wall-clock time, and optionally a
+// full history for the linearizability checkers.
+//
+// Determinism note: per-thread op sequences are seeded and reproducible;
+// the *interleaving* is of course up to the scheduler, which is exactly
+// what the concurrent tests want to vary.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/adapters.hpp"
+#include "sim/history.hpp"
+
+namespace approx::sim {
+
+struct WorkloadConfig {
+  unsigned num_threads = 2;
+  std::uint64_t ops_per_thread = 10000;
+  /// Fraction of operations that are reads (the rest are increments or
+  /// writes). In [0, 1].
+  double read_fraction = 0.1;
+  std::uint64_t seed = 1;
+  /// Max-register workloads: writes draw values log-uniformly from
+  /// [1, max_write_value] so all magnitudes are exercised.
+  std::uint64_t max_write_value = 1u << 20;
+};
+
+struct WorkloadResult {
+  std::uint64_t increments = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t mutate_steps = 0;  // steps spent in increments/writes
+  std::uint64_t read_steps = 0;    // steps spent in reads
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t total_ops() const noexcept {
+    return increments + writes + reads;
+  }
+  [[nodiscard]] std::uint64_t total_steps() const noexcept {
+    return mutate_steps + read_steps;
+  }
+  /// The paper's amortized step complexity: total steps / total ops.
+  [[nodiscard]] double amortized_steps() const noexcept {
+    return total_ops() == 0
+               ? 0.0
+               : static_cast<double>(total_steps()) /
+                     static_cast<double>(total_ops());
+  }
+  [[nodiscard]] double ops_per_second() const noexcept {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(total_ops()) / wall_seconds;
+  }
+};
+
+/// Runs an increment/read mix against `counter` from
+/// `config.num_threads` threads (pid = thread index). If `history` is
+/// non-null it must have been constructed with ≥ num_threads processes.
+WorkloadResult run_counter_workload(ICounter& counter,
+                                    const WorkloadConfig& config,
+                                    HistoryRecorder* history = nullptr);
+
+/// Runs a write/read mix against `reg`; writes draw log-uniform values in
+/// [1, config.max_write_value].
+WorkloadResult run_max_register_workload(IMaxRegister& reg,
+                                         const WorkloadConfig& config,
+                                         HistoryRecorder* history = nullptr);
+
+/// Small deterministic PRNG (xorshift64*) used by the drivers and tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept
+      : state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, bound); bound ≥ 1.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// True with probability p.
+  bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Log-uniform in [1, max_value]: magnitude first, then offset.
+  std::uint64_t log_uniform(std::uint64_t max_value) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace approx::sim

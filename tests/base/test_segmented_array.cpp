@@ -1,0 +1,111 @@
+// Unit tests for the unbounded segmented array (the realization of the
+// paper's infinite switch sequence).
+#include "base/segmented_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "base/test_and_set.hpp"
+
+namespace approx::base {
+namespace {
+
+TEST(SegmentedArray, ElementsDefaultConstructed) {
+  SegmentedArray<std::uint64_t, 16, 64> arr;
+  EXPECT_EQ(arr.at(0), 0u);
+  EXPECT_EQ(arr.at(15), 0u);
+  EXPECT_EQ(arr.at(16), 0u);   // second segment
+  EXPECT_EQ(arr.at(999), 0u);  // far segment
+}
+
+TEST(SegmentedArray, ReferencesAreStable) {
+  SegmentedArray<std::uint64_t, 16, 64> arr;
+  std::uint64_t* first = &arr.at(3);
+  arr.at(500) = 42;  // trigger more allocation
+  EXPECT_EQ(first, &arr.at(3));
+  arr.at(3) = 7;
+  EXPECT_EQ(*first, 7u);
+}
+
+TEST(SegmentedArray, IndependentSlots) {
+  SegmentedArray<std::uint64_t, 8, 64> arr;
+  for (std::uint64_t i = 0; i < 100; ++i) arr.at(i) = i * i;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(arr.at(i), i * i) << i;
+  }
+}
+
+TEST(SegmentedArray, AllocatesLazily) {
+  SegmentedArray<std::uint64_t, 16, 1024> arr;
+  EXPECT_EQ(arr.allocated_segments(), 0u);
+  arr.at(0);
+  EXPECT_EQ(arr.allocated_segments(), 1u);
+  arr.at(5);  // same segment
+  EXPECT_EQ(arr.allocated_segments(), 1u);
+  arr.at(16 * 9);  // segment 9 only; segments in between stay empty
+  EXPECT_EQ(arr.allocated_segments(), 2u);
+}
+
+TEST(SegmentedArray, HoldsNonMovableBaseObjects) {
+  SegmentedArray<TasBit, 32, 64> switches;
+  EXPECT_FALSE(switches.at(40).read());
+  EXPECT_FALSE(switches.at(40).test_and_set());
+  EXPECT_TRUE(switches.at(40).read());
+  EXPECT_FALSE(switches.at(41).read());  // neighbours untouched
+}
+
+// Concurrent first touch of the same segment: exactly one segment must be
+// published, and every thread must end up using it.
+TEST(SegmentedArray, ConcurrentFirstTouchIsSafe) {
+  constexpr int kThreads = 8;
+  for (int round = 0; round < 50; ++round) {
+    SegmentedArray<std::atomic<std::uint64_t>, 64, 16> arr;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {}
+        // Everyone races to allocate segment 0 and bumps a distinct slot.
+        arr.at(static_cast<std::size_t>(t)).fetch_add(1);
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+    ASSERT_EQ(arr.allocated_segments(), 1u);
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(arr.at(static_cast<std::size_t>(t)).load(), 1u);
+    }
+  }
+}
+
+TEST(SegmentedArray, ConcurrentDisjointSegments) {
+  constexpr int kThreads = 6;
+  SegmentedArray<std::uint64_t, 16, 1024> arr;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < 200; ++i) {
+        arr.at(static_cast<std::size_t>(t * 1000 + i)) =
+            static_cast<std::uint64_t>(t + 1);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(arr.at(static_cast<std::size_t>(t * 1000 + i)),
+                static_cast<std::uint64_t>(t + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace approx::base

@@ -1,0 +1,155 @@
+// Unit tests for the step-accounting substrate (the paper's cost model).
+#include "base/step_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "base/register.hpp"
+#include "base/test_and_set.hpp"
+
+namespace approx::base {
+namespace {
+
+TEST(StepRecorder, StartsEmpty) {
+  StepRecorder rec;
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_EQ(rec.reads(), 0u);
+  EXPECT_EQ(rec.writes(), 0u);
+  EXPECT_EQ(rec.test_and_sets(), 0u);
+  EXPECT_EQ(rec.distinct_objects(), 0u);
+}
+
+TEST(StepRecorder, CountsPerKind) {
+  Register<std::uint64_t> reg;
+  TasBit bit;
+  StepRecorder rec;
+  {
+    ScopedRecording on(rec);
+    reg.write(1);
+    reg.write(2);
+    (void)reg.read();
+    (void)bit.test_and_set();
+  }
+  EXPECT_EQ(rec.writes(), 2u);
+  EXPECT_EQ(rec.reads(), 1u);
+  EXPECT_EQ(rec.test_and_sets(), 1u);
+  EXPECT_EQ(rec.total(), 4u);
+}
+
+TEST(StepRecorder, NothingRecordedWithoutInstallation) {
+  Register<std::uint64_t> reg;
+  StepRecorder rec;
+  reg.write(1);  // not installed: must not be charged
+  {
+    ScopedRecording on(rec);
+    (void)reg.read();
+  }
+  reg.write(2);  // uninstalled again
+  EXPECT_EQ(rec.total(), 1u);
+}
+
+TEST(StepRecorder, NestedRecordersDoNotDoubleCharge) {
+  Register<std::uint64_t> reg;
+  StepRecorder outer;
+  StepRecorder inner;
+  {
+    ScopedRecording on_outer(outer);
+    reg.write(1);
+    {
+      ScopedRecording on_inner(inner);
+      reg.write(2);
+      reg.write(3);
+    }
+    reg.write(4);
+  }
+  EXPECT_EQ(outer.total(), 2u);  // writes 1 and 4
+  EXPECT_EQ(inner.total(), 2u);  // writes 2 and 3
+}
+
+TEST(StepRecorder, DistinctObjectTracking) {
+  Register<std::uint64_t> a;
+  Register<std::uint64_t> b;
+  TasBit c;
+  StepRecorder rec(/*track_objects=*/true);
+  {
+    ScopedRecording on(rec);
+    a.write(1);
+    a.write(2);
+    (void)b.read();
+    (void)c.test_and_set();
+    (void)c.read();
+  }
+  EXPECT_EQ(rec.total(), 5u);
+  EXPECT_EQ(rec.distinct_objects(), 3u);
+}
+
+TEST(StepRecorder, DistinctObjectsOffByDefault) {
+  Register<std::uint64_t> a;
+  StepRecorder rec;
+  {
+    ScopedRecording on(rec);
+    a.write(1);
+  }
+  EXPECT_FALSE(rec.tracking_objects());
+  EXPECT_EQ(rec.distinct_objects(), 0u);
+}
+
+TEST(StepRecorder, ResetClearsEverything) {
+  Register<std::uint64_t> a;
+  StepRecorder rec(/*track_objects=*/true);
+  {
+    ScopedRecording on(rec);
+    a.write(1);
+  }
+  rec.reset();
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_EQ(rec.distinct_objects(), 0u);
+}
+
+TEST(StepRecorder, StepsOfHelper) {
+  Register<std::uint64_t> a;
+  const std::uint64_t steps = steps_of([&] {
+    a.write(1);
+    (void)a.read();
+  });
+  EXPECT_EQ(steps, 2u);
+}
+
+TEST(StepRecorder, RecordersAreThreadLocal) {
+  Register<std::uint64_t> reg;
+  StepRecorder main_rec;
+  ScopedRecording on(main_rec);
+
+  std::uint64_t other_total = 0;
+  std::thread other([&] {
+    // No recorder installed on this thread yet: not charged anywhere.
+    reg.write(7);
+    StepRecorder rec;
+    {
+      ScopedRecording inner(rec);
+      (void)reg.read();
+      (void)reg.read();
+    }
+    other_total = rec.total();
+  });
+  other.join();
+
+  EXPECT_EQ(other_total, 2u);
+  EXPECT_EQ(main_rec.total(), 0u);  // nothing leaked across threads
+}
+
+TEST(StepRecorder, PeeksAreNeverCharged) {
+  Register<std::uint64_t> reg(42);
+  TasBit bit;
+  StepRecorder rec;
+  {
+    ScopedRecording on(rec);
+    EXPECT_EQ(reg.peek_unrecorded(), 42u);
+    EXPECT_FALSE(bit.peek_unrecorded());
+  }
+  EXPECT_EQ(rec.total(), 0u);
+}
+
+}  // namespace
+}  // namespace approx::base

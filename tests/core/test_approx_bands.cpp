@@ -1,0 +1,115 @@
+// Unit tests for the approximation-band predicates (core/approx.hpp) —
+// the single source of truth for the paper's accuracy contracts, used by
+// implementations, checkers and tests alike.
+#include "core/approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/kmath.hpp"
+
+namespace approx::core {
+namespace {
+
+TEST(MultBand, ZeroExactValueRequiresZero) {
+  EXPECT_TRUE(within_mult_band(0, 0, 2));
+  EXPECT_FALSE(within_mult_band(1, 0, 2));
+  EXPECT_FALSE(within_mult_band(1, 0, 1000000));
+}
+
+TEST(MultBand, ZeroReadInvalidForPositiveValue) {
+  EXPECT_FALSE(within_mult_band(0, 1, 2));
+  EXPECT_FALSE(within_mult_band(0, 1, base::kU64Max));
+}
+
+TEST(MultBand, ExactIsAlwaysValid) {
+  for (std::uint64_t v : {1u, 2u, 17u, 1000000u}) {
+    for (std::uint64_t k : {1u, 2u, 5u}) {
+      EXPECT_TRUE(within_mult_band(v, v, k)) << v << " " << k;
+    }
+  }
+}
+
+TEST(MultBand, KOneIsExactEquality) {
+  EXPECT_TRUE(within_mult_band(5, 5, 1));
+  EXPECT_FALSE(within_mult_band(4, 5, 1));
+  EXPECT_FALSE(within_mult_band(6, 5, 1));
+}
+
+TEST(MultBand, BoundariesInclusive) {
+  // v = 12, k = 3: valid x ∈ [4, 36].
+  EXPECT_TRUE(within_mult_band(4, 12, 3));
+  EXPECT_TRUE(within_mult_band(36, 12, 3));
+  EXPECT_FALSE(within_mult_band(3, 12, 3));
+  EXPECT_FALSE(within_mult_band(37, 12, 3));
+}
+
+TEST(MultBand, RationalLowerBoundNotIntegerTruncated) {
+  // v = 10, k = 3: v/k = 3.33…, so x = 3 is INVALID even though
+  // 10/3 = 3 in integer division. The predicate must use x·k ≥ v.
+  EXPECT_FALSE(within_mult_band(3, 10, 3));
+  EXPECT_TRUE(within_mult_band(4, 10, 3));
+}
+
+TEST(MultBand, NearOverflowSaturationErrsTowardAcceptance) {
+  // Saturation only widens the band at the extreme top of the domain.
+  EXPECT_TRUE(within_mult_band(base::kU64Max, base::kU64Max, 2));
+  // ⌊max/2⌋·2 = max−1 < max: genuinely below v/k (the band is rational,
+  // not integer-truncated) — must be rejected even near the domain top.
+  EXPECT_FALSE(within_mult_band(base::kU64Max / 2, base::kU64Max, 2));
+  // The true lower edge ⌈max/2⌉ is accepted.
+  EXPECT_TRUE(
+      within_mult_band(base::kU64Max / 2 + 1, base::kU64Max, 2));
+}
+
+TEST(MultBandWindow, VMinIsCeilDivision) {
+  EXPECT_EQ(mult_band_v_min(10, 3), 4u);   // ⌈10/3⌉
+  EXPECT_EQ(mult_band_v_min(9, 3), 3u);
+  EXPECT_EQ(mult_band_v_min(0, 3), 0u);
+  EXPECT_EQ(mult_band_v_min(base::kU64Max, 2), base::kU64Max / 2 + 1);
+}
+
+TEST(MultBandWindow, VMaxSaturates) {
+  EXPECT_EQ(mult_band_v_max(10, 3), 30u);
+  EXPECT_EQ(mult_band_v_max(base::kU64Max, 2), base::kU64Max);
+}
+
+TEST(MultBandWindow, WindowConsistentWithPredicate) {
+  // x is valid for v iff v ∈ [v_min(x), v_max(x)] — cross-check on a grid.
+  for (std::uint64_t k : {2u, 3u, 7u}) {
+    for (std::uint64_t x = 0; x <= 60; ++x) {
+      for (std::uint64_t v = 0; v <= 60; ++v) {
+        const bool by_predicate = within_mult_band(x, v, k);
+        const bool by_window =
+            v >= mult_band_v_min(x, k) && v <= mult_band_v_max(x, k) &&
+            (v != 0 || x == 0) && (x != 0 || v == 0);
+        EXPECT_EQ(by_predicate, by_window)
+            << "x=" << x << " v=" << v << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(AddBand, Basics) {
+  EXPECT_TRUE(within_add_band(5, 5, 0));
+  EXPECT_FALSE(within_add_band(4, 5, 0));
+  EXPECT_TRUE(within_add_band(3, 5, 2));
+  EXPECT_TRUE(within_add_band(7, 5, 2));
+  EXPECT_FALSE(within_add_band(2, 5, 2));
+  EXPECT_FALSE(within_add_band(8, 5, 2));
+}
+
+TEST(AddBand, ZeroCases) {
+  EXPECT_TRUE(within_add_band(0, 0, 0));
+  EXPECT_TRUE(within_add_band(0, 3, 3));
+  EXPECT_FALSE(within_add_band(0, 4, 3));
+  EXPECT_TRUE(within_add_band(3, 0, 3));
+}
+
+TEST(AddBand, SaturationAtDomainTop) {
+  EXPECT_TRUE(within_add_band(base::kU64Max, base::kU64Max, 1));
+  EXPECT_TRUE(within_add_band(base::kU64Max - 1, base::kU64Max, 1));
+  EXPECT_FALSE(within_add_band(base::kU64Max - 2, base::kU64Max, 1));
+}
+
+}  // namespace
+}  // namespace approx::core

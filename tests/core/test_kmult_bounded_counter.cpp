@@ -1,0 +1,97 @@
+// Tests for the m-bounded k-multiplicative counter (the object of
+// Theorem V.4 / Lemma V.3, with the read matching the lower bound up to
+// an additive log₂ k).
+#include "core/kmult_bounded_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+#include "core/approx.hpp"
+
+namespace approx::core {
+namespace {
+
+TEST(BoundedCounter, ZeroBeforeAnyIncrement) {
+  KMultBoundedCounter counter(4, 2, 1000);
+  EXPECT_EQ(counter.read(0), 0u);
+  EXPECT_EQ(counter.read_amortized(0), 0u);
+}
+
+TEST(BoundedCounter, Accessors) {
+  KMultBoundedCounter counter(9, 3, 1 << 20);
+  EXPECT_EQ(counter.num_processes(), 9u);
+  EXPECT_EQ(counter.k(), 3u);
+  EXPECT_EQ(counter.m(), std::uint64_t{1} << 20);
+  EXPECT_TRUE(counter.accuracy_guaranteed());
+}
+
+TEST(BoundedCounter, MaxSwitchIndexFormula) {
+  // k = 2, m = 1024: singles 0..2 plus intervals for each power of 2 up
+  // to 2^10 ⇒ index ≤ 3 + 2·11 = 25.
+  KMultBoundedCounter counter(4, 2, 1024);
+  EXPECT_EQ(counter.max_switch_index(), 3u + 2 * 11);
+}
+
+class BoundedCounterSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(BoundedCounterSweep, EveryPrefixBandedUpToM) {
+  const auto [n, k] = GetParam();
+  const std::uint64_t m = 20'000;
+  KMultBoundedCounter counter(n, k, m);
+  if (!counter.accuracy_guaranteed()) GTEST_SKIP();
+  for (std::uint64_t v = 1; v <= m; ++v) {
+    counter.increment(static_cast<unsigned>(v % n));
+    if (v % 23 == 0 || v < 50) {
+      const std::uint64_t x = counter.read(static_cast<unsigned>(v % n));
+      ASSERT_TRUE(within_mult_band(x, v, k))
+          << "n=" << n << " k=" << k << " v=" << v << " x=" << x;
+      const std::uint64_t xa =
+          counter.read_amortized(static_cast<unsigned>(v % n));
+      ASSERT_TRUE(within_mult_band(xa, v, k))
+          << "n=" << n << " k=" << k << " v=" << v << " xa=" << xa;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundedCounterSweep,
+    ::testing::Combine(::testing::Values(1u, 4u, 9u),
+                       ::testing::Values<std::uint64_t>(2, 3, 4, 8)));
+
+TEST(BoundedCounter, ReadWorstCaseIsDoublyLogarithmicInM) {
+  // Theorem V.4's regime: after all m increments, the read must cost
+  // O(log₂ k + log₂ log_k m) steps, NOT Θ(log_k m).
+  for (const std::uint64_t m : {std::uint64_t{1} << 10, std::uint64_t{1} << 16,
+                                std::uint64_t{1} << 22}) {
+    constexpr unsigned kN = 4;
+    const std::uint64_t k = 2;
+    KMultBoundedCounter counter(kN, k, m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      counter.increment(static_cast<unsigned>(i % kN));
+    }
+    const std::uint64_t bound =
+        2 * base::ceil_log2(counter.max_switch_index()) + 5;
+    const std::uint64_t steps =
+        base::steps_of([&] { (void)counter.read(0); });
+    EXPECT_LE(steps, bound) << "m=" << m;
+  }
+}
+
+TEST(BoundedCounter, SaturatedReadStillBanded) {
+  constexpr unsigned kN = 2;
+  const std::uint64_t k = 2;
+  const std::uint64_t m = 5'000;
+  KMultBoundedCounter counter(kN, k, m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    counter.increment(static_cast<unsigned>(i % kN));
+  }
+  EXPECT_TRUE(within_mult_band(counter.read(0), m, k));
+  EXPECT_TRUE(within_mult_band(counter.read(1), m, k));
+}
+
+}  // namespace
+}  // namespace approx::core

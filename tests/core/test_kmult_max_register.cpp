@@ -1,0 +1,268 @@
+// Tests for Algorithm 2 (bounded k-multiplicative max register) and the
+// unbounded plug-in.
+#include "core/kmult_max_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+#include "core/approx.hpp"
+#include "core/kmult_unbounded_max_register.hpp"
+#include "exact/bounded_max_register.hpp"
+#include "sim/history.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::core {
+namespace {
+
+TEST(KMultMaxRegister, InitiallyZero) {
+  KMultMaxRegister reg(1 << 10, 2);
+  EXPECT_EQ(reg.read(), 0u);
+}
+
+TEST(KMultMaxRegister, WriteZeroIsNoOp) {
+  KMultMaxRegister reg(1 << 10, 2);
+  reg.write(0);
+  EXPECT_EQ(reg.read(), 0u);
+}
+
+TEST(KMultMaxRegister, ReadIsKToThePower) {
+  KMultMaxRegister reg(1000, 3);
+  reg.write(1);   // p = ⌊log₃1⌋+1 = 1
+  EXPECT_EQ(reg.read(), 3u);
+  reg.write(2);   // still p = 1
+  EXPECT_EQ(reg.read(), 3u);
+  reg.write(3);   // p = 2
+  EXPECT_EQ(reg.read(), 9u);
+  reg.write(26);  // p = 3 (27 > 26 ⇒ ⌊log₃26⌋ = 2)
+  EXPECT_EQ(reg.read(), 27u);
+  reg.write(27);  // p = 4
+  EXPECT_EQ(reg.read(), 81u);
+}
+
+// The algorithm's band is one-sided: v ≤ read() ≤ v·k (stronger than the
+// two-sided spec). Check exhaustively for small m and several k.
+TEST(KMultMaxRegister, OneSidedBandExhaustive) {
+  for (std::uint64_t k : {2u, 3u, 4u, 7u}) {
+    const std::uint64_t m = 600;
+    for (std::uint64_t v = 1; v < m; ++v) {
+      KMultMaxRegister reg(m, k);
+      reg.write(v);
+      const std::uint64_t x = reg.read();
+      ASSERT_GE(x, v) << "k=" << k << " v=" << v;
+      ASSERT_LE(x, base::sat_mul(v, k)) << "k=" << k << " v=" << v;
+      ASSERT_TRUE(within_mult_band(x, v, k));
+    }
+  }
+}
+
+TEST(KMultMaxRegister, TracksMaximumNotLatest) {
+  KMultMaxRegister reg(1 << 16, 2);
+  reg.write(5000);
+  reg.write(3);  // smaller: read must not regress
+  const std::uint64_t x = reg.read();
+  EXPECT_TRUE(within_mult_band(x, 5000, 2)) << x;
+}
+
+TEST(KMultMaxRegister, RandomSequencesStayInBand) {
+  sim::Rng rng(0xAB);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t k = 2 + rng.below(6);
+    const std::uint64_t m = 16 + rng.below(1u << 20);
+    KMultMaxRegister reg(m, k);
+    std::uint64_t true_max = 0;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v = rng.below(m);
+      reg.write(v);
+      true_max = std::max(true_max, v);
+      const std::uint64_t x = reg.read();
+      ASSERT_TRUE(within_mult_band(x, true_max, k))
+          << "k=" << k << " m=" << m << " max=" << true_max << " x=" << x;
+    }
+  }
+}
+
+TEST(KMultMaxRegister, ReadsAreMonotone) {
+  KMultMaxRegister reg(1 << 20, 3);
+  sim::Rng rng(5);
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 400; ++i) {
+    reg.write(rng.below(1 << 20));
+    const std::uint64_t x = reg.read();
+    ASSERT_GE(x, previous);
+    previous = x;
+  }
+}
+
+TEST(KMultMaxRegister, BoundaryValues) {
+  const std::uint64_t m = 1 << 12;
+  KMultMaxRegister reg(m, 2);
+  reg.write(m - 1);  // largest writable value
+  const std::uint64_t x = reg.read();
+  EXPECT_TRUE(within_mult_band(x, m - 1, 2)) << x;
+}
+
+// Theorem IV.2: worst-case step complexity O(log₂ log_k m) — doubly
+// logarithmic, exponentially better than the exact register's Θ(log₂ m).
+TEST(KMultMaxRegister, StepComplexityDoublyLogarithmic) {
+  for (std::uint64_t log2m : {16u, 32u, 60u}) {
+    const std::uint64_t m = std::uint64_t{1} << log2m;
+    const std::uint64_t k = 2;
+    KMultMaxRegister reg(m, k);
+    // Index register holds ⌊log₂(m−1)⌋+2 ≈ log2m values ⇒ depth ≈
+    // ⌈log₂ log₂ m⌉. Every op ≤ depth+1 steps.
+    const std::uint64_t bound = base::ceil_log2(log2m + 2) + 1;
+    reg.write(m - 1);  // deepest possible path
+    const std::uint64_t write_steps =
+        base::steps_of([&] { reg.write(m - 1); });
+    const std::uint64_t read_steps = base::steps_of([&] { (void)reg.read(); });
+    EXPECT_LE(write_steps, bound) << "m=2^" << log2m;
+    EXPECT_LE(read_steps, bound) << "m=2^" << log2m;
+  }
+}
+
+TEST(KMultMaxRegister, ExponentialImprovementOverExact) {
+  // The headline separation: for m = 2^60, exact reads walk ~60 levels,
+  // approximate reads walk ~⌈log₂ 62⌉ = 6.
+  const std::uint64_t m = std::uint64_t{1} << 60;
+  exact::BoundedMaxRegister exact_reg(m);
+  KMultMaxRegister approx_reg(m, 2);
+  exact_reg.write(m - 1);
+  approx_reg.write(m - 1);
+  const std::uint64_t exact_steps =
+      base::steps_of([&] { (void)exact_reg.read(); });
+  const std::uint64_t approx_steps =
+      base::steps_of([&] { (void)approx_reg.read(); });
+  EXPECT_GE(exact_steps, 60u);
+  EXPECT_LE(approx_steps, 7u);
+}
+
+TEST(KMultMaxRegister, ConcurrentHistoryPassesChecker) {
+  constexpr unsigned kThreads = 4;
+  const std::uint64_t k = 3;
+  const std::uint64_t m = 1 << 18;
+  KMultMaxRegister reg(m, k);
+  sim::HistoryRecorder history(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid + 31);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < 1500; ++i) {
+        if (rng.chance(0.4)) {
+          history.record_read(pid, [&] { return reg.read(); });
+        } else {
+          const std::uint64_t v = 1 + rng.below(m - 1);
+          history.record_write(pid, v, [&] { reg.write(v); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto result = sim::check_max_register_history(history.merged(), k);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// Parameterized sweep: (m, k) grid, write sequences against the band.
+class KMultMaxRegisterSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(KMultMaxRegisterSweep, QuiescentBand) {
+  const auto [m, k] = GetParam();
+  KMultMaxRegister reg(m, k);
+  sim::Rng rng(m * 7 + k);
+  std::uint64_t true_max = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.below(m);
+    reg.write(v);
+    true_max = std::max(true_max, v);
+  }
+  EXPECT_TRUE(within_mult_band(reg.read(), true_max, k))
+      << "m=" << m << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KMultMaxRegisterSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 16, 1000, 1u << 20,
+                                                        std::uint64_t{1} << 40),
+                       ::testing::Values<std::uint64_t>(2, 3, 10, 100)));
+
+// ----------------------------------------------------------------------
+// Unbounded plug-in
+// ----------------------------------------------------------------------
+
+TEST(KMultUnboundedMaxRegister, InitiallyZero) {
+  KMultUnboundedMaxRegister reg(2);
+  EXPECT_EQ(reg.read(), 0u);
+}
+
+TEST(KMultUnboundedMaxRegister, BandOverFullDomain) {
+  KMultUnboundedMaxRegister reg(2);
+  std::uint64_t true_max = 0;
+  sim::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.log_uniform(base::kU64Max / 2);
+    reg.write(v);
+    true_max = std::max(true_max, v);
+    ASSERT_TRUE(within_mult_band(reg.read(), true_max, 2))
+        << "max=" << true_max << " read=" << reg.read();
+  }
+}
+
+TEST(KMultUnboundedMaxRegister, SaturationStaysInBand) {
+  KMultUnboundedMaxRegister reg(3);
+  reg.write(base::kU64Max);
+  const std::uint64_t x = reg.read();
+  EXPECT_TRUE(within_mult_band(x, base::kU64Max, 3)) << x;
+}
+
+TEST(KMultUnboundedMaxRegister, SubLogarithmicSteps) {
+  // Claimed property: sub-logarithmic in the value domain. The exponent
+  // register has ≤ 66 values ⇒ ≤ ⌈log₂66⌉+1 = 8 steps per op.
+  KMultUnboundedMaxRegister reg(2);
+  reg.write(std::uint64_t{1} << 62);
+  EXPECT_LE(base::steps_of([&] { (void)reg.read(); }), 8u);
+  EXPECT_LE(base::steps_of([&] { reg.write(base::kU64Max); }), 8u);
+}
+
+TEST(KMultUnboundedMaxRegister, ConcurrentHistoryPassesChecker) {
+  constexpr unsigned kThreads = 4;
+  const std::uint64_t k = 2;
+  KMultUnboundedMaxRegister reg(k);
+  sim::HistoryRecorder history(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid + 77);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < 1500; ++i) {
+        if (rng.chance(0.4)) {
+          history.record_read(pid, [&] { return reg.read(); });
+        } else {
+          const std::uint64_t v = rng.log_uniform(std::uint64_t{1} << 50);
+          history.record_write(pid, v, [&] { reg.write(v); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto result = sim::check_max_register_history(history.merged(), k);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+}  // namespace
+}  // namespace approx::core

@@ -1,0 +1,142 @@
+// Tests for the binary-search read extension (KMultCounterCorrected::
+// read_fast) — the engineering answer to the paper's §VI open question
+// on worst-case bounded-counter reads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+#include "core/approx.hpp"
+#include "core/kmult_counter_corrected.hpp"
+#include "sim/history.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/stepper.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::core {
+namespace {
+
+TEST(ReadFast, ZeroBeforeAnyIncrement) {
+  KMultCounterCorrected counter(4, 2);
+  EXPECT_EQ(counter.read_fast(0), 0u);
+}
+
+TEST(ReadFast, AgreesWithLinearReadAtQuiescence) {
+  // At quiescence read_fast decodes the exact prefix boundary, which is
+  // at least as precise as the linear read's first/last-of-interval stop;
+  // both must be within the band and read_fast must never be below
+  // the linear value (it decodes a switch ≥ the linear stop position).
+  KMultCounterCorrected counter(4, 2);
+  for (std::uint64_t v = 1; v <= 4000; ++v) {
+    counter.increment(static_cast<unsigned>(v % 4));
+    if (v % 7 == 0) {
+      const std::uint64_t fast = counter.read_fast(0);
+      const std::uint64_t linear = counter.read(1);
+      ASSERT_TRUE(within_mult_band(fast, v, 2)) << "v=" << v;
+      ASSERT_TRUE(within_mult_band(linear, v, 2)) << "v=" << v;
+      ASSERT_GE(fast, linear) << "v=" << v;
+    }
+  }
+}
+
+TEST(ReadFast, EveryPrefixBanded) {
+  for (const std::uint64_t k : {2u, 3u, 5u}) {
+    KMultCounterCorrected counter(1, k);
+    for (std::uint64_t v = 1; v <= 3000; ++v) {
+      counter.increment(0);
+      const std::uint64_t x = counter.read_fast(0);
+      ASSERT_TRUE(within_mult_band(x, v, k)) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(ReadFast, StepComplexityIsLogarithmicInBoundary) {
+  // A cold linear read scans ~2 positions per interval; read_fast probes
+  // O(log2 S) switches. Drive the prefix far out and compare.
+  constexpr unsigned kN = 4;
+  const std::uint64_t k = 2;
+  KMultCounterCorrected counter(kN, k);
+  for (std::uint64_t i = 0; i < 3'000'000; ++i) {
+    counter.increment(static_cast<unsigned>(i % kN));
+  }
+  const std::uint64_t boundary = counter.first_unset_switch_unrecorded();
+  ASSERT_GT(boundary, 8u);  // the workload must have set many switches
+  const std::uint64_t fast_steps =
+      base::steps_of([&] { (void)counter.read_fast(0); });
+  // Doubling ≤ log2(S)+2 probes, binary search ≤ log2(S), verify = 2.
+  EXPECT_LE(fast_steps, 2 * base::ceil_log2(boundary + 2) + 5);
+}
+
+TEST(ReadFast, WaitFreeUnderContinuousIncrements) {
+  constexpr unsigned kN = 4;
+  KMultCounterCorrected counter(kN, 2);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> started{0};
+  std::atomic<std::uint64_t> finished{0};
+  std::vector<std::thread> incrementers;
+  for (unsigned pid = 0; pid + 1 < kN; ++pid) {
+    incrementers.emplace_back([&, pid] {
+      while (!stop.load(std::memory_order_acquire)) {
+        started.fetch_add(1, std::memory_order_relaxed);
+        counter.increment(pid);
+        finished.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t before = finished.load(std::memory_order_relaxed);
+    const std::uint64_t x = counter.read_fast(kN - 1);
+    const std::uint64_t after = started.load(std::memory_order_relaxed);
+    const std::uint64_t v_lo = core::mult_band_v_min(x, counter.k());
+    const std::uint64_t v_hi = core::mult_band_v_max(x, counter.k());
+    ASSERT_LE(v_lo, after) << "read " << x << " too large for window";
+    ASSERT_GE(v_hi, before) << "read " << x << " too small for window";
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : incrementers) thread.join();
+}
+
+// Mixed linear/fast readers under controlled adversarial schedules:
+// the combined history must still satisfy k-multiplicative
+// linearizability (fast reads decode sharper positions than linear
+// reads; monotone consistency between the two styles is the risk).
+class ReadFastScheduleSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReadFastScheduleSweep, MixedReaderHistoryChecks) {
+  const std::uint64_t seed = GetParam();
+  constexpr unsigned kN = 4;
+  const std::uint64_t k = 2;
+  KMultCounterCorrected counter(kN, k);
+  sim::HistoryRecorder history(kN);
+  std::vector<std::function<void()>> programs;
+  for (unsigned pid = 0; pid < kN; ++pid) {
+    programs.emplace_back([&, pid] {
+      sim::Rng rng(seed * 97 + pid);
+      for (int i = 0; i < 40; ++i) {
+        const double roll =
+            static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+        if (roll < 0.2) {
+          history.record_read(pid, [&] { return counter.read(pid); });
+        } else if (roll < 0.4) {
+          history.record_read(pid, [&] { return counter.read_fast(pid); });
+        } else {
+          history.record_increment(pid, [&] { counter.increment(pid); });
+        }
+      }
+    });
+  }
+  sim::StepScheduler::run(std::move(programs), seed);
+  const auto result = sim::check_counter_history(history.merged(), k);
+  ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadFastScheduleSweep,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace approx::core

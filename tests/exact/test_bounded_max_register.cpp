@@ -1,0 +1,205 @@
+// Tests for the AACH m-bounded exact max register — the substrate of the
+// paper's Algorithm 2 and of the exact-counter baseline.
+#include "exact/bounded_max_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+#include "sim/history.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::exact {
+namespace {
+
+TEST(BoundedMaxRegister, InitiallyZero) {
+  BoundedMaxRegister reg(64);
+  EXPECT_EQ(reg.read(), 0u);
+}
+
+TEST(BoundedMaxRegister, SingleWrite) {
+  BoundedMaxRegister reg(64);
+  reg.write(17);
+  EXPECT_EQ(reg.read(), 17u);
+}
+
+TEST(BoundedMaxRegister, KeepsMaximum) {
+  BoundedMaxRegister reg(64);
+  reg.write(5);
+  reg.write(40);
+  reg.write(12);  // smaller: must not regress
+  EXPECT_EQ(reg.read(), 40u);
+  reg.write(63);
+  EXPECT_EQ(reg.read(), 63u);
+}
+
+TEST(BoundedMaxRegister, WriteZeroIsNoOp) {
+  BoundedMaxRegister reg(8);
+  reg.write(0);
+  EXPECT_EQ(reg.read(), 0u);
+  reg.write(3);
+  reg.write(0);
+  EXPECT_EQ(reg.read(), 3u);
+}
+
+TEST(BoundedMaxRegister, CapacityOneHoldsOnlyZero) {
+  BoundedMaxRegister reg(1);
+  EXPECT_EQ(reg.read(), 0u);
+  reg.write(0);
+  EXPECT_EQ(reg.read(), 0u);
+  EXPECT_EQ(reg.depth(), 0u);
+}
+
+TEST(BoundedMaxRegister, CapacityTwoIsABit) {
+  BoundedMaxRegister reg(2);
+  EXPECT_EQ(reg.read(), 0u);
+  reg.write(1);
+  EXPECT_EQ(reg.read(), 1u);
+  reg.write(0);
+  EXPECT_EQ(reg.read(), 1u);
+}
+
+// Exhaustive sequential check over every (capacity, write-pair) for small
+// capacities, against a trivial reference maximum.
+TEST(BoundedMaxRegister, ExhaustiveSmallSequences) {
+  for (std::uint64_t cap = 2; cap <= 18; ++cap) {
+    for (std::uint64_t a = 0; a < cap; ++a) {
+      for (std::uint64_t b = 0; b < cap; ++b) {
+        BoundedMaxRegister reg(cap);
+        reg.write(a);
+        reg.write(b);
+        ASSERT_EQ(reg.read(), std::max(a, b))
+            << "cap=" << cap << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(BoundedMaxRegister, RandomSequencesAgainstReference) {
+  sim::Rng rng(0xB0); // deterministic
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t cap = 2 + rng.below(4000);
+    BoundedMaxRegister reg(cap);
+    std::uint64_t reference = 0;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v = rng.below(cap);
+      reg.write(v);
+      reference = std::max(reference, v);
+      ASSERT_EQ(reg.read(), reference) << "cap=" << cap;
+    }
+  }
+}
+
+TEST(BoundedMaxRegister, ReadsAreMonotone) {
+  BoundedMaxRegister reg(1024);
+  std::uint64_t previous = 0;
+  sim::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    reg.write(rng.below(1024));
+    const std::uint64_t now = reg.read();
+    ASSERT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(BoundedMaxRegister, DepthMatchesCeilLog2) {
+  EXPECT_EQ(BoundedMaxRegister(2).depth(), 1u);
+  EXPECT_EQ(BoundedMaxRegister(3).depth(), 2u);
+  EXPECT_EQ(BoundedMaxRegister(4).depth(), 2u);
+  EXPECT_EQ(BoundedMaxRegister(1000).depth(), 10u);
+  EXPECT_EQ(BoundedMaxRegister(std::uint64_t{1} << 40).depth(), 40u);
+}
+
+// The paper-critical property: O(log m) worst-case *step* complexity.
+TEST(BoundedMaxRegister, StepComplexityIsLogarithmic) {
+  for (std::uint64_t cap : {4u, 64u, 1024u, 1u << 20}) {
+    BoundedMaxRegister reg(cap);
+    const unsigned depth = reg.depth();
+    sim::Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t v = rng.below(cap);
+      const std::uint64_t write_steps =
+          base::steps_of([&] { reg.write(v); });
+      const std::uint64_t read_steps = base::steps_of([&] { (void)reg.read(); });
+      // One primitive per level, plus the base-case bit.
+      ASSERT_LE(write_steps, depth + 1) << "cap=" << cap;
+      ASSERT_LE(read_steps, depth + 1) << "cap=" << cap;
+      ASSERT_GE(read_steps, 1u);
+    }
+  }
+}
+
+// A register with astronomically large capacity must be cheap to create
+// (lazy tree) and still correct near its bound.
+TEST(BoundedMaxRegister, HugeCapacityLazyAllocation) {
+  const std::uint64_t cap = std::uint64_t{1} << 62;
+  BoundedMaxRegister reg(cap);
+  EXPECT_EQ(reg.read(), 0u);
+  reg.write(cap - 1);
+  EXPECT_EQ(reg.read(), cap - 1);
+  reg.write(cap / 2);
+  EXPECT_EQ(reg.read(), cap - 1);
+}
+
+// Concurrent stress: writers + readers, then exact (k = 1) linearizability
+// check on the recorded history.
+TEST(BoundedMaxRegister, ConcurrentHistoryIsLinearizable) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kOpsPerThread = 800;
+  BoundedMaxRegister reg(1 << 16);
+  sim::HistoryRecorder history(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid + 99);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.chance(0.4)) {
+          history.record_read(pid, [&] { return reg.read(); });
+        } else {
+          const std::uint64_t v = rng.below(1 << 16);
+          history.record_write(pid, v, [&] { reg.write(v); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto result = sim::check_max_register_history(history.merged(), 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// Parameterized sweep: capacity × write-count grid, sequential reference.
+class BoundedMaxRegisterSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(BoundedMaxRegisterSweep, MatchesReference) {
+  const auto [cap, writes] = GetParam();
+  BoundedMaxRegister reg(cap);
+  sim::Rng rng(cap * 31 + static_cast<std::uint64_t>(writes));
+  std::uint64_t reference = 0;
+  for (int i = 0; i < writes; ++i) {
+    const std::uint64_t v = rng.below(cap);
+    reg.write(v);
+    reference = std::max(reference, v);
+  }
+  EXPECT_EQ(reg.read(), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityGrid, BoundedMaxRegisterSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3, 5, 8, 100, 4096,
+                                                        1u << 20),
+                       ::testing::Values(1, 7, 64, 500)));
+
+}  // namespace
+}  // namespace approx::exact

@@ -1,0 +1,208 @@
+// Tests for the exact-counter baselines: collect, AACH (monotone
+// circuits) and fetch&add.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "base/step_recorder.hpp"
+#include "exact/aach_counter.hpp"
+#include "exact/collect_counter.hpp"
+#include "exact/fetch_add_counter.hpp"
+#include "sim/history.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::exact {
+namespace {
+
+// ----------------------------------------------------------------------
+// CollectCounter
+// ----------------------------------------------------------------------
+
+TEST(CollectCounter, SequentialExactness) {
+  CollectCounter counter(4);
+  EXPECT_EQ(counter.read(), 0u);
+  counter.increment(0);
+  counter.increment(3);
+  counter.increment(3);
+  EXPECT_EQ(counter.read(), 3u);
+}
+
+TEST(CollectCounter, SingleProcess) {
+  CollectCounter counter(1);
+  for (int i = 0; i < 100; ++i) counter.increment(0);
+  EXPECT_EQ(counter.read(), 100u);
+}
+
+TEST(CollectCounter, StepComplexityProfile) {
+  constexpr unsigned kN = 8;
+  CollectCounter counter(kN);
+  // Increment: exactly one write step (the paper's O(1) increment).
+  const std::uint64_t inc_steps =
+      base::steps_of([&] { counter.increment(2); });
+  EXPECT_EQ(inc_steps, 1u);
+  // Read: exactly n read steps (the Θ(n) exact read the paper contrasts).
+  const std::uint64_t read_steps = base::steps_of([&] { (void)counter.read(); });
+  EXPECT_EQ(read_steps, kN);
+}
+
+TEST(CollectCounter, ConcurrentExactLinearizable) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kOps = 2000;
+  CollectCounter counter(kThreads);
+  sim::HistoryRecorder history(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid + 11);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.chance(0.25)) {
+          history.record_read(pid, [&] { return counter.read(); });
+        } else {
+          history.record_increment(pid, [&] { counter.increment(pid); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto result = sim::check_counter_history(history.merged(), 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// ----------------------------------------------------------------------
+// AachCounter
+// ----------------------------------------------------------------------
+
+TEST(AachCounter, SequentialExactness) {
+  AachCounter counter(4);
+  EXPECT_EQ(counter.read(), 0u);
+  counter.increment(0);
+  counter.increment(1);
+  counter.increment(2);
+  counter.increment(3);
+  counter.increment(0);
+  EXPECT_EQ(counter.read(), 5u);
+}
+
+TEST(AachCounter, SingleProcess) {
+  AachCounter counter(1);
+  for (int i = 0; i < 50; ++i) counter.increment(0);
+  EXPECT_EQ(counter.read(), 50u);
+}
+
+TEST(AachCounter, NonPowerOfTwoProcesses) {
+  AachCounter counter(5);
+  for (unsigned pid = 0; pid < 5; ++pid) {
+    for (int i = 0; i <= static_cast<int>(pid); ++i) counter.increment(pid);
+  }
+  EXPECT_EQ(counter.read(), 1u + 2 + 3 + 4 + 5);
+}
+
+// Reads are O(log v): far below n once n is large.
+TEST(AachCounter, ReadStepsPolylogarithmic) {
+  constexpr unsigned kN = 64;
+  AachCounter counter(kN);
+  for (int i = 0; i < 100; ++i) counter.increment(i % kN);
+  const std::uint64_t read_steps = base::steps_of([&] { (void)counter.read(); });
+  // Root max register read: O(log v) with v = 100 — nowhere near n = 64
+  // shared objects, and specifically ≤ 2·log₂(v)+10 slack.
+  EXPECT_LE(read_steps, 25u);
+}
+
+TEST(AachCounter, ConcurrentExactLinearizable) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kOps = 600;
+  AachCounter counter(kThreads);
+  sim::HistoryRecorder history(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid + 21);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.chance(0.3)) {
+          history.record_read(pid, [&] { return counter.read(); });
+        } else {
+          history.record_increment(pid, [&] { counter.increment(pid); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto result = sim::check_counter_history(history.merged(), 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+
+  std::uint64_t increments = 0;
+  for (const auto& record : history.merged()) {
+    if (record.type == sim::OpType::kIncrement) ++increments;
+  }
+  EXPECT_EQ(counter.read(), increments);
+}
+
+// ----------------------------------------------------------------------
+// FetchAddCounter
+// ----------------------------------------------------------------------
+
+TEST(FetchAddCounter, SequentialExactness) {
+  FetchAddCounter counter;
+  EXPECT_EQ(counter.read(), 0u);
+  for (int i = 0; i < 10; ++i) counter.increment();
+  EXPECT_EQ(counter.read(), 10u);
+}
+
+TEST(FetchAddCounter, ConcurrentExactTotal) {
+  constexpr unsigned kThreads = 6;
+  constexpr int kOps = 5000;
+  FetchAddCounter counter;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kOps; ++i) counter.increment();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.read(), static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// Parameterized cross-implementation agreement: all exact counters agree
+// on quiescent values under identical sequential schedules.
+class ExactCounterAgreement
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(ExactCounterAgreement, QuiescentAgreement) {
+  const auto [n, ops] = GetParam();
+  CollectCounter collect(n);
+  AachCounter aach(n);
+  FetchAddCounter fa;
+  sim::Rng rng(n * 1000 + static_cast<unsigned>(ops));
+  for (int i = 0; i < ops; ++i) {
+    const unsigned pid = static_cast<unsigned>(rng.below(n));
+    collect.increment(pid);
+    aach.increment(pid);
+    fa.increment();
+  }
+  EXPECT_EQ(collect.read(), static_cast<std::uint64_t>(ops));
+  EXPECT_EQ(aach.read(), static_cast<std::uint64_t>(ops));
+  EXPECT_EQ(fa.read(), static_cast<std::uint64_t>(ops));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExactCounterAgreement,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 8u, 17u),
+                       ::testing::Values(0, 1, 100, 1000)));
+
+}  // namespace
+}  // namespace approx::exact

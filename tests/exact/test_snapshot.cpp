@@ -1,0 +1,157 @@
+// Tests for the Afek et al. atomic snapshot and the snapshot counter.
+#include "exact/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exact/snapshot_counter.hpp"
+#include "sim/history.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::exact {
+namespace {
+
+TEST(Snapshot, InitialViewIsZero) {
+  Snapshot snap(4);
+  EXPECT_EQ(snap.scan(), (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(Snapshot, SequentialUpdatesVisible) {
+  Snapshot snap(3);
+  snap.update(0, 10);
+  snap.update(2, 30);
+  EXPECT_EQ(snap.scan(), (std::vector<std::uint64_t>{10, 0, 30}));
+  snap.update(0, 11);
+  EXPECT_EQ(snap.scan(), (std::vector<std::uint64_t>{11, 0, 30}));
+}
+
+TEST(Snapshot, SingleProcess) {
+  Snapshot snap(1);
+  snap.update(0, 5);
+  EXPECT_EQ(snap.scan(), (std::vector<std::uint64_t>{5}));
+}
+
+// Monotone per-component updates ⇒ every scan must be component-wise
+// monotone over time (a consequence of scan atomicity).
+TEST(Snapshot, ConcurrentScansAreMonotone) {
+  constexpr unsigned kWriters = 3;
+  Snapshot snap(kWriters + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (unsigned pid = 0; pid < kWriters; ++pid) {
+    writers.emplace_back([&, pid] {
+      std::uint64_t v = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        snap.update(pid, ++v);
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> previous(kWriters + 1, 0);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<std::uint64_t> view = snap.scan();
+    for (unsigned c = 0; c <= kWriters; ++c) {
+      ASSERT_GE(view[c], previous[c]) << "component " << c << " regressed";
+    }
+    previous = view;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& writer : writers) writer.join();
+}
+
+// Scans taken by different threads must be comparable: with monotone
+// components, for any two views A and B, A ≤ B or B ≤ A component-wise.
+// (Incomparable views would prove the scans are not atomic.)
+TEST(Snapshot, ConcurrentViewsAreComparable) {
+  constexpr unsigned kWriters = 2;
+  constexpr unsigned kScanners = 2;
+  Snapshot snap(kWriters + kScanners);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (unsigned pid = 0; pid < kWriters; ++pid) {
+    writers.emplace_back([&, pid] {
+      std::uint64_t v = 0;
+      while (!stop.load(std::memory_order_acquire)) snap.update(pid, ++v);
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> views;
+  std::mutex views_mutex;
+  std::vector<std::thread> scanners;
+  for (unsigned s = 0; s < kScanners; ++s) {
+    scanners.emplace_back([&] {
+      for (int i = 0; i < 150; ++i) {
+        auto view = snap.scan();
+        const std::lock_guard<std::mutex> lock(views_mutex);
+        views.push_back(std::move(view));
+      }
+    });
+  }
+  for (auto& scanner : scanners) scanner.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& writer : writers) writer.join();
+
+  auto leq = [](const std::vector<std::uint64_t>& a,
+                const std::vector<std::uint64_t>& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] > b[i]) return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    for (std::size_t j = i + 1; j < views.size(); ++j) {
+      ASSERT_TRUE(leq(views[i], views[j]) || leq(views[j], views[i]))
+          << "views " << i << " and " << j << " are incomparable";
+    }
+  }
+}
+
+TEST(SnapshotCounter, SequentialExactness) {
+  SnapshotCounter counter(3);
+  EXPECT_EQ(counter.read(), 0u);
+  counter.increment(0);
+  counter.increment(1);
+  counter.increment(0);
+  EXPECT_EQ(counter.read(), 3u);
+}
+
+TEST(SnapshotCounter, ConcurrentExactLinearizable) {
+  constexpr unsigned kThreads = 3;
+  constexpr int kOps = 150;  // snapshot updates are O(n²); keep modest
+  SnapshotCounter counter(kThreads);
+  sim::HistoryRecorder history(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid + 1);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.chance(0.3)) {
+          history.record_read(pid, [&] { return counter.read(); });
+        } else {
+          history.record_increment(pid, [&] { counter.increment(pid); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto result = sim::check_counter_history(history.merged(), 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+
+  // Quiescent read is exact.
+  std::uint64_t increments = 0;
+  for (const auto& record : history.merged()) {
+    if (record.type == sim::OpType::kIncrement) ++increments;
+  }
+  EXPECT_EQ(counter.read(), increments);
+}
+
+}  // namespace
+}  // namespace approx::exact

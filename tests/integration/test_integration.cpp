@@ -1,0 +1,221 @@
+// Integration tests: whole-stack scenarios combining the workload driver,
+// history recording, the linearizability checkers and several objects at
+// once — the closest thing to "the system in production".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "base/kmath.hpp"
+#include "core/approx.hpp"
+#include "sim/adapters.hpp"
+#include "sim/history.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/perturbation.hpp"
+#include "sim/workload.hpp"
+
+namespace approx {
+namespace {
+
+// Every counter implementation, driven by the same workload through the
+// common interface, must produce a history its accuracy contract accepts.
+class AllCountersLinearizable
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ public:
+  static std::unique_ptr<sim::ICounter> make(const std::string& which,
+                                             unsigned n) {
+    if (which == "kmult") {
+      return std::make_unique<sim::KMultCounterAdapter>(
+          n, std::max<std::uint64_t>(2, base::ceil_sqrt(n)));
+    }
+    if (which == "kmult_fix") {
+      return std::make_unique<sim::KMultCounterCorrectedAdapter>(
+          n, std::max<std::uint64_t>(2, base::ceil_sqrt(n)));
+    }
+    if (which == "collect") {
+      return std::make_unique<sim::CollectCounterAdapter>(n);
+    }
+    if (which == "aach") {
+      return std::make_unique<sim::AachCounterAdapter>(n);
+    }
+    if (which == "fetch_add") {
+      return std::make_unique<sim::FetchAddCounterAdapter>();
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(AllCountersLinearizable, WorkloadHistoryPassesChecker) {
+  const auto [which, seed] = GetParam();
+  constexpr unsigned kThreads = 4;
+  auto counter = make(which, kThreads);
+  ASSERT_NE(counter, nullptr);
+
+  sim::HistoryRecorder history(kThreads);
+  // Warm the faithful k-mult counter past its bootstrap transient (a
+  // documented deviation of the paper's algorithm; the corrected variant
+  // needs no warmup). Warmup increments are recorded for the checker.
+  if (which == "kmult") {
+    for (unsigned i = 0; i < 64 * kThreads; ++i) {
+      const unsigned pid = i % kThreads;
+      history.record_increment(pid, [&] { counter->increment(pid); });
+    }
+  }
+  sim::WorkloadConfig config;
+  config.num_threads = kThreads;
+  config.ops_per_thread = 1200;
+  config.read_fraction = 0.25;
+  config.seed = seed;
+  run_counter_workload(*counter, config, &history);
+
+  const auto result =
+      sim::check_counter_history(history.merged(), counter->k());
+  EXPECT_TRUE(result.ok) << which << ": " << result.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllCountersLinearizable,
+    ::testing::Combine(::testing::Values("kmult", "kmult_fix", "collect",
+                                         "aach", "fetch_add"),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+// Same for every max-register implementation.
+class AllMaxRegistersLinearizable
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ public:
+  static std::unique_ptr<sim::IMaxRegister> make(const std::string& which) {
+    const std::uint64_t m = 1 << 20;
+    if (which == "kmult_bounded") {
+      return std::make_unique<sim::KMultMaxRegisterAdapter>(m, 3);
+    }
+    if (which == "kmult_unbounded") {
+      return std::make_unique<sim::KMultUnboundedMaxRegisterAdapter>(3);
+    }
+    if (which == "exact_bounded") {
+      return std::make_unique<sim::ExactBoundedMaxRegisterAdapter>(m);
+    }
+    if (which == "exact_unbounded") {
+      return std::make_unique<sim::ExactUnboundedMaxRegisterAdapter>();
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(AllMaxRegistersLinearizable, WorkloadHistoryPassesChecker) {
+  const auto [which, seed] = GetParam();
+  constexpr unsigned kThreads = 4;
+  auto reg = make(which);
+  ASSERT_NE(reg, nullptr);
+
+  sim::HistoryRecorder history(kThreads);
+  sim::WorkloadConfig config;
+  config.num_threads = kThreads;
+  config.ops_per_thread = 1000;
+  config.read_fraction = 0.4;
+  config.seed = seed;
+  config.max_write_value = (1 << 20) - 1;
+  run_max_register_workload(*reg, config, &history);
+
+  const auto result =
+      sim::check_max_register_history(history.merged(), reg->k());
+  EXPECT_TRUE(result.ok) << which << ": " << result.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllMaxRegistersLinearizable,
+    ::testing::Combine(::testing::Values("kmult_bounded", "kmult_unbounded",
+                                         "exact_bounded", "exact_unbounded"),
+                       ::testing::Values<std::uint64_t>(3, 4)));
+
+// Cross-object scenario: approximate counter + approximate max register
+// driven from the same threads (telemetry-style: count events, track the
+// high-watermark). Both histories must verify.
+TEST(CrossObject, CounterAndMaxRegisterTogether) {
+  constexpr unsigned kThreads = 4;
+  const std::uint64_t k = 2;
+  // The corrected counter variant holds the band from the first
+  // increment, so no warmup is needed here.
+  core::KMultCounterCorrected counter(kThreads, k);
+  core::KMultUnboundedMaxRegister watermark(k);
+  sim::HistoryRecorder counter_history(kThreads);
+  sim::HistoryRecorder maxreg_history(kThreads);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned pid = 0; pid < kThreads; ++pid) {
+    threads.emplace_back([&, pid] {
+      sim::Rng rng(pid * 7919 + 3);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t size = rng.log_uniform(1 << 24);
+        counter_history.record_increment(pid,
+                                         [&] { counter.increment(pid); });
+        maxreg_history.record_write(pid, size, [&] { watermark.write(size); });
+        if (i % 10 == 0) {
+          counter_history.record_read(pid, [&] { return counter.read(pid); });
+          maxreg_history.record_read(pid, [&] { return watermark.read(); });
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  const auto counter_result =
+      sim::check_counter_history(counter_history.merged(), k);
+  EXPECT_TRUE(counter_result.ok) << counter_result.violation;
+  const auto maxreg_result =
+      sim::check_max_register_history(maxreg_history.merged(), k);
+  EXPECT_TRUE(maxreg_result.ok) << maxreg_result.violation;
+}
+
+// Long-running soak: one k-mult counter, alternating phases of bursty
+// increments and read-heavy traffic; band re-verified at every quiescent
+// point between phases.
+TEST(Soak, PhasedWorkloadQuiescentBands) {
+  constexpr unsigned kThreads = 4;
+  const std::uint64_t k = 2;
+  sim::KMultCounterAdapter counter(kThreads, k);
+  std::uint64_t expected = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    sim::WorkloadConfig config;
+    config.num_threads = kThreads;
+    config.ops_per_thread = 3000;
+    config.read_fraction = (phase % 2 == 0) ? 0.05 : 0.7;
+    config.seed = static_cast<std::uint64_t>(phase) + 1;
+    const sim::WorkloadResult result = run_counter_workload(counter, config);
+    expected += result.increments;
+    for (unsigned pid = 0; pid < kThreads; ++pid) {
+      const std::uint64_t x = counter.read(pid);
+      ASSERT_TRUE(core::within_mult_band(x, expected, k))
+          << "phase " << phase << " pid " << pid << " v=" << expected
+          << " x=" << x;
+    }
+  }
+}
+
+// The perturbation harness driven through the adapters end-to-end, with
+// the k-mult and exact registers side by side (the E6 experiment's core).
+TEST(PerturbationIntegration, SeparationVisible) {
+  const std::uint64_t k = 2;
+  const std::uint64_t m = std::uint64_t{1} << 40;
+  sim::KMultMaxRegisterAdapter approx_reg(m, k);
+  sim::ExactBoundedMaxRegisterAdapter exact_reg(m);
+  const auto approx_series = sim::perturb_max_register(approx_reg, k, m);
+  const auto exact_series = sim::perturb_max_register(exact_reg, k, m);
+  ASSERT_FALSE(approx_series.empty());
+  ASSERT_FALSE(exact_series.empty());
+  // Identical schedules.
+  ASSERT_EQ(approx_series.size(), exact_series.size());
+  // Final-round separation: exact pays ≥ log₂ v, approximate stays ≤
+  // ⌈log₂ log₂ m⌉ + 1.
+  EXPECT_GT(exact_series.back().read_steps,
+            4 * approx_series.back().read_steps);
+}
+
+}  // namespace
+}  // namespace approx

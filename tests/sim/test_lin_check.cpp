@@ -1,0 +1,274 @@
+// Tests for the linearizability checkers, using hand-crafted histories
+// with known verdicts. Timestamps are arbitrary increasing integers.
+#include "sim/lin_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approx::sim {
+namespace {
+
+OpRecord inc(unsigned pid, std::uint64_t invoke, std::uint64_t response) {
+  return {OpType::kIncrement, pid, 0, 0, invoke, response};
+}
+
+OpRecord read(unsigned pid, std::uint64_t result, std::uint64_t invoke,
+              std::uint64_t response) {
+  return {OpType::kRead, pid, 0, result, invoke, response};
+}
+
+OpRecord write(unsigned pid, std::uint64_t arg, std::uint64_t invoke,
+               std::uint64_t response) {
+  return {OpType::kWrite, pid, arg, 0, invoke, response};
+}
+
+// ----------------------------------------------------------------------
+// Counter histories, exact (k = 1)
+// ----------------------------------------------------------------------
+
+TEST(CounterCheck, EmptyHistoryOk) {
+  EXPECT_TRUE(check_counter_history({}, 1).ok);
+}
+
+TEST(CounterCheck, SequentialExactOk) {
+  const std::vector<OpRecord> h = {
+      inc(0, 1, 2),
+      read(1, 1, 3, 4),
+      inc(0, 5, 6),
+      read(1, 2, 7, 8),
+  };
+  EXPECT_TRUE(check_counter_history(h, 1).ok);
+}
+
+TEST(CounterCheck, MissedCompletedIncrementRejected) {
+  // Read starts after the increment completed but returns 0.
+  const std::vector<OpRecord> h = {
+      inc(0, 1, 2),
+      read(1, 0, 3, 4),
+  };
+  const auto result = check_counter_history(h, 1);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.violation.empty());
+}
+
+TEST(CounterCheck, FutureIncrementRejected) {
+  // Read returns 1 but the only increment starts after it responded.
+  const std::vector<OpRecord> h = {
+      read(1, 1, 1, 2),
+      inc(0, 3, 4),
+  };
+  EXPECT_FALSE(check_counter_history(h, 1).ok);
+}
+
+TEST(CounterCheck, OverlappingIncrementMayOrMayNotCount) {
+  // Increment overlaps the read: both 0 and 1 are valid results.
+  const std::vector<OpRecord> overlap0 = {inc(0, 1, 4), read(1, 0, 2, 3)};
+  const std::vector<OpRecord> overlap1 = {inc(0, 1, 4), read(1, 1, 2, 3)};
+  EXPECT_TRUE(check_counter_history(overlap0, 1).ok);
+  EXPECT_TRUE(check_counter_history(overlap1, 1).ok);
+  // But 2 is impossible with a single increment.
+  const std::vector<OpRecord> overlap2 = {inc(0, 1, 4), read(1, 2, 2, 3)};
+  EXPECT_FALSE(check_counter_history(overlap2, 1).ok);
+}
+
+TEST(CounterCheck, NonMonotoneSequentialReadsRejected) {
+  // Two sequential reads by different processes going backwards: the
+  // second read's window alone is fine (the increment overlaps it), but
+  // monotonicity with the first read forbids the regression.
+  const std::vector<OpRecord> h = {
+      inc(0, 1, 10),          // overlaps everything
+      inc(0, 11, 12),
+      read(1, 2, 2, 3),       // counts both increments... impossible?
+  };
+  // Simpler direct construction:
+  const std::vector<OpRecord> h2 = {
+      inc(0, 1, 2),           // completed before everything else
+      inc(1, 3, 20),          // overlaps both reads
+      read(2, 2, 4, 5),       // sees both increments (valid: 2nd overlaps)
+      read(3, 1, 6, 7),       // later read sees fewer: must be rejected
+  };
+  (void)h;
+  const auto result = check_counter_history(h2, 1);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("preceding reads"), std::string::npos)
+      << result.violation;
+}
+
+TEST(CounterCheck, ConcurrentReadsMayDisagree) {
+  // Overlapping reads can order either way around an overlapping inc.
+  const std::vector<OpRecord> h = {
+      inc(0, 1, 2),
+      inc(1, 3, 20),
+      read(2, 2, 4, 10),  // overlaps read below
+      read(3, 1, 5, 11),
+  };
+  EXPECT_TRUE(check_counter_history(h, 1).ok);
+}
+
+TEST(CounterCheck, IncompleteIncrementIsOptional) {
+  const std::vector<OpRecord> counted = {
+      inc(0, 1, 0),  // never responded
+      read(1, 1, 2, 3),
+  };
+  const std::vector<OpRecord> ignored = {
+      inc(0, 1, 0),
+      read(1, 0, 2, 3),
+  };
+  EXPECT_TRUE(check_counter_history(counted, 1).ok);
+  EXPECT_TRUE(check_counter_history(ignored, 1).ok);
+}
+
+TEST(CounterCheck, WrongRecordTypeRejected) {
+  const std::vector<OpRecord> h = {write(0, 1, 1, 2)};
+  EXPECT_FALSE(check_counter_history(h, 1).ok);
+}
+
+// ----------------------------------------------------------------------
+// Counter histories, relaxed (k > 1)
+// ----------------------------------------------------------------------
+
+TEST(CounterCheck, BandAcceptsApproximateValues) {
+  // 4 completed increments; x = 2 (= v/2) and x = 8 (= v·2) both valid
+  // for k = 2; x = 1 and x = 9 invalid.
+  std::vector<OpRecord> h;
+  for (int i = 0; i < 4; ++i) {
+    h.push_back(inc(0, static_cast<std::uint64_t>(2 * i + 1),
+                    static_cast<std::uint64_t>(2 * i + 2)));
+  }
+  auto with_read = [&](std::uint64_t x) {
+    auto copy = h;
+    copy.push_back(read(1, x, 100, 101));
+    return copy;
+  };
+  EXPECT_TRUE(check_counter_history(with_read(2), 2).ok);
+  EXPECT_TRUE(check_counter_history(with_read(4), 2).ok);
+  EXPECT_TRUE(check_counter_history(with_read(8), 2).ok);
+  EXPECT_FALSE(check_counter_history(with_read(1), 2).ok);
+  EXPECT_FALSE(check_counter_history(with_read(9), 2).ok);
+  // The same history is exact-invalid unless x = 4.
+  EXPECT_FALSE(check_counter_history(with_read(2), 1).ok);
+  EXPECT_TRUE(check_counter_history(with_read(4), 1).ok);
+}
+
+TEST(CounterCheck, BandZeroRequiresZero) {
+  const std::vector<OpRecord> h = {
+      inc(0, 1, 2),
+      read(1, 0, 3, 4),  // v ≥ 1 ⇒ 0 < v/k for any finite k
+  };
+  EXPECT_FALSE(check_counter_history(h, 1000).ok);
+}
+
+TEST(CounterCheck, RelaxedMonotoneAssignmentAccepted) {
+  // Reads 6 then 2 sequentially with 4 completed increments, k = 2:
+  // both need v = 4 except 6 → v ∈ [3,8]∩[4,4] = {4}; 2 → v ∈ [1,4]∩{4}.
+  // Assignments v=4, v=4 are monotone: accepted.
+  std::vector<OpRecord> h;
+  for (int i = 0; i < 4; ++i) {
+    h.push_back(inc(0, static_cast<std::uint64_t>(2 * i + 1),
+                    static_cast<std::uint64_t>(2 * i + 2)));
+  }
+  h.push_back(read(1, 6, 100, 101));
+  h.push_back(read(1, 2, 102, 103));
+  EXPECT_TRUE(check_counter_history(h, 2).ok);
+}
+
+// ----------------------------------------------------------------------
+// Max-register histories
+// ----------------------------------------------------------------------
+
+TEST(MaxRegCheck, EmptyHistoryOk) {
+  EXPECT_TRUE(check_max_register_history({}, 1).ok);
+}
+
+TEST(MaxRegCheck, SequentialExactOk) {
+  const std::vector<OpRecord> h = {
+      write(0, 5, 1, 2),
+      read(1, 5, 3, 4),
+      write(0, 3, 5, 6),   // smaller write
+      read(1, 5, 7, 8),    // max unchanged
+      write(0, 9, 9, 10),
+      read(1, 9, 11, 12),
+  };
+  EXPECT_TRUE(check_max_register_history(h, 1).ok);
+}
+
+TEST(MaxRegCheck, StaleReadRejected) {
+  const std::vector<OpRecord> h = {
+      write(0, 5, 1, 2),
+      read(1, 0, 3, 4),  // must have seen the completed write
+  };
+  EXPECT_FALSE(check_max_register_history(h, 1).ok);
+}
+
+TEST(MaxRegCheck, InventedValueRejected) {
+  const std::vector<OpRecord> h = {
+      write(0, 5, 1, 2),
+      read(1, 7, 3, 4),  // 7 was never written
+  };
+  EXPECT_FALSE(check_max_register_history(h, 1).ok);
+}
+
+TEST(MaxRegCheck, OverlappingWriteMayCount) {
+  const std::vector<OpRecord> early = {write(0, 5, 1, 10), read(1, 5, 2, 3)};
+  const std::vector<OpRecord> late = {write(0, 5, 1, 10), read(1, 0, 2, 3)};
+  EXPECT_TRUE(check_max_register_history(early, 1).ok);
+  EXPECT_TRUE(check_max_register_history(late, 1).ok);
+}
+
+TEST(MaxRegCheck, FutureWriteRejected) {
+  const std::vector<OpRecord> h = {
+      read(1, 5, 1, 2),
+      write(0, 5, 3, 4),  // invoked after the read responded
+  };
+  EXPECT_FALSE(check_max_register_history(h, 1).ok);
+}
+
+TEST(MaxRegCheck, MonotonicityViolationRejected) {
+  // w(9) overlaps both reads; first read returns 9, second (later) 5:
+  // once a read returned 9 the maximum can never regress.
+  const std::vector<OpRecord> h = {
+      write(0, 5, 1, 2),
+      write(0, 9, 3, 100),
+      read(1, 9, 4, 5),
+      read(1, 5, 6, 7),
+  };
+  const auto result = check_max_register_history(h, 1);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(MaxRegCheck, IncompleteWriteIsOptional) {
+  const std::vector<OpRecord> seen = {
+      write(0, 8, 1, 0),  // never responded
+      read(1, 8, 2, 3),
+  };
+  const std::vector<OpRecord> unseen = {
+      write(0, 8, 1, 0),
+      read(1, 0, 2, 3),
+  };
+  EXPECT_TRUE(check_max_register_history(seen, 1).ok);
+  EXPECT_TRUE(check_max_register_history(unseen, 1).ok);
+}
+
+TEST(MaxRegCheck, RelaxedBand) {
+  const std::vector<OpRecord> h_base = {write(0, 10, 1, 2)};
+  auto with_read = [&](std::uint64_t x) {
+    auto copy = h_base;
+    copy.push_back(read(1, x, 3, 4));
+    return copy;
+  };
+  // k = 2: valid results are [5, 20].
+  EXPECT_TRUE(check_max_register_history(with_read(5), 2).ok);
+  EXPECT_TRUE(check_max_register_history(with_read(10), 2).ok);
+  EXPECT_TRUE(check_max_register_history(with_read(20), 2).ok);
+  EXPECT_FALSE(check_max_register_history(with_read(4), 2).ok);
+  EXPECT_FALSE(check_max_register_history(with_read(21), 2).ok);
+}
+
+TEST(MaxRegCheck, WrongRecordTypeRejected) {
+  const std::vector<OpRecord> h = {inc(0, 1, 2)};
+  EXPECT_FALSE(check_max_register_history(h, 1).ok);
+}
+
+}  // namespace
+}  // namespace approx::sim

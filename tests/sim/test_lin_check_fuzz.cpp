@@ -1,0 +1,165 @@
+// Fuzz-style tests for the linearizability checkers: histories generated
+// from a *known-valid* reference construction must always be accepted,
+// and histories with injected definite violations must always be
+// rejected. Complements the hand-crafted cases in test_lin_check.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/approx.hpp"
+#include "sim/lin_check.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::sim {
+namespace {
+
+// ----------------------------------------------------------------------
+// Valid-history generators. We simulate a sequential execution and then
+// widen each operation's interval by a random amount that provably
+// preserves validity:
+//  * increments/writes keep their linearization point inside the
+//    interval;
+//  * reads return a value band-consistent with the exact state at their
+//    linearization point.
+// ----------------------------------------------------------------------
+
+struct GeneratedHistory {
+  std::vector<OpRecord> records;
+};
+
+GeneratedHistory generate_counter_history(Rng& rng, std::uint64_t k,
+                                          unsigned num_ops) {
+  GeneratedHistory out;
+  // Sequential skeleton: op i linearizes at time 10*i + 5.
+  std::uint64_t count = 0;
+  for (unsigned i = 0; i < num_ops; ++i) {
+    const std::uint64_t lin = 10ull * i + 5;
+    // Widen the interval by up to 4 time units on each side — never far
+    // enough to cross another operation's linearization point by more
+    // than the slack validity allows (intervals may overlap freely; the
+    // linearization point stays inside).
+    const std::uint64_t invoke = lin - 1 - rng.below(4);
+    const std::uint64_t response = lin + 1 + rng.below(4);
+    if (rng.chance(0.6)) {
+      out.records.push_back(
+          {OpType::kIncrement, 0, 0, 0, invoke, response});
+      ++count;
+    } else {
+      // A band-consistent read of the exact count at `lin`.
+      std::uint64_t x = count;
+      if (count > 0) {
+        if (rng.chance(0.5)) {
+          // lower edge: smallest x with x·k ≥ count
+          x = count / k + (count % k != 0 ? 1 : 0);
+        } else if (rng.chance(0.5)) {
+          x = base::sat_mul(count, k);  // upper edge
+        }
+      }
+      out.records.push_back({OpType::kRead, 0, 0, x, invoke, response});
+    }
+  }
+  return out;
+}
+
+GeneratedHistory generate_maxreg_history(Rng& rng, std::uint64_t k,
+                                         unsigned num_ops) {
+  GeneratedHistory out;
+  std::uint64_t current_max = 0;
+  for (unsigned i = 0; i < num_ops; ++i) {
+    const std::uint64_t lin = 10ull * i + 5;
+    const std::uint64_t invoke = lin - 1 - rng.below(4);
+    const std::uint64_t response = lin + 1 + rng.below(4);
+    if (rng.chance(0.5)) {
+      const std::uint64_t v = 1 + rng.below(10'000);
+      out.records.push_back({OpType::kWrite, 0, v, 0, invoke, response});
+      current_max = std::max(current_max, v);
+    } else {
+      std::uint64_t x = current_max;
+      if (current_max > 0 && rng.chance(0.5)) {
+        x = rng.chance(0.5)
+                ? current_max / k + (current_max % k != 0 ? 1 : 0)
+                : base::sat_mul(current_max, k);
+      }
+      out.records.push_back({OpType::kRead, 0, 0, x, invoke, response});
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// Valid histories are accepted
+// ----------------------------------------------------------------------
+
+class CheckerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckerFuzz, ValidCounterHistoriesAccepted) {
+  Rng rng(GetParam() * 2654435761u + 1);
+  for (const std::uint64_t k : {1u, 2u, 5u}) {
+    const GeneratedHistory h = generate_counter_history(rng, k, 300);
+    const auto result = check_counter_history(h.records, k);
+    ASSERT_TRUE(result.ok)
+        << "seed " << GetParam() << " k=" << k << ": " << result.violation;
+  }
+}
+
+TEST_P(CheckerFuzz, ValidMaxRegHistoriesAccepted) {
+  Rng rng(GetParam() * 40503u + 7);
+  for (const std::uint64_t k : {1u, 2u, 5u}) {
+    const GeneratedHistory h = generate_maxreg_history(rng, k, 300);
+    const auto result = check_max_register_history(h.records, k);
+    ASSERT_TRUE(result.ok)
+        << "seed " << GetParam() << " k=" << k << ": " << result.violation;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Definite violations are rejected. We inject a read that is provably
+// impossible: it starts after quiescence (all other ops completed) and
+// returns a value outside the band of the final exact state.
+// ----------------------------------------------------------------------
+
+TEST_P(CheckerFuzz, OffBandQuiescentCounterReadRejected) {
+  Rng rng(GetParam() * 11400714819323198485ull + 3);
+  const std::uint64_t k = 2;
+  GeneratedHistory h = generate_counter_history(rng, k, 200);
+  std::uint64_t count = 0;
+  std::uint64_t horizon = 0;
+  for (const auto& record : h.records) {
+    if (record.type == OpType::kIncrement) ++count;
+    horizon = std::max(horizon, record.response);
+  }
+  if (count == 0) return;  // degenerate draw: nothing to violate
+  // x strictly above the band of the (now fixed) exact count.
+  const std::uint64_t bad = base::sat_mul(count, k) + 1;
+  h.records.push_back({OpType::kRead, 0, 0, bad, horizon + 1, horizon + 2});
+  EXPECT_FALSE(check_counter_history(h.records, k).ok) << "seed "
+                                                       << GetParam();
+}
+
+TEST_P(CheckerFuzz, OffBandQuiescentMaxRegReadRejected) {
+  Rng rng(GetParam() * 6364136223846793005ull + 9);
+  const std::uint64_t k = 2;
+  GeneratedHistory h = generate_maxreg_history(rng, k, 200);
+  std::uint64_t current_max = 0;
+  std::uint64_t horizon = 0;
+  for (const auto& record : h.records) {
+    if (record.type == OpType::kWrite) {
+      current_max = std::max(current_max, record.arg);
+    }
+    horizon = std::max(horizon, record.response);
+  }
+  if (current_max == 0) return;
+  // Too small: below v/k for the settled maximum.
+  const std::uint64_t bad = (current_max / k) / 2;
+  if (bad == 0 || core::within_mult_band(bad, current_max, k)) return;
+  h.records.push_back({OpType::kRead, 0, 0, bad, horizon + 1, horizon + 2});
+  EXPECT_FALSE(check_max_register_history(h.records, k).ok)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerFuzz,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace approx::sim

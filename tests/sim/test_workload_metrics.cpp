@@ -1,0 +1,246 @@
+// Tests for the workload driver, RNG, history recorder and metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/history.hpp"
+#include "sim/metrics.hpp"
+#include "sim/workload.hpp"
+
+namespace approx::sim {
+namespace {
+
+// ----------------------------------------------------------------------
+// Rng
+// ----------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.next(), rng.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+    ASSERT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(rng.chance(0.0));
+    ASSERT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(Rng, LogUniformInRange) {
+  Rng rng(13);
+  for (std::uint64_t max_value : {1ull, 2ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t v = rng.log_uniform(max_value);
+      ASSERT_GE(v, 1u) << max_value;
+      ASSERT_LE(v, max_value) << max_value;
+    }
+  }
+}
+
+TEST(Rng, LogUniformCoversMagnitudes) {
+  Rng rng(17);
+  const std::uint64_t max_value = std::uint64_t{1} << 32;
+  bool small = false;
+  bool large = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.log_uniform(max_value);
+    small |= v < 1024;
+    large |= v > (std::uint64_t{1} << 22);
+  }
+  EXPECT_TRUE(small);  // a uniform draw would essentially never be small
+  EXPECT_TRUE(large);
+}
+
+// ----------------------------------------------------------------------
+// HistoryRecorder
+// ----------------------------------------------------------------------
+
+TEST(HistoryRecorder, ClockIsStrictlyIncreasing) {
+  HistoryRecorder history(1);
+  std::uint64_t previous = history.tick();
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now = history.tick();
+    ASSERT_GT(now, previous);
+    previous = now;
+  }
+}
+
+TEST(HistoryRecorder, RecordWrappersStampInsideInterval) {
+  HistoryRecorder history(2);
+  history.record_increment(0, [] {});
+  const std::uint64_t result =
+      history.record_read(1, [] { return std::uint64_t{42}; });
+  EXPECT_EQ(result, 42u);
+  const auto merged = history.merged();
+  ASSERT_EQ(merged.size(), 2u);
+  for (const auto& record : merged) {
+    EXPECT_LT(record.invoke, record.response);
+  }
+}
+
+TEST(HistoryRecorder, MergesAllProcesses) {
+  HistoryRecorder history(3);
+  history.record_increment(0, [] {});
+  history.record_increment(1, [] {});
+  history.record_write(2, 5, [] {});
+  EXPECT_EQ(history.merged().size(), 3u);
+}
+
+// ----------------------------------------------------------------------
+// Workload driver
+// ----------------------------------------------------------------------
+
+TEST(Workload, CountsAddUp) {
+  KMultCounterAdapter counter(4, 2);
+  WorkloadConfig config;
+  config.num_threads = 4;
+  config.ops_per_thread = 2500;
+  config.read_fraction = 0.2;
+  const WorkloadResult result = run_counter_workload(counter, config);
+  EXPECT_EQ(result.total_ops(), 10000u);
+  EXPECT_EQ(result.increments + result.reads, 10000u);
+  EXPECT_EQ(result.writes, 0u);
+  EXPECT_GT(result.increments, 0u);
+  EXPECT_GT(result.reads, 0u);
+  EXPECT_GT(result.total_steps(), 0u);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.amortized_steps(), 0.0);
+  EXPECT_GT(result.ops_per_second(), 0.0);
+}
+
+TEST(Workload, ReadFractionRespected) {
+  CollectCounterAdapter counter(2);
+  WorkloadConfig config;
+  config.num_threads = 2;
+  config.ops_per_thread = 10000;
+  config.read_fraction = 0.3;
+  const WorkloadResult result = run_counter_workload(counter, config);
+  const double fraction = static_cast<double>(result.reads) /
+                          static_cast<double>(result.total_ops());
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+TEST(Workload, PureIncrementWorkload) {
+  CollectCounterAdapter counter(2);
+  WorkloadConfig config;
+  config.num_threads = 2;
+  config.ops_per_thread = 1000;
+  config.read_fraction = 0.0;
+  const WorkloadResult result = run_counter_workload(counter, config);
+  EXPECT_EQ(result.reads, 0u);
+  EXPECT_EQ(result.increments, 2000u);
+  // CollectCounter increments are exactly one step each.
+  EXPECT_EQ(result.mutate_steps, 2000u);
+  EXPECT_EQ(result.read_steps, 0u);
+}
+
+TEST(Workload, MaxRegisterWorkloadClassifiesWrites) {
+  KMultMaxRegisterAdapter reg(1 << 20, 2);
+  WorkloadConfig config;
+  config.num_threads = 3;
+  config.ops_per_thread = 2000;
+  config.read_fraction = 0.5;
+  config.max_write_value = (1 << 20) - 1;
+  const WorkloadResult result = run_max_register_workload(reg, config);
+  EXPECT_EQ(result.increments, 0u);
+  EXPECT_GT(result.writes, 0u);
+  EXPECT_GT(result.reads, 0u);
+  EXPECT_EQ(result.total_ops(), 6000u);
+}
+
+TEST(Workload, HistoryCapturePassesChecker) {
+  KMultCounterAdapter counter(3, 2);
+  HistoryRecorder history(3);
+  WorkloadConfig config;
+  config.num_threads = 3;
+  config.ops_per_thread = 1500;
+  config.read_fraction = 0.2;
+  const WorkloadResult result =
+      run_counter_workload(counter, config, &history);
+  EXPECT_EQ(history.merged().size(), result.total_ops());
+}
+
+// ----------------------------------------------------------------------
+// Stats and Table
+// ----------------------------------------------------------------------
+
+TEST(StatsTest, EmptySample) {
+  const Stats stats = Stats::of({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  const Stats stats = Stats::of({5.0});
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.min, 5.0);
+  EXPECT_EQ(stats.max, 5.0);
+  EXPECT_EQ(stats.mean, 5.0);
+  EXPECT_EQ(stats.p50, 5.0);
+  EXPECT_EQ(stats.p99, 5.0);
+}
+
+TEST(StatsTest, KnownDistribution) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const Stats stats = Stats::of(samples);
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, 100.0);
+  EXPECT_NEAR(stats.mean, 50.5, 1e-9);
+  EXPECT_NEAR(stats.p50, 50.0, 1.0);
+  EXPECT_NEAR(stats.p99, 99.0, 1.0);
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "23"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("--"), std::string::npos);
+  // 4 lines: header, rule, 2 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace approx::sim
