@@ -9,15 +9,11 @@
 // O(1) amortized, while an additive counter built on per-process batching
 // still pays Θ(n) per read.
 #include <algorithm>
-#include <cstdint>
-#include <iostream>
-#include <memory>
+#include <string>
 
 #include "base/kmath.hpp"
 #include "base/step_recorder.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
-#include "sim/workload.hpp"
+#include "bench/harness.hpp"
 
 namespace {
 
@@ -52,56 +48,54 @@ Profile profile(sim::ICounter& counter, unsigned n, std::uint64_t total) {
         const double down = static_cast<double>(v) / static_cast<double>(x);
         result.worst_ratio = std::max({result.worst_ratio, up, down});
       }
-      result.worst_abs =
-          std::max(result.worst_abs, x > v ? x - v : v - x);
+      result.worst_abs = std::max(result.worst_abs, x > v ? x - v : v - x);
     }
   }
-  result.inc_steps = static_cast<double>(inc_rec.total()) /
-                     static_cast<double>(total);
+  result.inc_steps =
+      static_cast<double>(inc_rec.total()) / static_cast<double>(total);
   result.read_steps = reads == 0 ? 0
                                  : static_cast<double>(read_rec.total()) /
                                        static_cast<double>(reads);
   return result;
 }
 
+const bench::Experiment kExperiment{
+    "e11",
+    "multiplicative vs additive relaxation",
+    "n = 8, 200k increments, quiescent read every 17th",
+    "multiplicative: x in [v/k, v*k]; additive: x in [v-k, v]",
+    "multiplicative reads cost O(1) amortized with relative error <= k "
+    "and *unbounded* absolute error; additive reads cost n = 8 with "
+    "absolute error <= k and relative error shrinking as v grows. "
+    "Increments are ~1 step everywhere (cheaper for kadd as k grows)",
+    [](const bench::Options& options, bench::Report& report) {
+      const unsigned n = 8;
+      const std::uint64_t total = bench::scaled_ops(options, 200'000);
+      auto& table = report.section({"impl", "steps/inc", "steps/read",
+                                    "worst ratio", "worst |x-v|"});
+      auto add_row = [&](const std::string& name, const Profile& p) {
+        table.add_row({name, bench::num(p.inc_steps, 3),
+                       bench::num(p.read_steps, 2),
+                       bench::num(p.worst_ratio, 2),
+                       bench::num(p.worst_abs)});
+      };
+
+      for (const std::uint64_t k : {3u, 8u}) {  // 3 = ceil(sqrt(8))
+        sim::KMultCounterAdapter kmult(n, k);
+        add_row("kmult k=" + std::to_string(k), profile(kmult, n, total));
+        sim::KMultCounterCorrectedAdapter fixed(n, k);
+        add_row("kmult-fix k=" + std::to_string(k), profile(fixed, n, total));
+      }
+      for (const std::uint64_t k : {8u, 64u, 512u}) {
+        sim::KAdditiveCounterAdapter kadd(n, k);
+        add_row("kadd k=" + std::to_string(k), profile(kadd, n, total));
+      }
+      {
+        sim::CollectCounterAdapter collect(n);
+        add_row("exact collect", profile(collect, n, total));
+      }
+    }};
+
 }  // namespace
 
-int main() {
-  std::cout << "E11: multiplicative vs additive relaxation (n = 8, 200k "
-               "increments, read every 17th)\n"
-            << "Multiplicative: x in [v/k, v*k]. Additive: x in [v-k, v].\n\n";
-
-  const unsigned n = 8;
-  const std::uint64_t total = 200'000;
-
-  sim::Table table({"impl", "steps/inc", "steps/read", "worst ratio",
-                    "worst |x-v|"});
-  auto add_row = [&](const std::string& name, const Profile& p) {
-    table.add_row({name, sim::Table::num(p.inc_steps, 3),
-                   sim::Table::num(p.read_steps, 2),
-                   sim::Table::num(p.worst_ratio, 2),
-                   sim::Table::num(p.worst_abs)});
-  };
-
-  for (const std::uint64_t k : {3u, 8u}) {  // 3 = ceil(sqrt(8))
-    sim::KMultCounterAdapter kmult(n, k);
-    add_row("kmult k=" + std::to_string(k), profile(kmult, n, total));
-    sim::KMultCounterCorrectedAdapter fixed(n, k);
-    add_row("kmult-fix k=" + std::to_string(k), profile(fixed, n, total));
-  }
-  for (const std::uint64_t k : {8u, 64u, 512u}) {
-    sim::KAdditiveCounterAdapter kadd(n, k);
-    add_row("kadd k=" + std::to_string(k), profile(kadd, n, total));
-  }
-  {
-    sim::CollectCounterAdapter collect(n);
-    add_row("exact collect", profile(collect, n, total));
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: multiplicative reads cost O(1) amortized "
-               "with relative error <= k and *unbounded* absolute error; "
-               "additive reads cost n = 8 with absolute error <= k and "
-               "relative error shrinking as v grows. Increments are ~1 "
-               "step everywhere (cheaper for kadd as k grows).\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

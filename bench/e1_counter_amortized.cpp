@@ -1,84 +1,63 @@
 // E1 — Theorem III.9 / Lemma III.8: Algorithm 1 has O(1) amortized step
-// complexity for k ≥ √n.
-//
-// Drives a 90% increment / 10% read mix round-robin over n processes
-// (single-threaded: steps in the paper's model are schedule-independent
-// for this driver and we want a deterministic series) and reports
-// amortized steps/op as the execution length grows. The paper's claim is
-// a *flat* series, independent of both total ops and n. Both the
-// faithful and the corrected variant (see DESIGN.md/EXPERIMENTS.md) are
-// shown.
-#include <cstdint>
-#include <iostream>
+// complexity for k ≥ √n. Drives a 90/10 inc/read mix round-robin over n
+// processes (single-threaded: steps in the paper's model are
+// schedule-independent for this driver and we want a deterministic
+// series) and reports amortized steps/op as the execution length grows,
+// for both the faithful and the corrected variant.
 #include <memory>
 #include <vector>
 
 #include "base/kmath.hpp"
-#include "base/step_recorder.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
-#include "sim/workload.hpp"
+#include "bench/harness.hpp"
 
 namespace {
 
 using namespace approx;
 
-double amortized_steps(sim::ICounter& counter, unsigned n,
-                       std::uint64_t total_ops) {
-  base::StepRecorder recorder;
-  sim::Rng rng(42);
-  {
-    base::ScopedRecording on(recorder);
-    for (std::uint64_t i = 0; i < total_ops; ++i) {
-      const auto pid = static_cast<unsigned>(i % n);
-      if (rng.chance(0.1)) {
-        counter.read(pid);
-      } else {
-        counter.increment(pid);
+const bench::Experiment kExperiment{
+    "e1",
+    "amortized step complexity of the k-multiplicative counter "
+    "(Theorem III.9)",
+    "90% increments / 10% reads, round-robin, k = ceil(sqrt(n))",
+    "amortized steps/op = O(1) — flat in both total ops and n",
+    "every column ~constant (<2 steps/op); no growth with n or ops",
+    [](const bench::Options& options, bench::Report& report) {
+      const std::vector<unsigned> ns = {1, 2, 4, 8, 16, 32};
+      const std::vector<std::uint64_t> op_counts = {1'000, 10'000, 100'000,
+                                                    1'000'000};
+      // Column headers reflect the actual (scaled) op counts.
+      std::vector<std::string> columns = {"n", "k", "variant"};
+      for (const std::uint64_t ops : op_counts) {
+        columns.push_back("ops=" +
+                          bench::num(bench::scaled_ops(options, ops)));
       }
-    }
-  }
-  return static_cast<double>(recorder.total()) /
-         static_cast<double>(total_ops);
-}
+      auto& table = report.section(std::move(columns));
+      for (const unsigned n : ns) {
+        const std::uint64_t k =
+            std::max<std::uint64_t>(2, base::ceil_sqrt(n));
+        for (const bool corrected : {false, true}) {
+          std::vector<std::string> row = {
+              bench::num(std::uint64_t{n}), bench::num(k),
+              corrected ? "corrected" : "faithful"};
+          for (const std::uint64_t ops : op_counts) {
+            std::unique_ptr<sim::ICounter> counter;
+            if (corrected) {
+              counter =
+                  std::make_unique<sim::KMultCounterCorrectedAdapter>(n, k);
+            } else {
+              counter = std::make_unique<sim::KMultCounterAdapter>(n, k);
+            }
+            row.push_back(bench::num(
+                bench::amortized_steps_mixed(
+                    *counter, n, bench::scaled_ops(options, ops), 0.1,
+                    options.seed),
+                3));
+          }
+          table.add_row(std::move(row));
+        }
+      }
+    }};
 
 }  // namespace
 
-int main() {
-  std::cout << "E1: amortized step complexity of the k-multiplicative "
-               "counter (Theorem III.9)\n"
-            << "Workload: 90% increments / 10% reads, round-robin, "
-               "k = ceil(sqrt(n)).\n"
-            << "Paper claim: amortized steps/op = O(1) — flat in both "
-               "total ops and n.\n\n";
-
-  const std::vector<unsigned> ns = {1, 2, 4, 8, 16, 32};
-  const std::vector<std::uint64_t> op_counts = {1'000, 10'000, 100'000,
-                                                1'000'000};
-
-  sim::Table table({"n", "k", "variant", "ops=1e3", "ops=1e4", "ops=1e5",
-                    "ops=1e6"});
-  for (const unsigned n : ns) {
-    const std::uint64_t k =
-        std::max<std::uint64_t>(2, base::ceil_sqrt(n));
-    for (const bool corrected : {false, true}) {
-      std::vector<std::string> row = {
-          sim::Table::num(std::uint64_t{n}), sim::Table::num(k),
-          corrected ? "corrected" : "faithful"};
-      for (const std::uint64_t ops : op_counts) {
-        std::unique_ptr<sim::ICounter> counter;
-        if (corrected) {
-          counter = std::make_unique<sim::KMultCounterCorrectedAdapter>(n, k);
-        } else {
-          counter = std::make_unique<sim::KMultCounterAdapter>(n, k);
-        }
-        row.push_back(sim::Table::num(amortized_steps(*counter, n, ops), 3));
-      }
-      table.add_row(std::move(row));
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: every column ~constant (<2 steps/op); no "
-               "growth with n or ops.\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

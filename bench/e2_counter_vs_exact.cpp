@@ -8,78 +8,56 @@
 //   snapshot          : §I.A textbook construction over the Afek et al.
 //                       snapshot, O(n²) per op (measured on fewer ops)
 //   fetch&add         : hardware RMW reference (outside the model)
-//
-// Workload: 90% increments / 10% reads, round-robin, single-threaded
-// (deterministic step counts).
-#include <cstdint>
-#include <iostream>
-#include <memory>
 #include <vector>
 
 #include "base/kmath.hpp"
-#include "base/step_recorder.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
-#include "sim/workload.hpp"
+#include "bench/harness.hpp"
 
 namespace {
 
 using namespace approx;
 
-double amortized_steps(sim::ICounter& counter, unsigned n,
-                       std::uint64_t total_ops) {
-  base::StepRecorder recorder;
-  sim::Rng rng(7);
-  {
-    base::ScopedRecording on(recorder);
-    for (std::uint64_t i = 0; i < total_ops; ++i) {
-      const auto pid = static_cast<unsigned>(i % n);
-      if (rng.chance(0.1)) {
-        counter.read(pid);
-      } else {
-        counter.increment(pid);
+const bench::Experiment kExperiment{
+    "e2",
+    "amortized steps/op — k-multiplicative counter vs exact baselines",
+    "90% inc / 10% read, 200k ops (snapshot: 4k ops — O(n^2) substrate), "
+    "k = ceil(sqrt(n))",
+    "O(1) for Algorithm 1 vs n-dependent exact costs",
+    "kmult columns flat; collect grows ~0.1*n (reads are 10%); aach grows "
+    "~log n*log v; snapshot grows ~n^2; fetch&add flat at 1 (hardware RMW, "
+    "outside the read/write/test&set model)",
+    [](const bench::Options& options, bench::Report& report) {
+      const std::uint64_t ops = bench::scaled_ops(options, 200'000);
+      const std::uint64_t snapshot_ops = bench::scaled_ops(options, 4'000);
+      auto steps = [&](sim::ICounter& counter, unsigned n,
+                       std::uint64_t total) {
+        return bench::num(
+            bench::amortized_steps_mixed(counter, n, total, 0.1,
+                                         options.seed),
+            3);
+      };
+      auto& table = report.section({"n", "kmult", "kmult-fix", "collect",
+                                    "aach", "snapshot", "fetch&add"});
+      for (const unsigned n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        const std::uint64_t k = std::max<std::uint64_t>(2, base::ceil_sqrt(n));
+        sim::KMultCounterAdapter kmult(n, k);
+        sim::KMultCounterCorrectedAdapter kmult_fix(n, k);
+        sim::CollectCounterAdapter collect(n);
+        sim::AachCounterAdapter aach(n);
+        sim::SnapshotCounterAdapter snapshot(n);
+        sim::FetchAddCounterAdapter fetch_add;
+        table.add_row({
+            bench::num(std::uint64_t{n}),
+            steps(kmult, n, ops),
+            steps(kmult_fix, n, ops),
+            steps(collect, n, ops),
+            steps(aach, n, ops),
+            steps(snapshot, n, snapshot_ops),
+            steps(fetch_add, n, ops),
+        });
       }
-    }
-  }
-  return static_cast<double>(recorder.total()) /
-         static_cast<double>(total_ops);
-}
+    }};
 
 }  // namespace
 
-int main() {
-  std::cout << "E2: amortized steps/op — k-multiplicative counter vs exact "
-               "baselines\n"
-            << "Workload: 90% inc / 10% read, 200k ops (snapshot: 4k ops — "
-               "O(n^2) substrate).\n"
-            << "Paper claim: O(1) for Algorithm 1 (k = ceil(sqrt(n))) vs "
-               "n-dependent exact costs.\n\n";
-
-  const std::vector<unsigned> ns = {1, 2, 4, 8, 16, 32, 64};
-  sim::Table table({"n", "kmult", "kmult-fix", "collect", "aach", "snapshot",
-                    "fetch&add"});
-  for (const unsigned n : ns) {
-    const std::uint64_t k = std::max<std::uint64_t>(2, base::ceil_sqrt(n));
-    sim::KMultCounterAdapter kmult(n, k);
-    sim::KMultCounterCorrectedAdapter kmult_fix(n, k);
-    sim::CollectCounterAdapter collect(n);
-    sim::AachCounterAdapter aach(n);
-    sim::SnapshotCounterAdapter snapshot(n);
-    sim::FetchAddCounterAdapter fetch_add;
-    table.add_row({
-        sim::Table::num(std::uint64_t{n}),
-        sim::Table::num(amortized_steps(kmult, n, 200'000), 3),
-        sim::Table::num(amortized_steps(kmult_fix, n, 200'000), 3),
-        sim::Table::num(amortized_steps(collect, n, 200'000), 3),
-        sim::Table::num(amortized_steps(aach, n, 200'000), 3),
-        sim::Table::num(amortized_steps(snapshot, n, 4'000), 3),
-        sim::Table::num(amortized_steps(fetch_add, n, 200'000), 3),
-    });
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: kmult columns flat; collect grows ~0.1·n "
-               "(reads are 10%); aach grows ~log n·log v; snapshot grows "
-               "~n^2; fetch&add flat at 1 (hardware RMW, outside the "
-               "read/write/test&set model).\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

@@ -8,16 +8,12 @@
 // faithful variant additionally shows its bootstrap transient (see
 // EXPERIMENTS.md "Deviations"), the corrected variant does not.
 #include <algorithm>
-#include <cstdint>
-#include <iostream>
 #include <memory>
-#include <vector>
 
 #include "base/kmath.hpp"
 #include "base/step_recorder.hpp"
+#include "bench/harness.hpp"
 #include "core/approx.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
 
 namespace {
 
@@ -56,42 +52,43 @@ SweepResult sweep(sim::ICounter& counter, unsigned n, std::uint64_t k,
   return result;
 }
 
+const bench::Experiment kExperiment{
+    "e3",
+    "k-sensitivity of the k-multiplicative counter (n = 16, sqrt(n) = 4)",
+    "100k round-robin increments with sampled quiescent reads",
+    "band guaranteed for k >= sqrt(n); steps shrink as k grows (larger "
+    "batches)",
+    "(worst ratio = max(x/v, v/x)) violations = 0 for corrected with "
+    "k >= 4 and for faithful with k >= 4 except bootstrap samples; "
+    "k < sqrt(n) may violate (no guarantee); worst ratio <= k when "
+    "guaranteed",
+    [](const bench::Options& options, bench::Report& report) {
+      const unsigned n = 16;
+      const std::uint64_t total = bench::scaled_ops(options, 100'000);
+      auto& table = report.section({"k", "k>=sqrt(n)", "variant", "steps/op",
+                                    "worst x/v", "band violations"});
+      for (const std::uint64_t k : {2u, 3u, 4u, 6u, 8u, 16u, 64u, 256u}) {
+        for (const bool corrected : {false, true}) {
+          std::unique_ptr<sim::ICounter> counter;
+          if (corrected) {
+            counter =
+                std::make_unique<sim::KMultCounterCorrectedAdapter>(n, k);
+          } else {
+            counter = std::make_unique<sim::KMultCounterAdapter>(n, k);
+          }
+          const SweepResult r = sweep(*counter, n, k, total);
+          table.add_row({
+              bench::num(k),
+              k >= 4 ? "yes" : "no",
+              corrected ? "corrected" : "faithful",
+              bench::num(r.amortized, 3),
+              bench::num(r.worst_ratio, 2),
+              bench::num(r.band_violations),
+          });
+        }
+      }
+    }};
+
 }  // namespace
 
-int main() {
-  std::cout << "E3: k-sensitivity of the k-multiplicative counter (n = 16, "
-               "sqrt(n) = 4)\n"
-            << "100k round-robin increments with sampled quiescent reads.\n"
-            << "Paper: band guaranteed for k >= sqrt(n); steps shrink as k "
-               "grows (larger batches).\n\n";
-
-  const unsigned n = 16;
-  const std::uint64_t total = 100'000;
-  sim::Table table({"k", "k>=sqrt(n)", "variant", "steps/op", "worst x/v",
-                    "band violations"});
-  for (const std::uint64_t k : {2u, 3u, 4u, 6u, 8u, 16u, 64u, 256u}) {
-    for (const bool corrected : {false, true}) {
-      std::unique_ptr<sim::ICounter> counter;
-      if (corrected) {
-        counter = std::make_unique<sim::KMultCounterCorrectedAdapter>(n, k);
-      } else {
-        counter = std::make_unique<sim::KMultCounterAdapter>(n, k);
-      }
-      const SweepResult r = sweep(*counter, n, k, total);
-      table.add_row({
-          sim::Table::num(k),
-          k >= 4 ? "yes" : "no",
-          corrected ? "corrected" : "faithful",
-          sim::Table::num(r.amortized, 3),
-          sim::Table::num(r.worst_ratio, 2),
-          sim::Table::num(r.band_violations),
-      });
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape (worst ratio = max(x/v, v/x)): violations = 0 for corrected with k >= 4 "
-               "and for faithful with k >= 4 except bootstrap samples; "
-               "k < sqrt(n) may violate (no guarantee); worst ratio <= k "
-               "when guaranteed.\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

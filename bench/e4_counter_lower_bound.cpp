@@ -10,19 +10,14 @@
 //   * Algorithm 1 with k ≥ √n lives *outside* the bound's k ≤ √n/2 regime
 //     and beats the curve — that is the paper's point;
 //   * with small k (k ≤ √n/2) every correct implementation must respect
-//     the curve;
-//     collect/aach are exact (k = 1) and do.
+//     the curve; collect/aach are exact (k = 1) and do.
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
-#include <iostream>
-#include <memory>
 #include <vector>
 
 #include "base/kmath.hpp"
 #include "base/step_recorder.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
+#include "bench/harness.hpp"
 
 namespace {
 
@@ -46,62 +41,54 @@ double analytic_bound(unsigned n, std::uint64_t k) {
   return static_cast<double>(n) * std::log2(ratio);
 }
 
+const bench::Experiment kExperiment{
+    "e4",
+    "amortized lower bound workload (Theorem III.11)",
+    "every process: one increment, then one read; total events measured",
+    "analytic curve n*log2(n/k^2) constrains implementations with "
+    "k <= sqrt(n)/2",
+    "collect events ~ n + n^2 (>= curve); kmult with k = ceil(sqrt(n)) "
+    "stays ~2-3 events/op, beating the (inapplicable) curve — the "
+    "separation the paper establishes. The k <= sqrt(n)/2 rows show our "
+    "algorithm still cheap in events but *sacrificing the band* (see E3): "
+    "the bound constrains correct implementations only",
+    [](const bench::Options&, bench::Report& report) {
+      auto& table = report.section(
+          {"n", "k", "impl", "events", "events/op", "n*log2(n/k^2)"});
+      auto add = [&](unsigned n, std::uint64_t k, const std::string& name,
+                     std::uint64_t events) {
+        const std::uint64_t ops = 2 * static_cast<std::uint64_t>(n);
+        table.add_row({bench::num(std::uint64_t{n}), bench::num(k), name,
+                       bench::num(events),
+                       bench::num(static_cast<double>(events) /
+                                      static_cast<double>(ops),
+                                  2),
+                       bench::num(analytic_bound(n, k), 0)});
+      };
+      for (const unsigned n : {4u, 16u, 64u, 256u, 1024u}) {
+        // Exact baselines (k = 1: deep inside the bound's regime).
+        {
+          sim::CollectCounterAdapter collect(n);
+          add(n, 1, "collect", total_events(collect, n));
+        }
+        {
+          sim::AachCounterAdapter aach(n);
+          add(n, 1, "aach", total_events(aach, n));
+        }
+        // Algorithm 1 inside the bound's regime (k small) and outside it
+        // (k = ceil(sqrt(n)), where the paper's O(1) amortized bound holds).
+        std::vector<std::uint64_t> ks = {2, base::ceil_sqrt(n) / 2,
+                                         base::ceil_sqrt(n)};
+        std::sort(ks.begin(), ks.end());
+        ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+        for (const std::uint64_t k : ks) {
+          if (k < 2) continue;
+          sim::KMultCounterAdapter kmult(n, k);
+          add(n, k, "kmult", total_events(kmult, n));
+        }
+      }
+    }};
+
 }  // namespace
 
-int main() {
-  std::cout << "E4: amortized lower bound workload (Theorem III.11)\n"
-            << "Every process: one increment, then one read. Total events "
-               "measured;\n"
-            << "analytic curve n*log2(n/k^2) applies to implementations "
-               "with k <= sqrt(n)/2.\n\n";
-
-  sim::Table table({"n", "k", "impl", "events", "events/op",
-                    "n*log2(n/k^2)"});
-  for (const unsigned n : {4u, 16u, 64u, 256u, 1024u}) {
-    const std::uint64_t ops = 2 * static_cast<std::uint64_t>(n);
-    // Exact baselines (k = 1: deep inside the bound's regime).
-    {
-      sim::CollectCounterAdapter collect(n);
-      const std::uint64_t events = total_events(collect, n);
-      table.add_row({sim::Table::num(std::uint64_t{n}), "1", "collect",
-                     sim::Table::num(events),
-                     sim::Table::num(static_cast<double>(events) /
-                                         static_cast<double>(ops), 2),
-                     sim::Table::num(analytic_bound(n, 1), 0)});
-    }
-    {
-      sim::AachCounterAdapter aach(n);
-      const std::uint64_t events = total_events(aach, n);
-      table.add_row({sim::Table::num(std::uint64_t{n}), "1", "aach",
-                     sim::Table::num(events),
-                     sim::Table::num(static_cast<double>(events) /
-                                         static_cast<double>(ops), 2),
-                     sim::Table::num(analytic_bound(n, 1), 0)});
-    }
-    // Algorithm 1 inside the bound's regime (k small) and outside it
-    // (k = ceil(sqrt(n)), where the paper's O(1) amortized bound holds).
-    std::vector<std::uint64_t> ks = {2, base::ceil_sqrt(n) / 2,
-                                     base::ceil_sqrt(n)};
-    std::sort(ks.begin(), ks.end());
-    ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
-    for (const std::uint64_t k : ks) {
-      if (k < 2) continue;
-      sim::KMultCounterAdapter kmult(n, k);
-      const std::uint64_t events = total_events(kmult, n);
-      table.add_row({sim::Table::num(std::uint64_t{n}), sim::Table::num(k),
-                     "kmult",
-                     sim::Table::num(events),
-                     sim::Table::num(static_cast<double>(events) /
-                                         static_cast<double>(ops), 2),
-                     sim::Table::num(analytic_bound(n, k), 0)});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: collect events ~ n + n^2 (>= curve); "
-               "kmult with k = ceil(sqrt(n)) stays ~2-3 events/op, beating "
-               "the (inapplicable) curve — the separation the paper "
-               "establishes. The k <= sqrt(n)/2 rows show our algorithm "
-               "still cheap in events but *sacrificing the band* (see E3): "
-               "the bound constrains correct implementations only.\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

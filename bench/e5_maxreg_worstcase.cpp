@@ -7,15 +7,13 @@
 // set of operations (values at power boundaries, the maximum value, and
 // random probes) for both registers.
 #include <algorithm>
-#include <cstdint>
-#include <iostream>
 #include <vector>
 
 #include "base/kmath.hpp"
 #include "base/step_recorder.hpp"
+#include "bench/harness.hpp"
 #include "core/kmult_max_register.hpp"
 #include "exact/bounded_max_register.hpp"
-#include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
 namespace {
@@ -28,10 +26,10 @@ struct WorstCase {
 };
 
 template <typename Reg>
-WorstCase measure(Reg& reg, std::uint64_t m) {
+WorstCase measure(Reg& reg, std::uint64_t m, std::uint64_t seed) {
   WorstCase worst;
   std::vector<std::uint64_t> probes = {1, 2, m / 2, m - 1};
-  sim::Rng rng(3);
+  sim::Rng rng(seed);
   for (int i = 0; i < 32; ++i) probes.push_back(1 + rng.below(m - 1));
   for (const std::uint64_t v : probes) {
     worst.write_steps =
@@ -42,39 +40,42 @@ WorstCase measure(Reg& reg, std::uint64_t m) {
   return worst;
 }
 
+const bench::Experiment kExperiment{
+    "e5",
+    "worst-case step complexity of bounded max registers (Theorem IV.2)",
+    "adversarial probe set (power boundaries, max value, random) per "
+    "(m, k)",
+    "exact = Theta(log2 m); k-multiplicative = O(log2 log_k m) — "
+    "exponential separation",
+    "exact columns track log2(m); kmult columns track log2(log_k m) — "
+    "flat single digits across the whole sweep, growing (slowly) as k "
+    "shrinks",
+    [](const bench::Options& options, bench::Report& report) {
+      auto& table = report.section({"log2(m)", "k", "exact wr", "exact rd",
+                                    "kmult wr", "kmult rd", "log2(m) ref",
+                                    "log2(log_k m) ref"});
+      for (const unsigned log2m : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 62u}) {
+        const std::uint64_t m = std::uint64_t{1} << log2m;
+        exact::BoundedMaxRegister exact_reg(m);
+        const WorstCase exact_worst = measure(exact_reg, m, options.seed);
+        for (const std::uint64_t k : {2u, 4u, 16u}) {
+          core::KMultMaxRegister kmult_reg(m, k);
+          const WorstCase kmult_worst = measure(kmult_reg, m, options.seed);
+          table.add_row({
+              bench::num(std::uint64_t{log2m}),
+              bench::num(k),
+              bench::num(exact_worst.write_steps),
+              bench::num(exact_worst.read_steps),
+              bench::num(kmult_worst.write_steps),
+              bench::num(kmult_worst.read_steps),
+              bench::num(std::uint64_t{log2m}),
+              bench::num(std::uint64_t{
+                  base::ceil_log2(base::floor_log_k(k, m - 1) + 2)}),
+          });
+        }
+      }
+    }};
+
 }  // namespace
 
-int main() {
-  std::cout << "E5: worst-case step complexity of bounded max registers "
-               "(Theorem IV.2)\n"
-            << "Paper claim: exact = Theta(log2 m); k-multiplicative = "
-               "O(log2 log_k m) — exponential separation.\n\n";
-
-  sim::Table table({"log2(m)", "k", "exact wr", "exact rd", "kmult wr",
-                    "kmult rd", "log2(m) ref", "log2(log_k m) ref"});
-  for (const unsigned log2m : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 62u}) {
-    const std::uint64_t m = std::uint64_t{1} << log2m;
-    exact::BoundedMaxRegister exact_reg(m);
-    const WorstCase exact_worst = measure(exact_reg, m);
-    for (const std::uint64_t k : {2u, 4u, 16u}) {
-      core::KMultMaxRegister kmult_reg(m, k);
-      const WorstCase kmult_worst = measure(kmult_reg, m);
-      table.add_row({
-          sim::Table::num(std::uint64_t{log2m}),
-          sim::Table::num(k),
-          sim::Table::num(exact_worst.write_steps),
-          sim::Table::num(exact_worst.read_steps),
-          sim::Table::num(kmult_worst.write_steps),
-          sim::Table::num(kmult_worst.read_steps),
-          sim::Table::num(std::uint64_t{log2m}),
-          sim::Table::num(
-              std::uint64_t{base::ceil_log2(base::floor_log_k(k, m - 1) + 2)}),
-      });
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: exact columns track log2(m); kmult "
-               "columns track log2(log_k m) — flat single digits across "
-               "the whole sweep, growing (slowly) as k shrinks.\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

@@ -9,54 +9,58 @@
 // Our Algorithm 2 matches the bound (its reads touch Θ(log₂ log_k m)
 // objects); the exact register shows the Θ(log₂ m) cost the relaxation
 // removes.
-#include <cstdint>
-#include <iostream>
+#include <string>
 
 #include "base/kmath.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
+#include "bench/harness.hpp"
 #include "sim/perturbation.hpp"
 
 namespace {
+
 using namespace approx;
-}
 
-int main() {
-  std::cout << "E6: max-register perturbation experiment (Lemma V.1, "
-               "Theorem V.2)\n"
-            << "Perturbing writes v_r = k^2*v_{r-1}+1; solo read measured "
-               "after each round.\n\n";
+const bench::Experiment kExperiment{
+    "e6",
+    "max-register perturbation experiment (Lemma V.1, Theorem V.2)",
+    "perturbing writes v_r = k^2*v_{r-1}+1; solo read measured after each "
+    "round",
+    "some read must touch Omega(min(log2 L, n)) distinct base objects, "
+    "L = Theta(log_k m)",
+    "kmult columns stay at ~log2(log2 m) across all rounds; exact columns "
+    "sit at ~log2(m). Both are flat per round here because reads are tree "
+    "descents; the bound constrains the *worst* read, matched by the "
+    "final rounds",
+    [](const bench::Options&, bench::Report& report) {
+      for (const unsigned log2m : {16u, 32u, 48u, 60u}) {
+        const std::uint64_t m = std::uint64_t{1} << log2m;
+        const std::uint64_t k = 2;
+        sim::KMultMaxRegisterAdapter kmult(m, k);
+        sim::ExactBoundedMaxRegisterAdapter exact(m);
+        const auto kmult_series = sim::perturb_max_register(kmult, k, m);
+        const auto exact_series = sim::perturb_max_register(exact, k, m);
 
-  for (const unsigned log2m : {16u, 32u, 48u, 60u}) {
-    const std::uint64_t m = std::uint64_t{1} << log2m;
-    const std::uint64_t k = 2;
-    sim::KMultMaxRegisterAdapter kmult(m, k);
-    sim::ExactBoundedMaxRegisterAdapter exact(m);
-    const auto kmult_series = sim::perturb_max_register(kmult, k, m);
-    const auto exact_series = sim::perturb_max_register(exact, k, m);
+        auto& table = report.section(
+            {"round", "v_r", "kmult rd-steps", "kmult objs",
+             "exact rd-steps", "exact objs"},
+            "m = 2^" + std::to_string(log2m) + ", k = " + std::to_string(k) +
+                " (" + std::to_string(kmult_series.size() - 1) +
+                " perturbation rounds; bound log2(log_k m) = " +
+                std::to_string(
+                    base::ceil_log2(base::floor_log_k(k, m - 1) + 2)) +
+                ")");
+        for (std::size_t r = 0; r < kmult_series.size(); ++r) {
+          table.add_row({
+              bench::num(kmult_series[r].round),
+              bench::num(kmult_series[r].perturbation),
+              bench::num(kmult_series[r].read_steps),
+              bench::num(kmult_series[r].distinct_objects),
+              bench::num(exact_series[r].read_steps),
+              bench::num(exact_series[r].distinct_objects),
+          });
+        }
+      }
+    }};
 
-    std::cout << "m = 2^" << log2m << ", k = " << k << " ("
-              << kmult_series.size() - 1 << " perturbation rounds; bound "
-              << "log2(log_k m) = "
-              << base::ceil_log2(base::floor_log_k(k, m - 1) + 2) << ")\n";
-    sim::Table table({"round", "v_r", "kmult rd-steps", "kmult objs",
-                      "exact rd-steps", "exact objs"});
-    for (std::size_t r = 0; r < kmult_series.size(); ++r) {
-      table.add_row({
-          sim::Table::num(kmult_series[r].round),
-          sim::Table::num(kmult_series[r].perturbation),
-          sim::Table::num(kmult_series[r].read_steps),
-          sim::Table::num(kmult_series[r].distinct_objects),
-          sim::Table::num(exact_series[r].read_steps),
-          sim::Table::num(exact_series[r].distinct_objects),
-      });
-    }
-    table.print(std::cout);
-    std::cout << '\n';
-  }
-  std::cout << "Expected shape: kmult columns stay at ~log2(log2 m) across "
-               "all rounds; exact columns sit at ~log2(m). Both are flat "
-               "per round here because reads are tree descents; the bound "
-               "constrains the *worst* read, matched by the final rounds.\n";
-  return 0;
-}
+}  // namespace
+
+APPROX_BENCH_MAIN(kExperiment)

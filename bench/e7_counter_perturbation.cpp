@@ -8,56 +8,59 @@
 // round stays constant while the *cumulative* switch coverage follows
 // the Θ(log_k m) round count; the exact collect counter pays Θ(n) per
 // read regardless.
-#include <cstdint>
-#include <iostream>
+#include <string>
 
 #include "base/kmath.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
+#include "bench/harness.hpp"
 #include "sim/perturbation.hpp"
 
 namespace {
+
 using namespace approx;
-}
 
-int main() {
-  std::cout << "E7: counter perturbation experiment (Lemma V.3, Theorem "
-               "V.4)\n"
-            << "Batches I_r = (k^2-1)*sum(I_j)+r; solo read measured after "
-               "each round; n = 8.\n\n";
+const bench::Experiment kExperiment{
+    "e7",
+    "counter perturbation experiment (Lemma V.3, Theorem V.4)",
+    "batches I_r = (k^2-1)*sum(I_j)+r; solo read measured after each "
+    "round; n = 8",
+    "some read must take Omega(min(n, log2 log_k m)) steps",
+    "collect pays n = 8 steps every round; the k-multiplicative reads pay "
+    "O(1) marginal steps per round (persistent cursor), with cumulative "
+    "distinct objects growing ~2 per interval crossed — the "
+    "doubly-logarithmic regime the bound permits",
+    [](const bench::Options&, bench::Report& report) {
+      const unsigned n = 8;
+      for (const std::uint64_t k : {2u, 3u}) {
+        const std::uint64_t max_total = std::uint64_t{1} << 24;
+        sim::KMultCounterAdapter kmult(n, k);
+        sim::KMultCounterCorrectedAdapter kmult_fix(n, k);
+        sim::CollectCounterAdapter collect(n);
+        const auto kmult_series = sim::perturb_counter(kmult, n, k, max_total);
+        const auto fix_series =
+            sim::perturb_counter(kmult_fix, n, k, max_total);
+        const auto collect_series =
+            sim::perturb_counter(collect, n, k, max_total);
 
-  const unsigned n = 8;
-  for (const std::uint64_t k : {2u, 3u}) {
-    const std::uint64_t max_total = std::uint64_t{1} << 24;
-    sim::KMultCounterAdapter kmult(n, k);
-    sim::KMultCounterCorrectedAdapter kmult_fix(n, k);
-    sim::CollectCounterAdapter collect(n);
-    const auto kmult_series = sim::perturb_counter(kmult, n, k, max_total);
-    const auto fix_series = sim::perturb_counter(kmult_fix, n, k, max_total);
-    const auto collect_series = sim::perturb_counter(collect, n, k, max_total);
+        auto& table = report.section(
+            {"round", "I_r", "total incs", "kmult steps", "kmult objs",
+             "fix steps", "collect steps"},
+            "k = " + std::to_string(k) + " (" +
+                std::to_string(kmult_series.size() - 1) +
+                " rounds, <= 2^24 total increments)");
+        for (std::size_t r = 0; r < kmult_series.size(); ++r) {
+          table.add_row({
+              bench::num(kmult_series[r].round),
+              bench::num(kmult_series[r].perturbation),
+              bench::num(kmult_series[r].cumulative),
+              bench::num(kmult_series[r].read_steps),
+              bench::num(kmult_series[r].distinct_objects),
+              bench::num(fix_series[r].read_steps),
+              bench::num(collect_series[r].read_steps),
+          });
+        }
+      }
+    }};
 
-    std::cout << "k = " << k << " (" << kmult_series.size() - 1
-              << " rounds, <= 2^24 total increments)\n";
-    sim::Table table({"round", "I_r", "total incs", "kmult steps",
-                      "kmult objs", "fix steps", "collect steps"});
-    for (std::size_t r = 0; r < kmult_series.size(); ++r) {
-      table.add_row({
-          sim::Table::num(kmult_series[r].round),
-          sim::Table::num(kmult_series[r].perturbation),
-          sim::Table::num(kmult_series[r].cumulative),
-          sim::Table::num(kmult_series[r].read_steps),
-          sim::Table::num(kmult_series[r].distinct_objects),
-          sim::Table::num(fix_series[r].read_steps),
-          sim::Table::num(collect_series[r].read_steps),
-      });
-    }
-    table.print(std::cout);
-    std::cout << '\n';
-  }
-  std::cout << "Expected shape: collect pays n = 8 steps every round; the "
-               "k-multiplicative reads pay O(1) marginal steps per round "
-               "(persistent cursor), with cumulative distinct objects "
-               "growing ~2 per interval crossed — the doubly-logarithmic "
-               "regime the bound permits.\n";
-  return 0;
-}
+}  // namespace
+
+APPROX_BENCH_MAIN(kExperiment)

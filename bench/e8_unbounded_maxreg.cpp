@@ -4,17 +4,11 @@
 //
 // Workload: 60% writes (log-uniform in [1, V]) / 40% reads, single-
 // threaded for deterministic step counts, sweeping the magnitude cap V.
-// Paper claim: the exact register pays O(log v); the plug-in pays
-// O(log₂ log_k v) — sub-logarithmic — because only the exponent is
-// stored exactly.
-#include <cstdint>
-#include <iostream>
-#include <vector>
+#include <cassert>
 
 #include "base/kmath.hpp"
 #include "base/step_recorder.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
+#include "bench/harness.hpp"
 #include "sim/workload.hpp"
 
 namespace {
@@ -22,9 +16,10 @@ namespace {
 using namespace approx;
 
 double amortized(sim::IMaxRegister& reg, std::uint64_t max_value,
-                 std::uint64_t ops) {
+                 std::uint64_t ops, std::uint64_t seed) {
+  assert(reg.instrumented());
   base::StepRecorder recorder;
-  sim::Rng rng(19);
+  sim::Rng rng(seed);
   {
     base::ScopedRecording on(recorder);
     for (std::uint64_t i = 0; i < ops; ++i) {
@@ -38,36 +33,34 @@ double amortized(sim::IMaxRegister& reg, std::uint64_t max_value,
   return static_cast<double>(recorder.total()) / static_cast<double>(ops);
 }
 
+const bench::Experiment kExperiment{
+    "e8",
+    "unbounded max registers — exact vs k-multiplicative plug-in",
+    "60% log-uniform writes / 40% reads, 50k ops per cell",
+    "exact O(log v) vs plug-in O(log2 log_k v) (sub-logarithmic)",
+    "exact column grows linearly in log2(V); kmult columns stay flat "
+    "(<= 8 steps), shrinking further as k grows",
+    [](const bench::Options& options, bench::Report& report) {
+      const std::uint64_t ops = bench::scaled_ops(options, 50'000);
+      auto& table = report.section(
+          {"log2(V)", "exact", "kmult k=2", "kmult k=4", "kmult k=16"});
+      for (const unsigned log2v : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 63u}) {
+        const std::uint64_t v_cap =
+            log2v >= 63 ? base::kU64Max : (std::uint64_t{1} << log2v);
+        sim::ExactUnboundedMaxRegisterAdapter exact;
+        sim::KMultUnboundedMaxRegisterAdapter k2(2);
+        sim::KMultUnboundedMaxRegisterAdapter k4(4);
+        sim::KMultUnboundedMaxRegisterAdapter k16(16);
+        table.add_row({
+            bench::num(std::uint64_t{log2v}),
+            bench::num(amortized(exact, v_cap, ops, options.seed), 2),
+            bench::num(amortized(k2, v_cap, ops, options.seed), 2),
+            bench::num(amortized(k4, v_cap, ops, options.seed), 2),
+            bench::num(amortized(k16, v_cap, ops, options.seed), 2),
+        });
+      }
+    }};
+
 }  // namespace
 
-int main() {
-  std::cout << "E8: unbounded max registers — exact vs k-multiplicative "
-               "plug-in\n"
-            << "60% log-uniform writes / 40% reads, 50k ops per cell.\n"
-            << "Paper claim: exact O(log v) vs plug-in O(log2 log_k v) "
-               "(sub-logarithmic).\n\n";
-
-  const std::uint64_t ops = 50'000;
-  sim::Table table({"log2(V)", "exact", "kmult k=2", "kmult k=4",
-                    "kmult k=16"});
-  for (const unsigned log2v : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 63u}) {
-    const std::uint64_t v_cap = log2v >= 63 ? base::kU64Max
-                                            : (std::uint64_t{1} << log2v);
-    sim::ExactUnboundedMaxRegisterAdapter exact;
-    sim::KMultUnboundedMaxRegisterAdapter k2(2);
-    sim::KMultUnboundedMaxRegisterAdapter k4(4);
-    sim::KMultUnboundedMaxRegisterAdapter k16(16);
-    table.add_row({
-        sim::Table::num(std::uint64_t{log2v}),
-        sim::Table::num(amortized(exact, v_cap, ops), 2),
-        sim::Table::num(amortized(k2, v_cap, ops), 2),
-        sim::Table::num(amortized(k4, v_cap, ops), 2),
-        sim::Table::num(amortized(k16, v_cap, ops), 2),
-    });
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: exact column grows linearly in log2(V); "
-               "kmult columns stay flat (<= 8 steps), shrinking further as "
-               "k grows.\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

@@ -8,15 +8,12 @@
 // makes the faithful variant's documented bootstrap gap (EXPERIMENTS.md
 // "Deviations") directly visible next to the corrected variant.
 #include <algorithm>
-#include <cstdint>
-#include <iostream>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "base/kmath.hpp"
+#include "bench/harness.hpp"
 #include "core/approx.hpp"
-#include "sim/adapters.hpp"
-#include "sim/metrics.hpp"
 
 namespace {
 
@@ -48,52 +45,51 @@ std::vector<DecadeStats> envelope(sim::ICounter& counter, unsigned n,
   return decades;
 }
 
-void report(const std::string& name, unsigned n, std::uint64_t k,
-            const std::vector<DecadeStats>& decades, sim::Table& table) {
+void report_rows(const std::string& name, std::uint64_t k,
+                 const std::vector<DecadeStats>& decades,
+                 bench::Report::Section& table) {
   for (std::size_t d = 0; d < decades.size(); ++d) {
     const DecadeStats& stats = decades[d];
     if (stats.samples == 0) continue;
     table.add_row({
         name,
         "1e" + std::to_string(d) + "..1e" + std::to_string(d + 1),
-        sim::Table::num(stats.min_ratio, 3),
-        sim::Table::num(stats.max_ratio, 3),
+        bench::num(stats.min_ratio, 3),
+        bench::num(stats.max_ratio, 3),
         "1/" + std::to_string(k) + "..." + std::to_string(k),
-        sim::Table::num(stats.violations),
-        sim::Table::num(stats.samples),
+        bench::num(stats.violations),
+        bench::num(stats.samples),
     });
   }
-  (void)n;
 }
+
+const bench::Experiment kExperiment{
+    "e9",
+    "accuracy envelope of the approximate counters",
+    "n = 16, k = 4 = sqrt(n); quiescent read after every one of 1e6 "
+    "increments",
+    "band 1/k <= x/v <= k; the faithful variant's bootstrap transient "
+    "(documented deviation) shows up as violations in the first decades "
+    "only",
+    "corrected rows: zero violations in every decade, ratios within "
+    "[1/k, k]. Faithful rows: violations only in the earliest decades "
+    "(x/v < 1/k while only switch_0 is set), zero afterwards",
+    [](const bench::Options& options, bench::Report& report) {
+      const unsigned n = 16;
+      const std::uint64_t k = 4;
+      const std::uint64_t total = bench::scaled_ops(options, 1'000'000);
+      auto& table = report.section({"impl", "v range", "min x/v", "max x/v",
+                                    "allowed", "violations", "samples"});
+      {
+        sim::KMultCounterAdapter faithful(n, k);
+        report_rows("faithful", k, envelope(faithful, n, k, total), table);
+      }
+      {
+        sim::KMultCounterCorrectedAdapter corrected(n, k);
+        report_rows("corrected", k, envelope(corrected, n, k, total), table);
+      }
+    }};
 
 }  // namespace
 
-int main() {
-  std::cout << "E9: accuracy envelope of the approximate counters\n"
-            << "n = 16, k = 4 = sqrt(n); quiescent read after every one of "
-               "1e6 increments.\n"
-            << "Band: 1/k <= x/v <= k. The faithful variant's bootstrap "
-               "transient (documented deviation) shows up as violations in "
-               "the first decades only.\n\n";
-
-  const unsigned n = 16;
-  const std::uint64_t k = 4;
-  const std::uint64_t total = 1'000'000;
-
-  sim::Table table({"impl", "v range", "min x/v", "max x/v", "allowed",
-                    "violations", "samples"});
-  {
-    sim::KMultCounterAdapter faithful(n, k);
-    report("faithful", n, k, envelope(faithful, n, k, total), table);
-  }
-  {
-    sim::KMultCounterCorrectedAdapter corrected(n, k);
-    report("corrected", n, k, envelope(corrected, n, k, total), table);
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: corrected rows: zero violations in every "
-               "decade, ratios within [1/k, k]. Faithful rows: violations "
-               "only in the earliest decades (x/v < 1/k while only "
-               "switch_0 is set), zero afterwards.\n";
-  return 0;
-}
+APPROX_BENCH_MAIN(kExperiment)

@@ -1,0 +1,110 @@
+// harness.hpp — the shared experiment harness for every bench binary.
+//
+// The ~13 experiment mains used to each carry their own copy of CLI
+// handling, the warmup/measure loop, table assembly and output. The
+// harness centralizes all of that; an experiment is now a declarative
+// `Experiment` record — id, title, workload line, paper claim, expected
+// shape — plus a `run` function that fills a `Report` with sections of
+// rows. The harness owns:
+//
+//   * CLI parsing: --scale=F (multiplies every op count an experiment
+//     derives via scaled_ops), --seed=N, --json, --help;
+//   * output: fixed-width tables with the experiment's narrative framing
+//     (default), or a machine-readable JSON document (--json) for
+//     plotting/CI ingestion;
+//   * the measurement helpers the step-model experiments share
+//     (seeded mixed-op drivers, wall-clock timing, warmup).
+//
+// Backend note: step-counting experiments must drive InstrumentedBackend
+// instances (the default adapter aliases); wall-clock experiments build
+// DirectBackend instances explicitly. E10 reports both builds side by
+// side — the cost of the instrumentation layer is itself an experiment.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/adapters.hpp"
+
+namespace approx::bench {
+
+/// Parsed command-line options, shared by every experiment binary.
+struct Options {
+  double scale = 1.0;       // multiplies experiment op counts (--scale)
+  std::uint64_t seed = 42;  // base PRNG seed (--seed)
+  bool json = false;        // emit JSON instead of tables (--json)
+};
+
+/// Results accumulator: named sections of (columns, rows). Cells are
+/// pre-formatted strings (use num()).
+class Report {
+ public:
+  struct Section {
+    std::string title;  // may be empty for single-table experiments
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+
+    void add_row(std::vector<std::string> cells);
+  };
+
+  /// Starts a new section. The returned reference stays valid for the
+  /// report's lifetime (deque storage: no reallocation on growth).
+  Section& section(std::vector<std::string> columns,
+                   std::string title = std::string());
+
+  [[nodiscard]] const std::deque<Section>& sections() const noexcept {
+    return sections_;
+  }
+
+ private:
+  std::deque<Section> sections_;
+};
+
+/// A declarative experiment description. The metadata strings frame the
+/// output; `run` performs the measurements.
+struct Experiment {
+  const char* id;        // "e1"
+  const char* title;     // one line, printed as the header
+  const char* workload;  // workload description
+  const char* claim;     // the paper claim being exercised
+  const char* expected;  // expected shape of the results
+  std::function<void(const Options&, Report&)> run;
+};
+
+/// Parses argv, runs the experiment, emits the report. Returns the
+/// process exit code.
+int run_experiment(const Experiment& experiment, int argc, char** argv);
+
+/// Formatting helpers (fixed-precision, matching sim::Table::num).
+std::string num(double value, int precision = 2);
+std::string num(std::uint64_t value);
+
+/// Scales a default op count by --scale, keeping at least 1.
+std::uint64_t scaled_ops(const Options& options, std::uint64_t base_ops);
+
+/// Amortized steps/op of a seeded single-threaded mixed workload
+/// (read_fraction reads, rest increments, round-robin pids). The counter
+/// must be instrumented; asserts otherwise.
+double amortized_steps_mixed(sim::ICounter& counter, unsigned n,
+                             std::uint64_t total_ops, double read_fraction,
+                             std::uint64_t seed);
+
+/// Wall-clock timing of a callable, in seconds.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+#define APPROX_BENCH_MAIN(experiment)                               \
+  int main(int argc, char** argv) {                                 \
+    return ::approx::bench::run_experiment(experiment, argc, argv); \
+  }
+
+}  // namespace approx::bench

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "core/kmult_counter_corrected.hpp"
 #include "core/kmult_max_register.hpp"
 
@@ -19,10 +20,16 @@ int main() {
   // n = 4 processes, accuracy k = 2 (valid because k ≥ √n): reads return
   // x with v/2 ≤ x ≤ 2v for the exact count v. We use the corrected
   // variant, whose band holds from the very first increment (the
-  // paper-faithful approx::core::KMultCounter is also available; see
+  // paper-faithful approx::core::KMultCounterT is also available; see
   // EXPERIMENTS.md "Deviations" for the difference).
+  //
+  // DirectBackend is the production build: primitives are bare atomics,
+  // zero instrumentation overhead. Drop the template argument (the
+  // InstrumentedBackend default) to get step recording and deterministic
+  // sim scheduling for tests — same algorithm, same results.
   constexpr unsigned kThreads = 4;
-  approx::core::KMultCounterCorrected counter(kThreads, /*k=*/2);
+  approx::core::KMultCounterCorrectedT<approx::base::DirectBackend> counter(
+      kThreads, /*k=*/2);
 
   constexpr std::uint64_t kIncsPerThread = 100'000;
   std::vector<std::thread> threads;
@@ -44,7 +51,8 @@ int main() {
   // --- an approximate max register --------------------------------------
   // m-bounded, k = 3: reads return x with v/3 ≤ x ≤ 3v for the maximum
   // value v written so far. Both operations cost O(log log m) steps.
-  approx::core::KMultMaxRegister high_watermark(/*m=*/1 << 30, /*k=*/3);
+  approx::core::KMultMaxRegisterT<approx::base::DirectBackend> high_watermark(
+      /*m=*/1 << 30, /*k=*/3);
   for (const std::uint64_t sample : {12u, 900u, 48u, 31000u, 7u}) {
     high_watermark.write(sample);
   }

@@ -6,6 +6,10 @@
 // (shared-memory primitive applications) with StepRecorder, and uses it
 // to reproduce, in miniature, the paper's two headline numbers: O(1)
 // amortized counter increments and O(log log m) max-register reads.
+//
+// Step recording requires the InstrumentedBackend instantiations — the
+// default when no backend template argument is given. DirectBackend
+// objects (the production build) record nothing by design.
 #include <cstdint>
 #include <iostream>
 

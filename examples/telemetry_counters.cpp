@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "base/kmath.hpp"
 #include "core/kmult_counter_corrected.hpp"
 #include "sim/workload.hpp"
@@ -40,12 +41,16 @@ constexpr EventClass kClasses[] = {
 }  // namespace
 
 int main() {
-  using approx::core::KMultCounterCorrected;
+  // Production build: DirectBackend counters are bare atomics on the
+  // increment path — the monitoring overhead telemetry cannot afford is
+  // exactly what the backend-policy split removes.
+  using TelemetryCounter =
+      approx::core::KMultCounterCorrectedT<approx::base::DirectBackend>;
 
-  KMultCounterCorrected requests(kWorkers, kK);
-  KMultCounterCorrected cache_misses(kWorkers, kK);
-  KMultCounterCorrected errors(kWorkers, kK);
-  KMultCounterCorrected* counters[] = {&requests, &cache_misses, &errors};
+  TelemetryCounter requests(kWorkers, kK);
+  TelemetryCounter cache_misses(kWorkers, kK);
+  TelemetryCounter errors(kWorkers, kK);
+  TelemetryCounter* counters[] = {&requests, &cache_misses, &errors};
 
   // Exact shadow tallies (atomic, outside the measured data structures)
   // so the final report can show true counts.

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "base/step_recorder.hpp"
 #include "core/kmult_max_register.hpp"
 #include "core/kmult_unbounded_max_register.hpp"
@@ -26,11 +27,16 @@ int main() {
 
   // Message-size watermark: bounded domain, k = 2 ⇒ read is within 2× of
   // the true maximum — plenty for "do we need the large-object path?".
-  approx::core::KMultMaxRegister size_watermark(kMaxMessage, /*k=*/2);
+  // DirectBackend: this is the broker's hot path, so the registers are
+  // bare atomics (the instrumented build is for tests and experiments).
+  approx::core::KMultMaxRegisterT<approx::base::DirectBackend> size_watermark(
+      kMaxMessage, /*k=*/2);
   // Sequence numbers are unbounded: use the unbounded plug-in.
-  approx::core::KMultUnboundedMaxRegister seq_watermark(/*k=*/2);
+  approx::core::KMultUnboundedMaxRegisterT<approx::base::DirectBackend>
+      seq_watermark(/*k=*/2);
   // Exact register, for the side-by-side cost report.
-  approx::exact::BoundedMaxRegister exact_size_watermark(kMaxMessage);
+  approx::exact::BoundedMaxRegisterT<approx::base::DirectBackend>
+      exact_size_watermark(kMaxMessage);
 
   std::atomic<std::uint64_t> true_max_size{0};
   std::atomic<std::uint64_t> next_seq{0};
@@ -64,11 +70,17 @@ int main() {
   std::cout << "seq watermark:  acked through ~" << seq_watermark.read()
             << " (exact " << next_seq.load() << ")\n";
 
-  // Cost of one read, in the paper's step measure.
+  // Cost of one read, in the paper's step measure. The production
+  // registers above are DirectBackend (they record nothing); replay the
+  // final maximum into InstrumentedBackend twins to price the read.
+  approx::core::KMultMaxRegister measured_approx(kMaxMessage, /*k=*/2);
+  approx::exact::BoundedMaxRegister measured_exact(kMaxMessage);
+  measured_approx.write(v);
+  measured_exact.write(v);
   const std::uint64_t approx_steps =
-      approx::base::steps_of([&] { (void)size_watermark.read(); });
+      approx::base::steps_of([&] { (void)measured_approx.read(); });
   const std::uint64_t exact_steps =
-      approx::base::steps_of([&] { (void)exact_size_watermark.read(); });
+      approx::base::steps_of([&] { (void)measured_exact.read(); });
   std::cout << "read cost: approximate = " << approx_steps
             << " steps vs exact = " << exact_steps
             << " steps (domain 2^30, k = 2)\n";

@@ -1,0 +1,83 @@
+// backend.hpp — compile-time policy splitting the hot path from the model
+// path.
+//
+// Every base object (Register, TasBit, the snapshot slots, ...) is
+// parameterized on a Backend policy deciding what a primitive application
+// costs *besides* its atomic instruction:
+//
+//   * DirectBackend — nothing. No ObjectId allocation, no thread-local
+//     recorder lookup, no scheduler yield point; `on_step` compiles to a
+//     no-op and `ObjectHandle` is an empty type elided via
+//     [[no_unique_address]]. A DirectBackend register is layout- and
+//     cost-identical to a raw std::atomic. This is the production/bench
+//     build: "as fast as the hardware allows".
+//
+//   * InstrumentedBackend — the paper's cost model. Objects draw a
+//     process-wide unique ObjectId at construction, and every primitive
+//     passes through base::record_step: first the sim::StepScheduler
+//     yield hook (deterministic, seed-reproducible interleavings at
+//     primitive granularity), then the thread-local StepRecorder (step
+//     counts and distinct-object sets for the complexity experiments).
+//     This is the test/sim build; the stepper / lin-check / perturbation
+//     pipeline requires it.
+//
+// The two backends run the *same* algorithm templates, so model-checking
+// results obtained on the instrumented build speak about the code the
+// direct build ships (see tests/core/test_backend_equivalence.cpp).
+//
+// Backend policy concept:
+//
+//   struct Backend {
+//     static constexpr bool kInstrumented;
+//     struct ObjectHandle {          // default-constructible
+//       ObjectId id() const;         // kInvalidObjectId when uninstrumented
+//     };
+//     static void on_step(const ObjectHandle&, PrimitiveKind);
+//   };
+#pragma once
+
+#include "base/object_id.hpp"
+#include "base/step_recorder.hpp"
+
+namespace approx::base {
+
+/// Zero-overhead backend: primitives cost exactly their atomic
+/// instruction. Use for production and wall-clock benchmarks.
+struct DirectBackend {
+  static constexpr bool kInstrumented = false;
+
+  /// Empty handle; objects carry no identity. Declared as a member via
+  /// [[no_unique_address]] so it occupies no storage.
+  struct ObjectHandle {
+    constexpr ObjectHandle() noexcept = default;
+    [[nodiscard]] static constexpr ObjectId id() noexcept {
+      return kInvalidObjectId;
+    }
+  };
+
+  static constexpr void on_step(const ObjectHandle& /*handle*/,
+                                PrimitiveKind /*kind*/) noexcept {}
+};
+
+/// Model-faithful backend: per-object ids, scheduler yield point, step
+/// recording. Use for tests, the sim pipeline and the step-complexity
+/// experiments. Matches the behaviour base objects had before the policy
+/// split.
+struct InstrumentedBackend {
+  static constexpr bool kInstrumented = true;
+
+  class ObjectHandle {
+   public:
+    ObjectHandle() noexcept : id_(next_object_id()) {}
+    [[nodiscard]] ObjectId id() const noexcept { return id_; }
+
+   private:
+    ObjectId id_;
+  };
+
+  static void on_step(const ObjectHandle& handle, PrimitiveKind kind) {
+    record_step(handle.id(), kind);
+  }
+};
+
+}  // namespace approx::base

@@ -1,8 +1,17 @@
 // register.hpp — atomic read/write register base object.
 //
 // The paper's model: processes communicate through shared base objects
-// accessed by primitives. `Register<T>` is the multi-reader/multi-writer
-// atomic register supporting the historyless {read, write} primitives.
+// accessed by primitives. `Register<T, Backend>` is the multi-reader/
+// multi-writer atomic register supporting the historyless {read, write}
+// primitives.
+//
+// The Backend policy (base/backend.hpp) decides what a primitive costs
+// besides its atomic instruction: DirectBackend registers are layout- and
+// cost-identical to a raw std::atomic<T>; InstrumentedBackend registers
+// charge one step to the thread's StepRecorder and pass the scheduler
+// yield point on every primitive. The default is InstrumentedBackend —
+// the model-faithful build tests and experiments expect; hot paths opt
+// into DirectBackend explicitly.
 //
 // Sequential consistency note: all primitives use seq_cst ordering. The
 // paper assumes atomic (linearizable) registers in a sequentially
@@ -11,42 +20,46 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <type_traits>
 
+#include "base/backend.hpp"
 #include "base/object_id.hpp"
 #include "base/step_recorder.hpp"
 
 namespace approx::base {
 
 /// Multi-reader multi-writer atomic register over a trivially copyable T
-/// that fits in a lock-free std::atomic. Instrumented: every primitive
-/// charges one step to the current thread's StepRecorder.
-template <typename T>
+/// that fits in a lock-free std::atomic. Instrumentation is decided by
+/// the Backend policy.
+template <typename T, typename Backend = InstrumentedBackend>
 class Register {
   static_assert(std::is_trivially_copyable_v<T>,
                 "Register requires a trivially copyable value type");
 
  public:
-  explicit Register(T initial = T{}) noexcept
-      : id_(next_object_id()), cell_(initial) {}
+  using backend_type = Backend;
+
+  explicit Register(T initial = T{}) noexcept : cell_(initial) {}
 
   Register(const Register&) = delete;
   Register& operator=(const Register&) = delete;
 
   /// read primitive: returns the current value.
   [[nodiscard]] T read() const noexcept {
-    record_step(id_, PrimitiveKind::kRead);
+    Backend::on_step(handle_, PrimitiveKind::kRead);
     return cell_.load(std::memory_order_seq_cst);
   }
 
   /// write primitive: unconditionally overwrites the value (historyless).
   void write(T value) noexcept {
-    record_step(id_, PrimitiveKind::kWrite);
+    Backend::on_step(handle_, PrimitiveKind::kWrite);
     cell_.store(value, std::memory_order_seq_cst);
   }
 
-  /// Base-object identity (instrumentation only).
-  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  /// Base-object identity (instrumentation only; kInvalidObjectId under
+  /// DirectBackend).
+  [[nodiscard]] ObjectId id() const noexcept { return handle_.id(); }
 
   /// Un-instrumented peek for tests/debug; NOT a model primitive and never
   /// used by algorithm code.
@@ -55,8 +68,14 @@ class Register {
   }
 
  private:
-  ObjectId id_;
+  [[no_unique_address]] typename Backend::ObjectHandle handle_;
   std::atomic<T> cell_;
 };
+
+// The zero-overhead claim, enforced at compile time: a DirectBackend
+// register adds nothing to the underlying atomic cell.
+static_assert(sizeof(Register<std::uint64_t, DirectBackend>) ==
+                  sizeof(std::atomic<std::uint64_t>),
+              "DirectBackend Register must be layout-identical to the cell");
 
 }  // namespace approx::base

@@ -10,7 +10,11 @@
 //
 // Step accounting charges only the primitives applied to the *elements*,
 // never the directory bookkeeping: in the paper's model the infinite
-// array pre-exists and indexing it is local computation.
+// array pre-exists and indexing it is local computation. The array is
+// therefore Backend-policy transparent (base/backend.hpp): instantiate it
+// with TasBitT<B> / Register<T, B> elements and the element operations
+// carry the policy; the directory itself costs the same under either
+// backend.
 #pragma once
 
 #include <atomic>

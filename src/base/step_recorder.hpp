@@ -13,8 +13,12 @@
 //   }
 //   rec.total();                   // steps performed while installed
 //
-// Recording is opt-in per thread: when no recorder is installed the
-// per-primitive cost is a single thread-local pointer test.
+// Recording is opt-in at two levels. Per *object type*: only
+// InstrumentedBackend instantiations (base/backend.hpp) call record_step
+// at all — DirectBackend objects compile the hook away entirely. Per
+// *thread*: when no recorder is installed on an instrumented thread the
+// per-primitive cost is the yield-hook test plus a thread-local pointer
+// test.
 #pragma once
 
 #include <array>

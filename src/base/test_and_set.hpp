@@ -5,38 +5,46 @@
 // overwrites any other nontrivial primitive applied to the bit (and
 // itself), which places Algorithm 1 inside the model of the
 // Jayanti–Tan–Toueg and perturbation lower bounds.
+//
+// Like Register, the bit is parameterized on the Backend policy
+// (base/backend.hpp): DirectBackend bits are bare atomic bytes,
+// InstrumentedBackend bits carry an ObjectId and charge steps.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "base/backend.hpp"
 #include "base/object_id.hpp"
 #include "base/step_recorder.hpp"
 
 namespace approx::base {
 
 /// A single bit, initially 0, supporting test&set and read primitives.
-class TasBit {
+template <typename Backend = InstrumentedBackend>
+class TasBitT {
  public:
-  TasBit() noexcept : id_(next_object_id()), bit_(0) {}
+  using backend_type = Backend;
 
-  TasBit(const TasBit&) = delete;
-  TasBit& operator=(const TasBit&) = delete;
+  TasBitT() noexcept : bit_(0) {}
+
+  TasBitT(const TasBitT&) = delete;
+  TasBitT& operator=(const TasBitT&) = delete;
 
   /// test&set primitive: atomically sets the bit to 1 and returns the
   /// previous value (0 exactly for the unique winning application).
   bool test_and_set() noexcept {
-    record_step(id_, PrimitiveKind::kTestAndSet);
+    Backend::on_step(handle_, PrimitiveKind::kTestAndSet);
     return bit_.exchange(1, std::memory_order_seq_cst) != 0;
   }
 
   /// read primitive.
   [[nodiscard]] bool read() const noexcept {
-    record_step(id_, PrimitiveKind::kRead);
+    Backend::on_step(handle_, PrimitiveKind::kRead);
     return bit_.load(std::memory_order_seq_cst) != 0;
   }
 
-  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  [[nodiscard]] ObjectId id() const noexcept { return handle_.id(); }
 
   /// Un-instrumented peek for tests/debug; never used by algorithm code.
   [[nodiscard]] bool peek_unrecorded() const noexcept {
@@ -44,8 +52,15 @@ class TasBit {
   }
 
  private:
-  ObjectId id_;
+  [[no_unique_address]] typename Backend::ObjectHandle handle_;
   std::atomic<std::uint8_t> bit_;
 };
+
+/// The model-faithful default, matching the pre-policy class name.
+using TasBit = TasBitT<InstrumentedBackend>;
+
+static_assert(sizeof(TasBitT<DirectBackend>) ==
+                  sizeof(std::atomic<std::uint8_t>),
+              "DirectBackend TasBit must be layout-identical to the bit");
 
 }  // namespace approx::base

@@ -27,24 +27,28 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/backend.hpp"
 #include "base/register.hpp"
 
 namespace approx::core {
 
 /// Deterministic wait-free linearizable k-additive-accurate counter.
-class KAdditiveCounter {
+template <typename Backend = base::InstrumentedBackend>
+class KAdditiveCounterT {
  public:
+  using backend_type = Backend;
+
   /// @param num_processes n; pids are 0..n-1.
   /// @param k additive slack (k ≥ 0; k = 0 degenerates to exact).
-  KAdditiveCounter(unsigned num_processes, std::uint64_t k)
+  KAdditiveCounterT(unsigned num_processes, std::uint64_t k)
       : n_(num_processes),
         flush_every_(k / num_processes + 1),
         slots_(new Slot[num_processes]) {
     assert(num_processes >= 1);
   }
 
-  KAdditiveCounter(const KAdditiveCounter&) = delete;
-  KAdditiveCounter& operator=(const KAdditiveCounter&) = delete;
+  KAdditiveCounterT(const KAdditiveCounterT&) = delete;
+  KAdditiveCounterT& operator=(const KAdditiveCounterT&) = delete;
 
   /// Adds one to the count. At most one thread per pid.
   void increment(unsigned pid) {
@@ -83,7 +87,7 @@ class KAdditiveCounter {
 
  private:
   struct alignas(64) Slot {
-    base::Register<std::uint64_t> reg{0};
+    base::Register<std::uint64_t, Backend> reg{0};
     std::uint64_t shadow = 0;   // owner-only mirror of reg
     std::uint64_t pending = 0;  // owner-only unflushed batch (< flush_every_)
   };
@@ -92,5 +96,8 @@ class KAdditiveCounter {
   std::uint64_t flush_every_;
   std::unique_ptr<Slot[]> slots_;
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using KAdditiveCounter = KAdditiveCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

@@ -26,6 +26,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "base/backend.hpp"
 #include "base/kmath.hpp"
 #include "core/kmult_counter_corrected.hpp"
 
@@ -33,17 +34,20 @@ namespace approx::core {
 
 /// m-bounded k-multiplicative-accurate counter with worst-case
 /// O(log₂ k + log₂ log_k m) reads (Theorem V.4's object).
-class KMultBoundedCounter {
+template <typename Backend = base::InstrumentedBackend>
+class KMultBoundedCounterT {
  public:
+  using backend_type = Backend;
+
   /// @param num_processes n.
   /// @param k accuracy parameter, k ≥ 2 (band guaranteed for k ≥ √n).
   /// @param m bound on the total number of increment instances.
-  KMultBoundedCounter(unsigned num_processes, std::uint64_t k,
-                      std::uint64_t m)
+  KMultBoundedCounterT(unsigned num_processes, std::uint64_t k,
+                       std::uint64_t m)
       : counter_(num_processes, k), m_(m) {}
 
-  KMultBoundedCounter(const KMultBoundedCounter&) = delete;
-  KMultBoundedCounter& operator=(const KMultBoundedCounter&) = delete;
+  KMultBoundedCounterT(const KMultBoundedCounterT&) = delete;
+  KMultBoundedCounterT& operator=(const KMultBoundedCounterT&) = delete;
 
   /// CounterIncrement. Callers must not exceed m instances in total.
   void increment(unsigned pid) {
@@ -79,9 +83,12 @@ class KMultBoundedCounter {
   }
 
  private:
-  KMultCounterCorrected counter_;
+  KMultCounterCorrectedT<Backend> counter_;
   std::uint64_t m_;
   std::atomic<std::uint64_t> applied_{0};  // debug accounting of the m-bound
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using KMultBoundedCounter = KMultBoundedCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

@@ -1,133 +1,12 @@
-// Implementation of Algorithm 1. Line numbers in comments refer to the
-// paper's pseudocode.
+// Explicit instantiations of Algorithm 1 for the two shipped backends.
+// The template definitions live in the header (the class is parameterized
+// on the Backend policy); this TU gives the library a compiled copy of
+// each so downstream targets don't re-instantiate.
 #include "core/kmult_counter.hpp"
-
-#include <cassert>
-
-#include "base/kmath.hpp"
 
 namespace approx::core {
 
-KMultCounter::KMultCounter(unsigned num_processes, std::uint64_t k)
-    : n_(num_processes),
-      k_(k),
-      h_(new base::Register<std::uint64_t>[num_processes]),
-      locals_(new Local[num_processes]) {
-  assert(num_processes >= 1);
-  assert(k >= 2 && "the multiplicative parameter must be at least 2");
-  for (unsigned i = 0; i < num_processes; ++i) {
-    locals_[i].help.assign(num_processes, 0);
-  }
-}
-
-bool KMultCounter::accuracy_guaranteed() const noexcept {
-  return k_ >= base::ceil_sqrt(n_);
-}
-
-// Lines 30–34: ReturnValue(p, q) = k · (1 + p·k^{q+1} + Σ_{l=1}^{q} k^{l+1}).
-// Saturating arithmetic: a saturated return still satisfies the band
-// (see base/kmath.hpp), and reaching it would need ≥ 2^64 increments.
-std::uint64_t KMultCounter::return_value(std::uint64_t p,
-                                         std::uint64_t q) const {
-  std::uint64_t ret = base::sat_add(1, base::sat_mul(p, base::pow_k(k_, q + 1)));
-  for (std::uint64_t l = 1; l <= q; ++l) {                    // line 33
-    ret = base::sat_add(ret, base::pow_k(k_, l + 1));
-  }
-  return base::sat_mul(k_, ret);                              // line 34
-}
-
-void KMultCounter::increment(unsigned pid) {
-  assert(pid < n_);
-  Local& me = locals_[pid];
-  me.lcounter += 1;                                           // line 11
-  if (me.lcounter != me.limit) return;                        // line 12
-  const std::uint64_t j = base::exact_log_k(k_, me.lcounter); // line 13
-  if (j > 0) {                                                // line 14
-    // Try to announce k^j increments on one switch of interval
-    // [(j-1)k+1, jk], resuming at the persistent offset l0 (line 15).
-    for (std::uint64_t l = (j - 1) * k_ + me.l0; l <= j * k_; ++l) {
-      if (!switches_.at(l).test_and_set()) {                  // line 16
-        me.sn += 1;                                           // line 17
-        h_[pid].write(pack(l, me.sn));                        // line 18
-        me.lcounter = 0;                                      // line 19
-        if (l == j * k_) {                                    // line 20
-          me.limit = base::sat_mul(k_, me.limit);             // line 21
-        }
-        me.l0 = 1 + (l % k_);                                 // line 22
-        return;                                               // line 23
-      }
-    }
-    // Every switch of the interval is set: enough increments are visible
-    // globally that this batch may stay local (Claim III.6 absorbs it).
-    me.l0 = 1;                                                // line 24
-    me.limit = base::sat_mul(k_, me.limit);                   // line 28
-  } else {
-    if (!switches_.at(0).test_and_set()) {                    // line 26
-      me.lcounter = 0;                                        // line 27
-    }
-    me.limit = base::sat_mul(k_, me.limit);                   // line 28
-  }
-}
-
-std::uint64_t KMultCounter::read(unsigned pid) {
-  assert(pid < n_);
-  Local& me = locals_[pid];
-  std::uint64_t c = 0;                                        // line 36
-  std::uint64_t p = 0;
-  std::uint64_t q = 0;
-  bool advanced = false;  // did the while loop run in *this* call?
-  while (switches_.at(me.last).read()) {                      // line 37
-    advanced = true;
-    p = me.last % k_;                                         // line 38
-    q = me.last / k_;                                         // line 39
-    // Scan only the first (qk+1) and last ((q+1)k) switch per interval.
-    if (me.last % k_ == 0) {                                  // line 40
-      me.last += 1;                                           // line 41
-    } else {
-      me.last += k_ - 1;                                      // line 43
-    }
-    c += 1;                                                   // line 44
-    if (c % n_ == 0) {                                        // line 45
-      if (c == n_) {                                          // line 46
-        for (unsigned i = 0; i < n_; ++i) {                   // lines 47–48
-          me.help[i] = unpack_sn(h_[i].read());
-        }
-      } else {
-        for (unsigned i = 0; i < n_; ++i) {                   // lines 50–51
-          const std::uint64_t pair = h_[i].read();
-          if (unpack_sn(pair) >= me.help[i] + 2) {            // line 52
-            // Process i completed a full announce inside this read; its
-            // switch index is a safe linearization witness (Lemma III.3).
-            me.helping_returns += 1;
-            const std::uint64_t val = unpack_val(pair);
-            return return_value(val % k_, val / k_);          // lines 53–55
-          }
-        }
-      }
-    }
-  }
-  if (me.last == 0) return 0;                                 // lines 56–57
-  if (!advanced) {
-    // The loop exited immediately on the persistent cursor: p and q must
-    // be reconstructed from the last switch observed set, which is the
-    // scan-predecessor of last (scanned positions are ≡ 0 or 1 mod k, and
-    // each was seen set when the cursor moved past it).
-    const std::uint64_t h =
-        (me.last % k_ == 1) ? me.last - 1 : me.last - (k_ - 1);
-    p = h % k_;
-    q = h / k_;
-  }
-  return return_value(p, q);                                  // line 58
-}
-
-bool KMultCounter::switch_set_unrecorded(std::uint64_t index) const {
-  return switches_.at(index).peek_unrecorded();
-}
-
-std::uint64_t KMultCounter::first_unset_switch_unrecorded() const {
-  std::uint64_t i = 0;
-  while (switches_.at(i).peek_unrecorded()) ++i;
-  return i;
-}
+template class KMultCounterT<base::DirectBackend>;
+template class KMultCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

@@ -5,8 +5,9 @@
 //
 // Shared state (paper lines 1–3):
 //   switch_j, j ∈ ℕ — 1-bit registers supporting test&set and read,
-//     initially 0, realized as a SegmentedArray<TasBit>;
-//   H[n] — helping array of (switch index, sequence number) pairs.
+//     initially 0, realized as a SegmentedArray<TasBitT<Backend>>;
+//   H[n] — helping array of (switch index, sequence number) pairs
+//     (core/help_pack.hpp).
 //
 // Per-process persistent locals (lines 4–9): last_i, lcounter_i, limit_i,
 // sn_i, l0_i — kept in a cache-line-padded per-process block; operations
@@ -31,30 +32,41 @@
 // k^{l+1}) where qk+p is the last switch the read saw set; Claim III.6
 // shows the exact count v linearized before the read satisfies
 // v/k ≤ ReturnValue ≤ v·k whenever k ≥ √n.
+//
+// The Backend policy (base/backend.hpp) selects the zero-overhead direct
+// build or the instrumented model build; `KMultCounter` aliases the
+// instrumented instantiation (the pre-policy behaviour).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "base/backend.hpp"
+#include "base/kmath.hpp"
 #include "base/register.hpp"
 #include "base/segmented_array.hpp"
 #include "base/test_and_set.hpp"
+#include "core/help_pack.hpp"
 
 namespace approx::core {
 
 /// Wait-free linearizable k-multiplicative-accurate unbounded counter
 /// (Algorithm 1). Accuracy requires k ≥ √n; the constructor accepts any
 /// k ≥ 2 so the k-sensitivity experiment (E3) can explore the threshold.
-class KMultCounter {
+template <typename Backend = base::InstrumentedBackend>
+class KMultCounterT {
  public:
-  /// @param num_processes n; pids are 0..n-1.
-  /// @param k accuracy parameter, k ≥ 2. The paper's accuracy guarantee
-  ///   (Theorem III.9) holds for k ≥ √n.
-  KMultCounter(unsigned num_processes, std::uint64_t k);
+  using backend_type = Backend;
 
-  KMultCounter(const KMultCounter&) = delete;
-  KMultCounter& operator=(const KMultCounter&) = delete;
+  /// @param num_processes n; pids are 0..n-1.
+  /// @param k accuracy parameter, 2 ≤ k ≤ kMaxSupportedK. The paper's
+  ///   accuracy guarantee (Theorem III.9) holds for k ≥ √n.
+  KMultCounterT(unsigned num_processes, std::uint64_t k);
+
+  KMultCounterT(const KMultCounterT&) = delete;
+  KMultCounterT& operator=(const KMultCounterT&) = delete;
 
   /// CounterIncrement (paper lines 10–29). At most one thread per pid.
   void increment(unsigned pid);
@@ -103,19 +115,154 @@ class KMultCounter {
     std::vector<std::uint64_t> help;  // baseline seq numbers (helping scan)
   };
 
-  static std::uint64_t pack(std::uint64_t val, std::uint64_t sn) noexcept {
-    return (val << 24) | (sn & 0xFFFFFF);
-  }
-  static std::uint64_t unpack_val(std::uint64_t h) noexcept { return h >> 24; }
-  static std::uint64_t unpack_sn(std::uint64_t h) noexcept {
-    return h & 0xFFFFFF;
-  }
-
   unsigned n_;
   std::uint64_t k_;
-  base::SegmentedArray<base::TasBit> switches_;
-  std::unique_ptr<base::Register<std::uint64_t>[]> h_;  // H[n], packed pairs
+  base::SegmentedArray<base::TasBitT<Backend>> switches_;
+  std::unique_ptr<base::Register<std::uint64_t, Backend>[]> h_;  // H[n]
   std::unique_ptr<Local[]> locals_;
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using KMultCounter = KMultCounterT<base::InstrumentedBackend>;
+
+// ---------------------------------------------------------------------
+// Implementation. Line numbers in comments refer to the paper's
+// pseudocode.
+// ---------------------------------------------------------------------
+
+template <typename Backend>
+KMultCounterT<Backend>::KMultCounterT(unsigned num_processes, std::uint64_t k)
+    : n_(num_processes),
+      k_(k),
+      h_(new base::Register<std::uint64_t, Backend>[num_processes]),
+      locals_(new Local[num_processes]) {
+  assert(num_processes >= 1);
+  assert(k >= 2 && "the multiplicative parameter must be at least 2");
+  check_help_pack_k(k);
+  for (unsigned i = 0; i < num_processes; ++i) {
+    locals_[i].help.assign(num_processes, 0);
+  }
+}
+
+template <typename Backend>
+bool KMultCounterT<Backend>::accuracy_guaranteed() const noexcept {
+  return k_ >= base::ceil_sqrt(n_);
+}
+
+// Lines 30–34: ReturnValue(p, q) = k · (1 + p·k^{q+1} + Σ_{l=1}^{q} k^{l+1}).
+// Saturating arithmetic: a saturated return still satisfies the band
+// (see base/kmath.hpp), and reaching it would need ≥ 2^64 increments.
+template <typename Backend>
+std::uint64_t KMultCounterT<Backend>::return_value(std::uint64_t p,
+                                                   std::uint64_t q) const {
+  std::uint64_t ret = base::sat_add(1, base::sat_mul(p, base::pow_k(k_, q + 1)));
+  for (std::uint64_t l = 1; l <= q; ++l) {                    // line 33
+    ret = base::sat_add(ret, base::pow_k(k_, l + 1));
+  }
+  return base::sat_mul(k_, ret);                              // line 34
+}
+
+template <typename Backend>
+void KMultCounterT<Backend>::increment(unsigned pid) {
+  assert(pid < n_);
+  Local& me = locals_[pid];
+  me.lcounter += 1;                                           // line 11
+  if (me.lcounter != me.limit) return;                        // line 12
+  const std::uint64_t j = base::exact_log_k(k_, me.lcounter); // line 13
+  if (j > 0) {                                                // line 14
+    // Try to announce k^j increments on one switch of interval
+    // [(j-1)k+1, jk], resuming at the persistent offset l0 (line 15).
+    for (std::uint64_t l = (j - 1) * k_ + me.l0; l <= j * k_; ++l) {
+      if (!switches_.at(l).test_and_set()) {                  // line 16
+        me.sn += 1;                                           // line 17
+        h_[pid].write(pack_help(l, me.sn));                   // line 18
+        me.lcounter = 0;                                      // line 19
+        if (l == j * k_) {                                    // line 20
+          me.limit = base::sat_mul(k_, me.limit);             // line 21
+        }
+        me.l0 = 1 + (l % k_);                                 // line 22
+        return;                                               // line 23
+      }
+    }
+    // Every switch of the interval is set: enough increments are visible
+    // globally that this batch may stay local (Claim III.6 absorbs it).
+    me.l0 = 1;                                                // line 24
+    me.limit = base::sat_mul(k_, me.limit);                   // line 28
+  } else {
+    if (!switches_.at(0).test_and_set()) {                    // line 26
+      me.lcounter = 0;                                        // line 27
+    }
+    me.limit = base::sat_mul(k_, me.limit);                   // line 28
+  }
+}
+
+template <typename Backend>
+std::uint64_t KMultCounterT<Backend>::read(unsigned pid) {
+  assert(pid < n_);
+  Local& me = locals_[pid];
+  std::uint64_t c = 0;                                        // line 36
+  std::uint64_t p = 0;
+  std::uint64_t q = 0;
+  bool advanced = false;  // did the while loop run in *this* call?
+  while (switches_.at(me.last).read()) {                      // line 37
+    advanced = true;
+    p = me.last % k_;                                         // line 38
+    q = me.last / k_;                                         // line 39
+    // Scan only the first (qk+1) and last ((q+1)k) switch per interval.
+    if (me.last % k_ == 0) {                                  // line 40
+      me.last += 1;                                           // line 41
+    } else {
+      me.last += k_ - 1;                                      // line 43
+    }
+    c += 1;                                                   // line 44
+    if (c % n_ == 0) {                                        // line 45
+      if (c == n_) {                                          // line 46
+        for (unsigned i = 0; i < n_; ++i) {                   // lines 47–48
+          me.help[i] = unpack_help_sn(h_[i].read());
+        }
+      } else {
+        for (unsigned i = 0; i < n_; ++i) {                   // lines 50–51
+          const std::uint64_t pair = h_[i].read();
+          if (unpack_help_sn(pair) >= me.help[i] + 2) {       // line 52
+            // Process i completed a full announce inside this read; its
+            // switch index is a safe linearization witness (Lemma III.3).
+            me.helping_returns += 1;
+            const std::uint64_t val = unpack_help_position(pair);
+            return return_value(val % k_, val / k_);          // lines 53–55
+          }
+        }
+      }
+    }
+  }
+  if (me.last == 0) return 0;                                 // lines 56–57
+  if (!advanced) {
+    // The loop exited immediately on the persistent cursor: p and q must
+    // be reconstructed from the last switch observed set, which is the
+    // scan-predecessor of last (scanned positions are ≡ 0 or 1 mod k, and
+    // each was seen set when the cursor moved past it).
+    const std::uint64_t h =
+        (me.last % k_ == 1) ? me.last - 1 : me.last - (k_ - 1);
+    p = h % k_;
+    q = h / k_;
+  }
+  return return_value(p, q);                                  // line 58
+}
+
+template <typename Backend>
+bool KMultCounterT<Backend>::switch_set_unrecorded(std::uint64_t index) const {
+  return switches_.at(index).peek_unrecorded();
+}
+
+template <typename Backend>
+std::uint64_t KMultCounterT<Backend>::first_unset_switch_unrecorded() const {
+  std::uint64_t i = 0;
+  while (switches_.at(i).peek_unrecorded()) ++i;
+  return i;
+}
+
+// Compiled in kmult_counter.cpp for the two shipped backends; other
+// backends instantiate from this header.
+extern template class KMultCounterT<base::DirectBackend>;
+extern template class KMultCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

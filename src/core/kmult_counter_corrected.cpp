@@ -1,182 +1,10 @@
+// Explicit instantiations of the corrected Algorithm 1 for the two
+// shipped backends (definitions live in the header).
 #include "core/kmult_counter_corrected.hpp"
-
-#include <cassert>
-
-#include "base/kmath.hpp"
 
 namespace approx::core {
 
-KMultCounterCorrected::KMultCounterCorrected(unsigned num_processes,
-                                             std::uint64_t k)
-    : n_(num_processes),
-      k_(k),
-      h_(new base::Register<std::uint64_t>[num_processes]),
-      locals_(new Local[num_processes]) {
-  assert(num_processes >= 1);
-  assert(k >= 2 && "the multiplicative parameter must be at least 2");
-  for (unsigned i = 0; i < num_processes; ++i) {
-    locals_[i].help.assign(num_processes, 0);
-  }
-}
-
-bool KMultCounterCorrected::accuracy_guaranteed() const noexcept {
-  return k_ >= base::ceil_sqrt(n_);
-}
-
-std::uint64_t KMultCounterCorrected::value_at_position(
-    std::uint64_t position) const {
-  std::uint64_t announced;
-  if (position <= k_) {
-    // Singles: position h set ⇒ h+1 increments announced (prefix).
-    announced = position + 1;
-  } else {
-    // position = qk + p in I_q (q ≥ 1, p ∈ [1, k]): all singles, all of
-    // I_1..I_{q−1} (k^{l+1} each), and p switches of I_q (k^q each).
-    const std::uint64_t q = (position - 1) / k_;
-    const std::uint64_t p = position - q * k_;
-    announced = k_ + 1;
-    for (std::uint64_t l = 1; l < q; ++l) {
-      announced = base::sat_add(announced, base::pow_k(k_, l + 1));
-    }
-    announced = base::sat_add(announced, base::sat_mul(p, base::pow_k(k_, q)));
-  }
-  return base::sat_mul(k_, announced);
-}
-
-void KMultCounterCorrected::increment(unsigned pid) {
-  assert(pid < n_);
-  Local& me = locals_[pid];
-  me.lcounter += 1;
-  if (me.lcounter != me.limit) return;
-
-  if (me.limit == 1) {
-    // Bootstrap: announce this single increment on one of the k+1 unit
-    // switches. Losing all of them proves the singles are exhausted.
-    for (std::uint64_t l = me.single_cursor; l <= k_; ++l) {
-      if (!switches_.at(l).test_and_set()) {
-        me.sn += 1;
-        h_[pid].write(pack(l, me.sn));
-        me.lcounter = 0;
-        me.single_cursor = l + 1;
-        if (l == k_) me.limit = k_;  // singles finished by this very win
-        return;
-      }
-    }
-    me.single_cursor = k_ + 1;
-    me.limit = k_;  // keep the batch; it is dominated by k·(k+1) announced
-    return;
-  }
-
-  // limit = k^q: announce the batch on one switch of I_q = [qk+1, (q+1)k].
-  const std::uint64_t q = base::exact_log_k(k_, me.limit);
-  for (std::uint64_t l = q * k_ + me.offset; l <= (q + 1) * k_; ++l) {
-    if (!switches_.at(l).test_and_set()) {
-      me.sn += 1;
-      h_[pid].write(pack(l, me.sn));
-      me.lcounter = 0;
-      if (l == (q + 1) * k_) {
-        me.limit = base::sat_mul(k_, me.limit);
-        me.offset = 1;
-      } else {
-        me.offset = l - q * k_ + 1;
-      }
-      return;
-    }
-  }
-  me.offset = 1;
-  me.limit = base::sat_mul(k_, me.limit);
-}
-
-std::uint64_t KMultCounterCorrected::next_scan_position(
-    std::uint64_t pos) const {
-  if (pos < k_) return pos + 1;        // dense within the singles
-  if (pos == k_) return k_ + 1;        // first switch of I_1
-  // Inside I_q we visit only its first (qk+1) and last ((q+1)k) switch.
-  if (pos % k_ == 0) return pos + 1;   // last of I_q → first of I_{q+1}
-  return pos + (k_ - 1);               // first of I_q → last of I_q
-}
-
-std::uint64_t KMultCounterCorrected::previous_scan_position(
-    std::uint64_t pos) const {
-  assert(pos >= 1);
-  if (pos <= k_ + 1) return pos - 1;   // singles region and first of I_1
-  if (pos % k_ == 1) return pos - 1;   // first of I_q ← last of I_{q−1}
-  return pos - (k_ - 1);               // last of I_q ← first of I_q
-}
-
-std::uint64_t KMultCounterCorrected::read(unsigned pid) {
-  assert(pid < n_);
-  Local& me = locals_[pid];
-  std::uint64_t c = 0;
-  std::uint64_t h = 0;
-  bool advanced = false;
-  while (switches_.at(me.last).read()) {
-    advanced = true;
-    h = me.last;
-    me.last = next_scan_position(me.last);
-    c += 1;
-    if (c % n_ == 0) {
-      if (c == n_) {
-        for (unsigned i = 0; i < n_; ++i) {
-          me.help[i] = unpack_sn(h_[i].read());
-        }
-      } else {
-        for (unsigned i = 0; i < n_; ++i) {
-          const std::uint64_t pair = h_[i].read();
-          if (unpack_sn(pair) >= me.help[i] + 2) {
-            me.helping_returns += 1;
-            return value_at_position(unpack_val(pair));
-          }
-        }
-      }
-    }
-  }
-  if (me.last == 0) return 0;
-  if (!advanced) h = previous_scan_position(me.last);
-  return value_at_position(h);
-}
-
-std::uint64_t KMultCounterCorrected::read_fast(unsigned pid) {
-  // Retry the search a few times under concurrent prefix growth; each
-  // retry implies at least one new switch was set meanwhile. Afterwards
-  // fall back to the linear read, whose helping mechanism guarantees
-  // termination (wait-freedom) regardless of writer behaviour.
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    // Doubling phase: find some unset index (the prefix is finite).
-    std::uint64_t hi = 1;
-    if (!switches_.at(0).read()) return 0;
-    while (switches_.at(hi).read()) {
-      hi = hi * 2;
-    }
-    // Invariant: switch_lo was seen set, switch_hi was seen unset.
-    std::uint64_t lo = hi / 2;  // last probe of the doubling that was set
-    while (lo + 1 < hi) {
-      const std::uint64_t mid = lo + (hi - lo) / 2;
-      if (switches_.at(mid).read()) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    // Verification in real-time order: h set, then h+1 unset. Both
-    // observations holding in this order pins a configuration where the
-    // set prefix is exactly [0, h] (switches only ever rise).
-    if (switches_.at(lo).read() && !switches_.at(lo + 1).read()) {
-      return value_at_position(lo);
-    }
-    // The boundary moved past lo+1; writers are making progress — retry.
-  }
-  return read(pid);
-}
-
-bool KMultCounterCorrected::switch_set_unrecorded(std::uint64_t index) const {
-  return switches_.at(index).peek_unrecorded();
-}
-
-std::uint64_t KMultCounterCorrected::first_unset_switch_unrecorded() const {
-  std::uint64_t i = 0;
-  while (switches_.at(i).peek_unrecorded()) ++i;
-  return i;
-}
+template class KMultCounterCorrectedT<base::DirectBackend>;
+template class KMultCounterCorrectedT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

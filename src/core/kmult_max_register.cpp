@@ -1,34 +1,10 @@
+// Explicit instantiations of Algorithm 2 for the two shipped backends
+// (definitions live in the header).
 #include "core/kmult_max_register.hpp"
-
-#include <cassert>
-
-#include "base/kmath.hpp"
 
 namespace approx::core {
 
-namespace {
-// Capacity of the exact index register: indices run over
-// {0} ∪ {1, ..., ⌊log_k(m−1)⌋ + 1}, hence ⌊log_k(m−1)⌋ + 2 values.
-std::uint64_t index_capacity(std::uint64_t m, std::uint64_t k) {
-  assert(m >= 2 && k >= 2);
-  return base::floor_log_k(k, m - 1) + 2;
-}
-}  // namespace
-
-KMultMaxRegister::KMultMaxRegister(std::uint64_t m, std::uint64_t k)
-    : m_(m), k_(k), index_(index_capacity(m, k)) {}
-
-void KMultMaxRegister::write(std::uint64_t v) {
-  assert(v < m_ && "KMultMaxRegister::write: value out of range");
-  if (v == 0) return;  // 0 is the initial value; nothing to record
-  const std::uint64_t p = base::floor_log_k(k_, v) + 1;  // line 8
-  index_.write(p);                                       // line 9
-}
-
-std::uint64_t KMultMaxRegister::read() const {
-  const std::uint64_t p = index_.read();  // line 3
-  if (p == 0) return 0;                   // line 4
-  return base::pow_k(k_, p);              // line 5
-}
+template class KMultMaxRegisterT<base::DirectBackend>;
+template class KMultMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "base/backend.hpp"
 #include "base/kmath.hpp"
 #include "exact/bounded_max_register.hpp"
 
@@ -25,14 +26,17 @@ namespace approx::core {
 
 /// Unbounded (full uint64 domain) k-multiplicative-accurate max register.
 /// Worst-case O(log₂ log_k 2⁶⁴) ≤ O(log₂ 65) steps per operation.
-class KMultUnboundedMaxRegister {
+template <typename Backend = base::InstrumentedBackend>
+class KMultUnboundedMaxRegisterT {
  public:
+  using backend_type = Backend;
+
   /// @param k accuracy parameter, k ≥ 2.
-  explicit KMultUnboundedMaxRegister(std::uint64_t k)
+  explicit KMultUnboundedMaxRegisterT(std::uint64_t k)
       : k_(k), index_(base::floor_log_k(k, base::kU64Max) + 2) {}
 
-  KMultUnboundedMaxRegister(const KMultUnboundedMaxRegister&) = delete;
-  KMultUnboundedMaxRegister& operator=(const KMultUnboundedMaxRegister&) =
+  KMultUnboundedMaxRegisterT(const KMultUnboundedMaxRegisterT&) = delete;
+  KMultUnboundedMaxRegisterT& operator=(const KMultUnboundedMaxRegisterT&) =
       delete;
 
   /// Writes any 64-bit value (0 is a no-op on the abstract maximum).
@@ -59,7 +63,11 @@ class KMultUnboundedMaxRegister {
 
  private:
   std::uint64_t k_;
-  exact::BoundedMaxRegister index_;
+  exact::BoundedMaxRegisterT<Backend> index_;
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using KMultUnboundedMaxRegister =
+    KMultUnboundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

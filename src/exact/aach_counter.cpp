@@ -1,46 +1,10 @@
+// Explicit instantiations of the AACH counter for the two shipped
+// backends (definitions live in the header).
 #include "exact/aach_counter.hpp"
-
-#include <cassert>
-
-#include "base/kmath.hpp"
 
 namespace approx::exact {
 
-AachCounter::AachCounter(unsigned num_processes)
-    : n_(num_processes),
-      width_(num_processes <= 1 ? 1 : base::ceil_pow2(num_processes)),
-      leaves_(new Leaf[width_]) {
-  assert(num_processes >= 1);
-  internal_.resize(width_);  // index 0 unused
-  for (std::size_t i = 1; i < width_; ++i) {
-    internal_[i] = std::make_unique<UnboundedMaxRegister>();
-  }
-}
-
-std::uint64_t AachCounter::node_value(std::size_t index) const {
-  if (index >= width_) return leaves_[index - width_].reg.read();
-  return internal_[index]->read();
-}
-
-void AachCounter::increment(unsigned pid) {
-  assert(pid < n_);
-  Leaf& leaf = leaves_[pid];
-  leaf.reg.write(++leaf.shadow);
-  // Re-evaluate the adder circuit along the leaf-to-root path. The sums
-  // read may already be stale, but they are monotone under-approximations,
-  // so writing them through max registers never regresses the counter.
-  std::size_t node = (width_ + pid) / 2;
-  while (node >= 1) {
-    const std::uint64_t sum =
-        node_value(2 * node) + node_value(2 * node + 1);
-    internal_[node]->write(sum);
-    node /= 2;
-  }
-}
-
-std::uint64_t AachCounter::read() const {
-  if (width_ == 1) return leaves_[0].reg.read();  // single process: the leaf
-  return internal_[1]->read();
-}
+template class AachCounterT<base::DirectBackend>;
+template class AachCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -15,10 +15,13 @@
 // linearizability proof.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "base/backend.hpp"
+#include "base/kmath.hpp"
 #include "base/register.hpp"
 #include "exact/unbounded_max_register.hpp"
 
@@ -26,12 +29,15 @@ namespace approx::exact {
 
 /// Exact wait-free linearizable counter with polylogarithmic operations:
 /// O(log n · log v) increment, O(log v) read.
-class AachCounter {
+template <typename Backend = base::InstrumentedBackend>
+class AachCounterT {
  public:
-  explicit AachCounter(unsigned num_processes);
+  using backend_type = Backend;
 
-  AachCounter(const AachCounter&) = delete;
-  AachCounter& operator=(const AachCounter&) = delete;
+  explicit AachCounterT(unsigned num_processes);
+
+  AachCounterT(const AachCounterT&) = delete;
+  AachCounterT& operator=(const AachCounterT&) = delete;
 
   /// Adds one to the count. May be called only by process `pid`.
   void increment(unsigned pid);
@@ -49,12 +55,64 @@ class AachCounter {
 
   unsigned n_;
   std::size_t width_;
-  std::vector<std::unique_ptr<UnboundedMaxRegister>> internal_;  // [1, width_)
+  std::vector<std::unique_ptr<UnboundedMaxRegisterT<Backend>>>
+      internal_;  // [1, width_)
   struct alignas(64) Leaf {
-    base::Register<std::uint64_t> reg{0};
+    base::Register<std::uint64_t, Backend> reg{0};
     std::uint64_t shadow = 0;  // owner-only mirror
   };
   std::unique_ptr<Leaf[]> leaves_;
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using AachCounter = AachCounterT<base::InstrumentedBackend>;
+
+// ---------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------
+
+template <typename Backend>
+AachCounterT<Backend>::AachCounterT(unsigned num_processes)
+    : n_(num_processes),
+      width_(num_processes <= 1 ? 1 : base::ceil_pow2(num_processes)),
+      leaves_(new Leaf[width_]) {
+  assert(num_processes >= 1);
+  internal_.resize(width_);  // index 0 unused
+  for (std::size_t i = 1; i < width_; ++i) {
+    internal_[i] = std::make_unique<UnboundedMaxRegisterT<Backend>>();
+  }
+}
+
+template <typename Backend>
+std::uint64_t AachCounterT<Backend>::node_value(std::size_t index) const {
+  if (index >= width_) return leaves_[index - width_].reg.read();
+  return internal_[index]->read();
+}
+
+template <typename Backend>
+void AachCounterT<Backend>::increment(unsigned pid) {
+  assert(pid < n_);
+  Leaf& leaf = leaves_[pid];
+  leaf.reg.write(++leaf.shadow);
+  // Re-evaluate the adder circuit along the leaf-to-root path. The sums
+  // read may already be stale, but they are monotone under-approximations,
+  // so writing them through max registers never regresses the counter.
+  std::size_t node = (width_ + pid) / 2;
+  while (node >= 1) {
+    const std::uint64_t sum =
+        node_value(2 * node) + node_value(2 * node + 1);
+    internal_[node]->write(sum);
+    node /= 2;
+  }
+}
+
+template <typename Backend>
+std::uint64_t AachCounterT<Backend>::read() const {
+  if (width_ == 1) return leaves_[0].reg.read();  // single process: the leaf
+  return internal_[1]->read();
+}
+
+extern template class AachCounterT<base::DirectBackend>;
+extern template class AachCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

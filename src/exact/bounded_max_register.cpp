@@ -1,93 +1,10 @@
+// Explicit instantiations of the AACH bounded max register for the two
+// shipped backends (definitions live in the header).
 #include "exact/bounded_max_register.hpp"
-
-#include <cassert>
-
-#include "base/kmath.hpp"
 
 namespace approx::exact {
 
-// A node doubles as internal node (bit = switch) and base case (bit =
-// monotone value bit for span ≤ 2). Children are lazily CAS-published.
-struct BoundedMaxRegister::Node {
-  base::Register<std::uint8_t> bit{0};
-  std::atomic<Node*> left{nullptr};
-  std::atomic<Node*> right{nullptr};
-};
-
-BoundedMaxRegister::BoundedMaxRegister(std::uint64_t capacity)
-    : capacity_(capacity),
-      span_(capacity <= 1 ? 1 : base::ceil_pow2(capacity)),
-      depth_(capacity <= 1 ? 0 : base::ceil_log2(capacity)),
-      root_(new Node) {
-  assert(capacity >= 1);
-}
-
-BoundedMaxRegister::~BoundedMaxRegister() { destroy(root_); }
-
-void BoundedMaxRegister::destroy(Node* node) noexcept {
-  if (node == nullptr) return;
-  destroy(node->left.load(std::memory_order_relaxed));
-  destroy(node->right.load(std::memory_order_relaxed));
-  delete node;
-}
-
-BoundedMaxRegister::Node* BoundedMaxRegister::child(
-    std::atomic<Node*>& slot) {
-  Node* node = slot.load(std::memory_order_acquire);
-  if (node == nullptr) {
-    Node* fresh = new Node;
-    if (slot.compare_exchange_strong(node, fresh, std::memory_order_acq_rel,
-                                     std::memory_order_acquire)) {
-      node = fresh;
-    } else {
-      delete fresh;  // another process published the node first
-    }
-  }
-  return node;
-}
-
-void BoundedMaxRegister::write_at(Node& node, std::uint64_t span,
-                                  std::uint64_t v) {
-  if (span <= 2) {
-    // Base case: monotone bit. Writing 0 never lowers the maximum.
-    if (v != 0) node.bit.write(1);
-    return;
-  }
-  const std::uint64_t half = span / 2;
-  if (v >= half) {
-    // Publish the shifted value in the right half *before* raising the
-    // switch; a reader that sees the switch up must find the value.
-    write_at(*child(node.right), half, v - half);
-    node.bit.write(1);
-  } else {
-    // Left-half writes are obsolete once the switch is up.
-    if (node.bit.read() == 0) {
-      write_at(*child(node.left), half, v);
-    }
-  }
-}
-
-std::uint64_t BoundedMaxRegister::read_at(const Node& node,
-                                          std::uint64_t span) {
-  if (span <= 2) return node.bit.read();
-  const std::uint64_t half = span / 2;
-  if (node.bit.read() != 0) {
-    auto& self = const_cast<Node&>(node);
-    return half + read_at(*child(self.right), half);
-  }
-  auto& self = const_cast<Node&>(node);
-  return read_at(*child(self.left), half);
-}
-
-void BoundedMaxRegister::write(std::uint64_t v) {
-  assert(v < capacity_ && "BoundedMaxRegister::write: value out of range");
-  if (capacity_ <= 1) return;  // only value 0 is representable
-  write_at(*root_, span_, v);
-}
-
-std::uint64_t BoundedMaxRegister::read() const {
-  if (capacity_ <= 1) return 0;
-  return read_at(*root_, span_);
-}
+template class BoundedMaxRegisterT<base::DirectBackend>;
+template class BoundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -23,12 +23,16 @@
 // The tree is allocated lazily along accessed paths (CAS-published nodes),
 // so a register with capacity 2^62 costs 62 node allocations per distinct
 // path, not 2^62. Allocation is bookkeeping below the model: only switch
-// and leaf primitives are charged as steps.
+// and leaf primitives are charged as steps (under InstrumentedBackend;
+// DirectBackend charges nothing — see base/backend.hpp).
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
+#include "base/backend.hpp"
+#include "base/kmath.hpp"
 #include "base/object_id.hpp"
 #include "base/register.hpp"
 
@@ -37,15 +41,18 @@ namespace approx::exact {
 /// Wait-free linearizable exact max register over values [0, capacity),
 /// built from read/write registers only. Worst-case O(log capacity) steps
 /// per operation.
-class BoundedMaxRegister {
+template <typename Backend = base::InstrumentedBackend>
+class BoundedMaxRegisterT {
  public:
+  using backend_type = Backend;
+
   /// @param capacity number of representable values; the register holds
   ///   the maximum value written among {0, ..., capacity-1}. capacity ≥ 1.
-  explicit BoundedMaxRegister(std::uint64_t capacity);
-  ~BoundedMaxRegister();
+  explicit BoundedMaxRegisterT(std::uint64_t capacity);
+  ~BoundedMaxRegisterT();
 
-  BoundedMaxRegister(const BoundedMaxRegister&) = delete;
-  BoundedMaxRegister& operator=(const BoundedMaxRegister&) = delete;
+  BoundedMaxRegisterT(const BoundedMaxRegisterT&) = delete;
+  BoundedMaxRegisterT& operator=(const BoundedMaxRegisterT&) = delete;
 
   /// Writes v (a no-op on the abstract state unless v exceeds the current
   /// maximum). Requires v < capacity().
@@ -61,7 +68,13 @@ class BoundedMaxRegister {
   [[nodiscard]] unsigned depth() const noexcept { return depth_; }
 
  private:
-  struct Node;
+  // A node doubles as internal node (bit = switch) and base case (bit =
+  // monotone value bit for span ≤ 2). Children are lazily CAS-published.
+  struct Node {
+    base::Register<std::uint8_t, Backend> bit{0};
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+  };
 
   static Node* child(std::atomic<Node*>& slot);
   static void destroy(Node* node) noexcept;
@@ -74,5 +87,101 @@ class BoundedMaxRegister {
   unsigned depth_;
   Node* root_;
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using BoundedMaxRegister = BoundedMaxRegisterT<base::InstrumentedBackend>;
+
+// ---------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------
+
+template <typename Backend>
+BoundedMaxRegisterT<Backend>::BoundedMaxRegisterT(std::uint64_t capacity)
+    : capacity_(capacity),
+      span_(capacity <= 1 ? 1 : base::ceil_pow2(capacity)),
+      depth_(capacity <= 1 ? 0 : base::ceil_log2(capacity)),
+      root_(new Node) {
+  assert(capacity >= 1);
+}
+
+template <typename Backend>
+BoundedMaxRegisterT<Backend>::~BoundedMaxRegisterT() {
+  destroy(root_);
+}
+
+template <typename Backend>
+void BoundedMaxRegisterT<Backend>::destroy(Node* node) noexcept {
+  if (node == nullptr) return;
+  destroy(node->left.load(std::memory_order_relaxed));
+  destroy(node->right.load(std::memory_order_relaxed));
+  delete node;
+}
+
+template <typename Backend>
+typename BoundedMaxRegisterT<Backend>::Node* BoundedMaxRegisterT<
+    Backend>::child(std::atomic<Node*>& slot) {
+  Node* node = slot.load(std::memory_order_acquire);
+  if (node == nullptr) {
+    Node* fresh = new Node;
+    if (slot.compare_exchange_strong(node, fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      node = fresh;
+    } else {
+      delete fresh;  // another process published the node first
+    }
+  }
+  return node;
+}
+
+template <typename Backend>
+void BoundedMaxRegisterT<Backend>::write_at(Node& node, std::uint64_t span,
+                                            std::uint64_t v) {
+  if (span <= 2) {
+    // Base case: monotone bit. Writing 0 never lowers the maximum.
+    if (v != 0) node.bit.write(1);
+    return;
+  }
+  const std::uint64_t half = span / 2;
+  if (v >= half) {
+    // Publish the shifted value in the right half *before* raising the
+    // switch; a reader that sees the switch up must find the value.
+    write_at(*child(node.right), half, v - half);
+    node.bit.write(1);
+  } else {
+    // Left-half writes are obsolete once the switch is up.
+    if (node.bit.read() == 0) {
+      write_at(*child(node.left), half, v);
+    }
+  }
+}
+
+template <typename Backend>
+std::uint64_t BoundedMaxRegisterT<Backend>::read_at(const Node& node,
+                                                    std::uint64_t span) {
+  if (span <= 2) return node.bit.read();
+  const std::uint64_t half = span / 2;
+  if (node.bit.read() != 0) {
+    auto& self = const_cast<Node&>(node);
+    return half + read_at(*child(self.right), half);
+  }
+  auto& self = const_cast<Node&>(node);
+  return read_at(*child(self.left), half);
+}
+
+template <typename Backend>
+void BoundedMaxRegisterT<Backend>::write(std::uint64_t v) {
+  assert(v < capacity_ && "BoundedMaxRegister::write: value out of range");
+  if (capacity_ <= 1) return;  // only value 0 is representable
+  write_at(*root_, span_, v);
+}
+
+template <typename Backend>
+std::uint64_t BoundedMaxRegisterT<Backend>::read() const {
+  if (capacity_ <= 1) return 0;
+  return read_at(*root_, span_);
+}
+
+extern template class BoundedMaxRegisterT<base::DirectBackend>;
+extern template class BoundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -21,20 +21,24 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/backend.hpp"
 #include "base/register.hpp"
 
 namespace approx::exact {
 
 /// Exact wait-free linearizable counter: O(1) increment, O(n) read.
-class CollectCounter {
+template <typename Backend = base::InstrumentedBackend>
+class CollectCounterT {
  public:
-  explicit CollectCounter(unsigned num_processes)
+  using backend_type = Backend;
+
+  explicit CollectCounterT(unsigned num_processes)
       : n_(num_processes), slots_(new Slot[num_processes]) {
     assert(num_processes >= 1);
   }
 
-  CollectCounter(const CollectCounter&) = delete;
-  CollectCounter& operator=(const CollectCounter&) = delete;
+  CollectCounterT(const CollectCounterT&) = delete;
+  CollectCounterT& operator=(const CollectCounterT&) = delete;
 
   /// Adds one to the count. May be called only by process `pid` (single
   /// writer per component). One write step.
@@ -58,12 +62,15 @@ class CollectCounter {
  private:
   // Padded to a cache line: per-process components must not false-share.
   struct alignas(64) Slot {
-    base::Register<std::uint64_t> reg{0};
+    base::Register<std::uint64_t, Backend> reg{0};
     std::uint64_t shadow = 0;  // owner-only mirror of reg
   };
 
   unsigned n_;
   std::unique_ptr<Slot[]> slots_;
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using CollectCounter = CollectCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

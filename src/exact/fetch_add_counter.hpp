@@ -8,38 +8,46 @@
 //
 // For step accounting we charge one write step per increment and one read
 // step per read; the hardware RMW has no counterpart among the model's
-// primitive kinds (documented in DESIGN.md §2.2).
+// primitive kinds (documented in DESIGN.md §2.2). Under DirectBackend the
+// counter is a bare atomic cell.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "base/backend.hpp"
 #include "base/object_id.hpp"
 #include "base/step_recorder.hpp"
 
 namespace approx::exact {
 
 /// Exact linearizable counter backed by a single fetch&add cell.
-class FetchAddCounter {
+template <typename Backend = base::InstrumentedBackend>
+class FetchAddCounterT {
  public:
-  FetchAddCounter() : id_(base::next_object_id()) {}
+  using backend_type = Backend;
 
-  FetchAddCounter(const FetchAddCounter&) = delete;
-  FetchAddCounter& operator=(const FetchAddCounter&) = delete;
+  FetchAddCounterT() = default;
+
+  FetchAddCounterT(const FetchAddCounterT&) = delete;
+  FetchAddCounterT& operator=(const FetchAddCounterT&) = delete;
 
   void increment() {
-    base::record_step(id_, base::PrimitiveKind::kWrite);
+    Backend::on_step(handle_, base::PrimitiveKind::kWrite);
     cell_.fetch_add(1, std::memory_order_seq_cst);
   }
 
   [[nodiscard]] std::uint64_t read() const {
-    base::record_step(id_, base::PrimitiveKind::kRead);
+    Backend::on_step(handle_, base::PrimitiveKind::kRead);
     return cell_.load(std::memory_order_seq_cst);
   }
 
  private:
-  base::ObjectId id_;
+  [[no_unique_address]] typename Backend::ObjectHandle handle_;
   std::atomic<std::uint64_t> cell_{0};
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using FetchAddCounter = FetchAddCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -1,90 +1,10 @@
+// Explicit instantiations of the Afek et al. snapshot for the two shipped
+// backends (definitions live in the header).
 #include "exact/snapshot.hpp"
-
-#include <cassert>
 
 namespace approx::exact {
 
-Snapshot::Snapshot(unsigned num_processes)
-    : slots_(num_processes), initial_(new Record[num_processes]) {
-  assert(num_processes >= 1);
-  for (unsigned i = 0; i < num_processes; ++i) {
-    slots_[i].id = base::next_object_id();
-    slots_[i].record.store(&initial_[i], std::memory_order_relaxed);
-  }
-}
-
-Snapshot::~Snapshot() {
-  Record* node = retired_.load(std::memory_order_relaxed);
-  while (node != nullptr) {
-    Record* next = node->retired_next;
-    delete node;
-    node = next;
-  }
-  for (auto& slot : slots_) {
-    Record* rec = slot.record.load(std::memory_order_relaxed);
-    if (rec != nullptr && rec->seq != 0) delete rec;  // seq 0 lives in initial_
-  }
-}
-
-void Snapshot::retire(Record* record) const {
-  if (record == nullptr || record->seq == 0) return;  // initial records
-  Record* head = retired_.load(std::memory_order_relaxed);
-  do {
-    record->retired_next = head;
-  } while (!retired_.compare_exchange_weak(head, record,
-                                           std::memory_order_release,
-                                           std::memory_order_relaxed));
-}
-
-std::vector<const Snapshot::Record*> Snapshot::collect() const {
-  std::vector<const Record*> records(slots_.size());
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    base::record_step(slots_[i].id, base::PrimitiveKind::kRead);
-    records[i] = slots_[i].record.load(std::memory_order_seq_cst);
-  }
-  return records;
-}
-
-std::vector<std::uint64_t> Snapshot::scan() const {
-  const unsigned n = num_processes();
-  std::vector<unsigned> moved(n, 0);
-  std::vector<const Record*> first = collect();
-  for (;;) {
-    std::vector<const Record*> second = collect();
-    bool clean = true;
-    for (unsigned i = 0; i < n; ++i) {
-      if (first[i] != second[i]) {
-        clean = false;
-        // `moved` counts observed moves relative to our own collects; a
-        // second move means the writer performed a complete update —
-        // including its embedded scan — inside our interval.
-        if (++moved[i] >= 2) {
-          assert(!second[i]->view.empty());
-          helped_scans_.fetch_add(1, std::memory_order_relaxed);
-          return second[i]->view;
-        }
-      }
-    }
-    if (clean) {
-      std::vector<std::uint64_t> view(n);
-      for (unsigned i = 0; i < n; ++i) view[i] = second[i]->value;
-      return view;
-    }
-    first = std::move(second);
-  }
-}
-
-void Snapshot::update(unsigned pid, std::uint64_t value) {
-  assert(pid < slots_.size());
-  auto* record = new Record;
-  record->value = value;
-  record->view = scan();  // embedded view for scanner helping
-  Slot& slot = slots_[pid];
-  Record* previous = slot.record.load(std::memory_order_seq_cst);
-  record->seq = previous->seq + 1;
-  base::record_step(slot.id, base::PrimitiveKind::kWrite);
-  slot.record.store(record, std::memory_order_seq_cst);
-  retire(previous);
-}
+template class SnapshotT<base::DirectBackend>;
+template class SnapshotT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

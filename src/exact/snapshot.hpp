@@ -21,10 +21,12 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "base/object_id.hpp"
 #include "base/step_recorder.hpp"
 
@@ -32,13 +34,16 @@ namespace approx::exact {
 
 /// n-component single-writer atomic snapshot over uint64 values.
 /// Component i may be updated only by process i; any process may scan.
-class Snapshot {
+template <typename Backend = base::InstrumentedBackend>
+class SnapshotT {
  public:
-  explicit Snapshot(unsigned num_processes);
-  ~Snapshot();
+  using backend_type = Backend;
 
-  Snapshot(const Snapshot&) = delete;
-  Snapshot& operator=(const Snapshot&) = delete;
+  explicit SnapshotT(unsigned num_processes);
+  ~SnapshotT();
+
+  SnapshotT(const SnapshotT&) = delete;
+  SnapshotT& operator=(const SnapshotT&) = delete;
 
   /// Atomically sets component `pid` to `value`. Single writer per pid.
   void update(unsigned pid, std::uint64_t value);
@@ -67,7 +72,7 @@ class Snapshot {
   };
 
   struct Slot {
-    base::ObjectId id = base::kInvalidObjectId;
+    [[no_unique_address]] typename Backend::ObjectHandle id;
     std::atomic<Record*> record{nullptr};
   };
 
@@ -81,5 +86,103 @@ class Snapshot {
   mutable std::atomic<Record*> retired_{nullptr};
   mutable std::atomic<std::uint64_t> helped_scans_{0};  // diagnostic
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using Snapshot = SnapshotT<base::InstrumentedBackend>;
+
+// ---------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------
+
+template <typename Backend>
+SnapshotT<Backend>::SnapshotT(unsigned num_processes)
+    : slots_(num_processes), initial_(new Record[num_processes]) {
+  assert(num_processes >= 1);
+  for (unsigned i = 0; i < num_processes; ++i) {
+    slots_[i].record.store(&initial_[i], std::memory_order_relaxed);
+  }
+}
+
+template <typename Backend>
+SnapshotT<Backend>::~SnapshotT() {
+  Record* node = retired_.load(std::memory_order_relaxed);
+  while (node != nullptr) {
+    Record* next = node->retired_next;
+    delete node;
+    node = next;
+  }
+  for (auto& slot : slots_) {
+    Record* rec = slot.record.load(std::memory_order_relaxed);
+    if (rec != nullptr && rec->seq != 0) delete rec;  // seq 0 lives in initial_
+  }
+}
+
+template <typename Backend>
+void SnapshotT<Backend>::retire(Record* record) const {
+  if (record == nullptr || record->seq == 0) return;  // initial records
+  Record* head = retired_.load(std::memory_order_relaxed);
+  do {
+    record->retired_next = head;
+  } while (!retired_.compare_exchange_weak(head, record,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+}
+
+template <typename Backend>
+auto SnapshotT<Backend>::collect() const -> std::vector<const Record*> {
+  std::vector<const Record*> records(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Backend::on_step(slots_[i].id, base::PrimitiveKind::kRead);
+    records[i] = slots_[i].record.load(std::memory_order_seq_cst);
+  }
+  return records;
+}
+
+template <typename Backend>
+std::vector<std::uint64_t> SnapshotT<Backend>::scan() const {
+  const unsigned n = num_processes();
+  std::vector<unsigned> moved(n, 0);
+  std::vector<const Record*> first = collect();
+  for (;;) {
+    std::vector<const Record*> second = collect();
+    bool clean = true;
+    for (unsigned i = 0; i < n; ++i) {
+      if (first[i] != second[i]) {
+        clean = false;
+        // `moved` counts observed moves relative to our own collects; a
+        // second move means the writer performed a complete update —
+        // including its embedded scan — inside our interval.
+        if (++moved[i] >= 2) {
+          assert(!second[i]->view.empty());
+          helped_scans_.fetch_add(1, std::memory_order_relaxed);
+          return second[i]->view;
+        }
+      }
+    }
+    if (clean) {
+      std::vector<std::uint64_t> view(n);
+      for (unsigned i = 0; i < n; ++i) view[i] = second[i]->value;
+      return view;
+    }
+    first = std::move(second);
+  }
+}
+
+template <typename Backend>
+void SnapshotT<Backend>::update(unsigned pid, std::uint64_t value) {
+  assert(pid < slots_.size());
+  auto* record = new Record;
+  record->value = value;
+  record->view = scan();  // embedded view for scanner helping
+  Slot& slot = slots_[pid];
+  Record* previous = slot.record.load(std::memory_order_seq_cst);
+  record->seq = previous->seq + 1;
+  Backend::on_step(slot.id, base::PrimitiveKind::kWrite);
+  slot.record.store(record, std::memory_order_seq_cst);
+  retire(previous);
+}
+
+extern template class SnapshotT<base::DirectBackend>;
+extern template class SnapshotT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -17,18 +17,22 @@
 #include <numeric>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "exact/snapshot.hpp"
 
 namespace approx::exact {
 
 /// Exact wait-free linearizable counter layered on an atomic snapshot.
-class SnapshotCounter {
+template <typename Backend = base::InstrumentedBackend>
+class SnapshotCounterT {
  public:
-  explicit SnapshotCounter(unsigned num_processes)
+  using backend_type = Backend;
+
+  explicit SnapshotCounterT(unsigned num_processes)
       : snapshot_(num_processes), local_(num_processes, 0) {}
 
-  SnapshotCounter(const SnapshotCounter&) = delete;
-  SnapshotCounter& operator=(const SnapshotCounter&) = delete;
+  SnapshotCounterT(const SnapshotCounterT&) = delete;
+  SnapshotCounterT& operator=(const SnapshotCounterT&) = delete;
 
   /// Adds one to the count. May be called only by process `pid`.
   void increment(unsigned pid) {
@@ -47,8 +51,11 @@ class SnapshotCounter {
   }
 
  private:
-  Snapshot snapshot_;
+  SnapshotT<Backend> snapshot_;
   std::vector<std::uint64_t> local_;  // owner-only increment counts
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using SnapshotCounter = SnapshotCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -1,57 +1,10 @@
+// Explicit instantiations of the unbounded exact max register for the two
+// shipped backends (definitions live in the header).
 #include "exact/unbounded_max_register.hpp"
-
-#include <cassert>
-
-#include "base/kmath.hpp"
 
 namespace approx::exact {
 
-UnboundedMaxRegister::UnboundedMaxRegister() : level_(66) {
-  for (auto& slot : mantissa_) {
-    slot.store(nullptr, std::memory_order_relaxed);
-  }
-}
-
-UnboundedMaxRegister::~UnboundedMaxRegister() {
-  for (auto& slot : mantissa_) {
-    delete slot.load(std::memory_order_relaxed);
-  }
-}
-
-BoundedMaxRegister* UnboundedMaxRegister::mantissa(unsigned exponent) const {
-  assert(exponent >= 1 && exponent < kMaxExponent);
-  std::atomic<BoundedMaxRegister*>& slot = mantissa_[exponent];
-  BoundedMaxRegister* reg = slot.load(std::memory_order_acquire);
-  if (reg == nullptr) {
-    auto fresh =
-        std::make_unique<BoundedMaxRegister>(std::uint64_t{1} << exponent);
-    if (slot.compare_exchange_strong(reg, fresh.get(),
-                                     std::memory_order_acq_rel,
-                                     std::memory_order_acquire)) {
-      reg = fresh.release();
-    }
-    // else: lost the publication race; `fresh` frees the loser.
-  }
-  return reg;
-}
-
-void UnboundedMaxRegister::write(std::uint64_t v) {
-  if (v == 0) return;  // initial value; no-op on the abstract maximum
-  const unsigned e = base::floor_log2(v);
-  if (e >= 1) {
-    // Publish the mantissa before announcing the level (see header).
-    mantissa(e)->write(v - (std::uint64_t{1} << e));
-  }
-  level_.write(e + 1);
-}
-
-std::uint64_t UnboundedMaxRegister::read() const {
-  const std::uint64_t t = level_.read();
-  if (t == 0) return 0;
-  const unsigned e = static_cast<unsigned>(t - 1);
-  const std::uint64_t base_value = e >= 64 ? 0 : (std::uint64_t{1} << e);
-  if (e == 0) return 1;
-  return base_value + mantissa(e)->read();
-}
+template class UnboundedMaxRegisterT<base::DirectBackend>;
+template class UnboundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -36,22 +36,28 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 
+#include "base/backend.hpp"
+#include "base/kmath.hpp"
 #include "exact/bounded_max_register.hpp"
 
 namespace approx::exact {
 
 /// Wait-free linearizable exact max register over [0, 2^64), built from
 /// read/write registers only. O(log v) worst-case steps per operation.
-class UnboundedMaxRegister {
+template <typename Backend = base::InstrumentedBackend>
+class UnboundedMaxRegisterT {
  public:
-  UnboundedMaxRegister();
-  ~UnboundedMaxRegister();
+  using backend_type = Backend;
 
-  UnboundedMaxRegister(const UnboundedMaxRegister&) = delete;
-  UnboundedMaxRegister& operator=(const UnboundedMaxRegister&) = delete;
+  UnboundedMaxRegisterT();
+  ~UnboundedMaxRegisterT();
+
+  UnboundedMaxRegisterT(const UnboundedMaxRegisterT&) = delete;
+  UnboundedMaxRegisterT& operator=(const UnboundedMaxRegisterT&) = delete;
 
   /// Writes v; no-op on the abstract state unless v exceeds the maximum.
   void write(std::uint64_t v);
@@ -62,10 +68,74 @@ class UnboundedMaxRegister {
  private:
   static constexpr unsigned kMaxExponent = 64;
 
-  BoundedMaxRegister* mantissa(unsigned exponent) const;
+  BoundedMaxRegisterT<Backend>* mantissa(unsigned exponent) const;
 
-  BoundedMaxRegister level_;  // stores ⌊log₂ v⌋ + 1 ∈ [0, 65]
-  mutable std::atomic<BoundedMaxRegister*> mantissa_[kMaxExponent];
+  BoundedMaxRegisterT<Backend> level_;  // stores ⌊log₂ v⌋ + 1 ∈ [0, 65]
+  mutable std::atomic<BoundedMaxRegisterT<Backend>*> mantissa_[kMaxExponent];
 };
+
+/// The model-faithful default instantiation (pre-policy class name).
+using UnboundedMaxRegister = UnboundedMaxRegisterT<base::InstrumentedBackend>;
+
+// ---------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------
+
+template <typename Backend>
+UnboundedMaxRegisterT<Backend>::UnboundedMaxRegisterT() : level_(66) {
+  for (auto& slot : mantissa_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+template <typename Backend>
+UnboundedMaxRegisterT<Backend>::~UnboundedMaxRegisterT() {
+  for (auto& slot : mantissa_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+template <typename Backend>
+BoundedMaxRegisterT<Backend>* UnboundedMaxRegisterT<Backend>::mantissa(
+    unsigned exponent) const {
+  assert(exponent >= 1 && exponent < kMaxExponent);
+  std::atomic<BoundedMaxRegisterT<Backend>*>& slot = mantissa_[exponent];
+  BoundedMaxRegisterT<Backend>* reg = slot.load(std::memory_order_acquire);
+  if (reg == nullptr) {
+    auto fresh = std::make_unique<BoundedMaxRegisterT<Backend>>(
+        std::uint64_t{1} << exponent);
+    if (slot.compare_exchange_strong(reg, fresh.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      reg = fresh.release();
+    }
+    // else: lost the publication race; `fresh` frees the loser.
+  }
+  return reg;
+}
+
+template <typename Backend>
+void UnboundedMaxRegisterT<Backend>::write(std::uint64_t v) {
+  if (v == 0) return;  // initial value; no-op on the abstract maximum
+  const unsigned e = base::floor_log2(v);
+  if (e >= 1) {
+    // Publish the mantissa before announcing the level (see header).
+    mantissa(e)->write(v - (std::uint64_t{1} << e));
+  }
+  level_.write(e + 1);
+}
+
+template <typename Backend>
+std::uint64_t UnboundedMaxRegisterT<Backend>::read() const {
+  const std::uint64_t t = level_.read();
+  if (t == 0) return 0;
+  const unsigned e = static_cast<unsigned>(t - 1);
+  const std::uint64_t base_value = e >= 64 ? 0 : (std::uint64_t{1} << e);
+  if (e == 0) return 1;
+  return base_value + mantissa(e)->read();
+}
+
+extern template class UnboundedMaxRegisterT<base::DirectBackend>;
+extern template class UnboundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

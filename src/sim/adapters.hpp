@@ -6,12 +6,25 @@
 // dispatch costs nothing in the step-complexity model (it is local
 // computation) and is negligible against a shared-memory operation in
 // wall-clock benches.
+//
+// Backend policy. Every adapter is a template over the Backend policy
+// (base/backend.hpp) with the *instrumented* backend as the default: the
+// sim pipeline — sim::StepScheduler interleavings, the lin-check history
+// drivers, the perturbation experiments and every step-counting bench —
+// requires per-primitive yield points and step recording, which only
+// InstrumentedBackend provides. The un-suffixed adapter names
+// (`KMultCounterAdapter`, ...) are pinned to that backend and are what
+// the sim/test code uses. Wall-clock throughput benches instantiate the
+// `...AdapterT<base::DirectBackend>` forms explicitly; `instrumented()`
+// lets measurement code reject a mismatched instance instead of silently
+// reporting zero steps.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "base/backend.hpp"
 #include "core/kadditive_counter.hpp"
 #include "core/kmult_counter.hpp"
 #include "core/kmult_counter_corrected.hpp"
@@ -35,6 +48,9 @@ class ICounter {
   virtual std::uint64_t read(unsigned pid) = 0;
   [[nodiscard]] virtual std::uint64_t k() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+  /// True iff primitives charge steps (InstrumentedBackend). Step-model
+  /// measurement code asserts this; wall-clock code accepts either.
+  [[nodiscard]] virtual bool instrumented() const = 0;
 };
 
 /// A max register under measurement.
@@ -45,159 +61,259 @@ class IMaxRegister {
   virtual std::uint64_t read() = 0;
   [[nodiscard]] virtual std::uint64_t k() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool instrumented() const = 0;
 };
+
+namespace detail {
+/// Appends the backend tag to direct-build adapter names so bench output
+/// distinguishes the two builds of the same algorithm.
+template <typename Backend>
+std::string tag_name(std::string name) {
+  if constexpr (!Backend::kInstrumented) name += "/direct";
+  return name;
+}
+}  // namespace detail
 
 // ---------------------------------------------------------------------
 // Counter adapters
 // ---------------------------------------------------------------------
 
-class KMultCounterAdapter final : public ICounter {
+template <typename Backend = base::InstrumentedBackend>
+class KMultCounterAdapterT final : public ICounter {
  public:
-  KMultCounterAdapter(unsigned n, std::uint64_t k) : counter_(n, k) {}
+  KMultCounterAdapterT(unsigned n, std::uint64_t k) : counter_(n, k) {}
   void increment(unsigned pid) override { counter_.increment(pid); }
   std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
   [[nodiscard]] std::uint64_t k() const override { return counter_.k(); }
   [[nodiscard]] std::string name() const override {
-    return "kmult(k=" + std::to_string(counter_.k()) + ")";
+    return detail::tag_name<Backend>("kmult(k=" +
+                                     std::to_string(counter_.k()) + ")");
   }
-  [[nodiscard]] core::KMultCounter& impl() noexcept { return counter_; }
-
- private:
-  core::KMultCounter counter_;
-};
-
-class KMultCounterCorrectedAdapter final : public ICounter {
- public:
-  KMultCounterCorrectedAdapter(unsigned n, std::uint64_t k) : counter_(n, k) {}
-  void increment(unsigned pid) override { counter_.increment(pid); }
-  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
-  [[nodiscard]] std::uint64_t k() const override { return counter_.k(); }
-  [[nodiscard]] std::string name() const override {
-    return "kmult-fix(k=" + std::to_string(counter_.k()) + ")";
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
   }
-  [[nodiscard]] core::KMultCounterCorrected& impl() noexcept {
+  [[nodiscard]] core::KMultCounterT<Backend>& impl() noexcept {
     return counter_;
   }
 
  private:
-  core::KMultCounterCorrected counter_;
+  core::KMultCounterT<Backend> counter_;
 };
 
-class CollectCounterAdapter final : public ICounter {
+using KMultCounterAdapter = KMultCounterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class KMultCounterCorrectedAdapterT final : public ICounter {
  public:
-  explicit CollectCounterAdapter(unsigned n) : counter_(n) {}
+  KMultCounterCorrectedAdapterT(unsigned n, std::uint64_t k)
+      : counter_(n, k) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override { return counter_.k(); }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("kmult-fix(k=" +
+                                     std::to_string(counter_.k()) + ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] core::KMultCounterCorrectedT<Backend>& impl() noexcept {
+    return counter_;
+  }
+
+ private:
+  core::KMultCounterCorrectedT<Backend> counter_;
+};
+
+using KMultCounterCorrectedAdapter = KMultCounterCorrectedAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class CollectCounterAdapterT final : public ICounter {
+ public:
+  explicit CollectCounterAdapterT(unsigned n) : counter_(n) {}
   void increment(unsigned pid) override { counter_.increment(pid); }
   std::uint64_t read(unsigned) override { return counter_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "collect"; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("collect");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
 
  private:
-  exact::CollectCounter counter_;
+  exact::CollectCounterT<Backend> counter_;
 };
 
-class SnapshotCounterAdapter final : public ICounter {
+using CollectCounterAdapter = CollectCounterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class SnapshotCounterAdapterT final : public ICounter {
  public:
-  explicit SnapshotCounterAdapter(unsigned n) : counter_(n) {}
+  explicit SnapshotCounterAdapterT(unsigned n) : counter_(n) {}
   void increment(unsigned pid) override { counter_.increment(pid); }
   std::uint64_t read(unsigned) override { return counter_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "snapshot"; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("snapshot");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
 
  private:
-  exact::SnapshotCounter counter_;
+  exact::SnapshotCounterT<Backend> counter_;
 };
 
-class AachCounterAdapter final : public ICounter {
+using SnapshotCounterAdapter = SnapshotCounterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class AachCounterAdapterT final : public ICounter {
  public:
-  explicit AachCounterAdapter(unsigned n) : counter_(n) {}
+  explicit AachCounterAdapterT(unsigned n) : counter_(n) {}
   void increment(unsigned pid) override { counter_.increment(pid); }
   std::uint64_t read(unsigned) override { return counter_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "aach"; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("aach");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
 
  private:
-  exact::AachCounter counter_;
+  exact::AachCounterT<Backend> counter_;
 };
 
-class FetchAddCounterAdapter final : public ICounter {
+using AachCounterAdapter = AachCounterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class FetchAddCounterAdapterT final : public ICounter {
  public:
   void increment(unsigned) override { counter_.increment(); }
   std::uint64_t read(unsigned) override { return counter_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "fetch&add"; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("fetch&add");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
 
  private:
-  exact::FetchAddCounter counter_;
+  exact::FetchAddCounterT<Backend> counter_;
 };
 
-class KAdditiveCounterAdapter final : public ICounter {
+using FetchAddCounterAdapter = FetchAddCounterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class KAdditiveCounterAdapterT final : public ICounter {
  public:
-  KAdditiveCounterAdapter(unsigned n, std::uint64_t k) : counter_(n, k) {}
+  KAdditiveCounterAdapterT(unsigned n, std::uint64_t k) : counter_(n, k) {}
   void increment(unsigned pid) override { counter_.increment(pid); }
   std::uint64_t read(unsigned) override { return counter_.read(); }
   // Reports k = 1: additive accuracy is a different contract; callers
   // use the additive checker/band directly (see tests and E11).
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "kadditive"; }
-  [[nodiscard]] core::KAdditiveCounter& impl() noexcept { return counter_; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("kadditive");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] core::KAdditiveCounterT<Backend>& impl() noexcept {
+    return counter_;
+  }
 
  private:
-  core::KAdditiveCounter counter_;
+  core::KAdditiveCounterT<Backend> counter_;
 };
+
+using KAdditiveCounterAdapter = KAdditiveCounterAdapterT<>;
 
 // ---------------------------------------------------------------------
 // Max-register adapters
 // ---------------------------------------------------------------------
 
-class KMultMaxRegisterAdapter final : public IMaxRegister {
+template <typename Backend = base::InstrumentedBackend>
+class KMultMaxRegisterAdapterT final : public IMaxRegister {
  public:
-  KMultMaxRegisterAdapter(std::uint64_t m, std::uint64_t k) : reg_(m, k) {}
+  KMultMaxRegisterAdapterT(std::uint64_t m, std::uint64_t k) : reg_(m, k) {}
   void write(std::uint64_t value) override { reg_.write(value); }
   std::uint64_t read() override { return reg_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return reg_.k(); }
   [[nodiscard]] std::string name() const override {
-    return "kmult-bounded(k=" + std::to_string(reg_.k()) + ")";
+    return detail::tag_name<Backend>("kmult-bounded(k=" +
+                                     std::to_string(reg_.k()) + ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
   }
 
  private:
-  core::KMultMaxRegister reg_;
+  core::KMultMaxRegisterT<Backend> reg_;
 };
 
-class ExactBoundedMaxRegisterAdapter final : public IMaxRegister {
+using KMultMaxRegisterAdapter = KMultMaxRegisterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class ExactBoundedMaxRegisterAdapterT final : public IMaxRegister {
  public:
-  explicit ExactBoundedMaxRegisterAdapter(std::uint64_t m) : reg_(m) {}
+  explicit ExactBoundedMaxRegisterAdapterT(std::uint64_t m) : reg_(m) {}
   void write(std::uint64_t value) override { reg_.write(value); }
   std::uint64_t read() override { return reg_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "exact-bounded"; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("exact-bounded");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
 
  private:
-  exact::BoundedMaxRegister reg_;
+  exact::BoundedMaxRegisterT<Backend> reg_;
 };
 
-class ExactUnboundedMaxRegisterAdapter final : public IMaxRegister {
+using ExactBoundedMaxRegisterAdapter = ExactBoundedMaxRegisterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class ExactUnboundedMaxRegisterAdapterT final : public IMaxRegister {
  public:
   void write(std::uint64_t value) override { reg_.write(value); }
   std::uint64_t read() override { return reg_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return 1; }
-  [[nodiscard]] std::string name() const override { return "exact-unbounded"; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>("exact-unbounded");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
 
  private:
-  exact::UnboundedMaxRegister reg_;
+  exact::UnboundedMaxRegisterT<Backend> reg_;
 };
 
-class KMultUnboundedMaxRegisterAdapter final : public IMaxRegister {
+using ExactUnboundedMaxRegisterAdapter = ExactUnboundedMaxRegisterAdapterT<>;
+
+template <typename Backend = base::InstrumentedBackend>
+class KMultUnboundedMaxRegisterAdapterT final : public IMaxRegister {
  public:
-  explicit KMultUnboundedMaxRegisterAdapter(std::uint64_t k) : reg_(k) {}
+  explicit KMultUnboundedMaxRegisterAdapterT(std::uint64_t k) : reg_(k) {}
   void write(std::uint64_t value) override { reg_.write(value); }
   std::uint64_t read() override { return reg_.read(); }
   [[nodiscard]] std::uint64_t k() const override { return reg_.k(); }
   [[nodiscard]] std::string name() const override {
-    return "kmult-unbounded(k=" + std::to_string(reg_.k()) + ")";
+    return detail::tag_name<Backend>("kmult-unbounded(k=" +
+                                     std::to_string(reg_.k()) + ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
   }
 
  private:
-  core::KMultUnboundedMaxRegister reg_;
+  core::KMultUnboundedMaxRegisterT<Backend> reg_;
 };
+
+using KMultUnboundedMaxRegisterAdapter = KMultUnboundedMaxRegisterAdapterT<>;
 
 }  // namespace approx::sim

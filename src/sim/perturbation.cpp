@@ -1,5 +1,7 @@
 #include "sim/perturbation.hpp"
 
+#include <stdexcept>
+
 #include "base/kmath.hpp"
 #include "base/step_recorder.hpp"
 
@@ -29,6 +31,14 @@ PerturbationPoint measure_read(std::uint64_t round, std::uint64_t perturbation,
 std::vector<PerturbationPoint> perturb_max_register(IMaxRegister& reg,
                                                     std::uint64_t k,
                                                     std::uint64_t m) {
+  // Step/object measurements require the instrumented backend; a direct
+  // instance would silently report zero everywhere (checked in every
+  // build mode, not just debug).
+  if (!reg.instrumented()) {
+    throw std::invalid_argument(
+        "perturb_max_register needs an InstrumentedBackend instance, got " +
+        reg.name());
+  }
   std::vector<PerturbationPoint> series;
   // Round 0: the unperturbed read.
   series.push_back(measure_read(0, 0, 0, [&] { return reg.read(); }));
@@ -50,6 +60,11 @@ std::vector<PerturbationPoint> perturb_counter(ICounter& counter,
                                                unsigned num_processes,
                                                std::uint64_t k,
                                                std::uint64_t max_total) {
+  if (!counter.instrumented()) {
+    throw std::invalid_argument(
+        "perturb_counter needs an InstrumentedBackend instance, got " +
+        counter.name());
+  }
   std::vector<PerturbationPoint> series;
   const unsigned reader = num_processes - 1;
   series.push_back(
