@@ -15,12 +15,10 @@
 // the overhead the backend-policy split removes from production builds.
 // Wall-clock on this machine is a secondary signal (the paper's model is
 // steps); shapes, not absolute numbers, are the point.
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "base/backend.hpp"
@@ -33,42 +31,6 @@ namespace {
 using namespace approx;
 
 constexpr unsigned kMaxThreads = 8;
-
-/// Drives `counter` from `num_threads` threads; returns Mops/s. The
-/// driver deliberately avoids ScopedRecording so the only per-op work
-/// besides the counter is the (identical) rng + virtual dispatch.
-double throughput_mops(sim::ICounter& counter, unsigned num_threads,
-                       std::uint64_t ops_per_thread, std::uint64_t seed) {
-  std::atomic<unsigned> ready{0};
-  std::atomic<bool> go{false};
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (unsigned pid = 0; pid < num_threads; ++pid) {
-    threads.emplace_back([&, pid] {
-      sim::Rng rng(seed * 0x100000001B3ull + pid + 1);
-      ready.fetch_add(1, std::memory_order_acq_rel);
-      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
-        if (rng.chance(0.1)) {
-          volatile std::uint64_t sink = counter.read(pid);
-          (void)sink;
-        } else {
-          counter.increment(pid);
-        }
-      }
-    });
-  }
-  while (ready.load(std::memory_order_acquire) < num_threads) {
-    std::this_thread::yield();
-  }
-  const double seconds = bench::time_seconds([&] {
-    go.store(true, std::memory_order_release);
-    for (auto& thread : threads) thread.join();
-  });
-  const double total_ops =
-      static_cast<double>(ops_per_thread) * num_threads;
-  return total_ops / seconds / 1e6;
-}
 
 /// One counter family: a factory per backend build.
 struct Family {
@@ -153,8 +115,10 @@ const bench::Experiment kExperiment{
         for (const unsigned threads : {1u, 2u, 4u, 8u}) {
           // Fresh instances per cell; one short warmup pass each.
           const auto run = [&](sim::ICounter& counter) {
-            throughput_mops(counter, threads, ops / 20, options.seed);
-            return throughput_mops(counter, threads, ops, options.seed);
+            bench::counter_throughput_mops(counter, threads, ops / 20,
+                                           options.seed, 0.1);
+            return bench::counter_throughput_mops(counter, threads, ops,
+                                                  options.seed, 0.1);
           };
           const auto direct = family.direct();
           const double direct_mops = run(*direct);

@@ -1,10 +1,12 @@
 #include "bench/harness.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 
 #include "base/step_recorder.hpp"
 #include "sim/metrics.hpp"
@@ -169,6 +171,70 @@ double amortized_steps_mixed(sim::ICounter& counter, unsigned n,
   }
   return static_cast<double>(recorder.total()) /
          static_cast<double>(total_ops);
+}
+
+namespace {
+
+/// Runs `body(pid)` on num_threads OS threads behind a start barrier;
+/// returns the wall seconds from barrier release to the last join.
+double timed_threads(unsigned num_threads,
+                     const std::function<void(unsigned)>& body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned pid = 0; pid < num_threads; ++pid) {
+    threads.emplace_back([&, pid] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      body(pid);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < num_threads) {
+    std::this_thread::yield();
+  }
+  return time_seconds([&] {
+    go.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+  });
+}
+
+}  // namespace
+
+double counter_throughput_mops(sim::ICounter& counter, unsigned num_threads,
+                               std::uint64_t ops_per_thread,
+                               std::uint64_t seed, double read_fraction) {
+  const double seconds = timed_threads(num_threads, [&](unsigned pid) {
+    sim::Rng rng(seed * 0x100000001B3ull + pid + 1);
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+      if (rng.chance(read_fraction)) {
+        volatile std::uint64_t sink = counter.read(pid);
+        (void)sink;
+      } else {
+        counter.increment(pid);
+      }
+    }
+  });
+  return static_cast<double>(ops_per_thread) * num_threads / seconds / 1e6;
+}
+
+double max_register_throughput_mops(sim::IMaxRegister& reg,
+                                    unsigned num_threads,
+                                    std::uint64_t ops_per_thread,
+                                    std::uint64_t seed, double read_fraction,
+                                    std::uint64_t max_write_value) {
+  const double seconds = timed_threads(num_threads, [&](unsigned pid) {
+    sim::Rng rng(seed * 0x100000001B3ull + pid + 1);
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+      if (rng.chance(read_fraction)) {
+        volatile std::uint64_t sink = reg.read();
+        (void)sink;
+      } else {
+        reg.write(rng.log_uniform(max_write_value));
+      }
+    }
+  });
+  return static_cast<double>(ops_per_thread) * num_threads / seconds / 1e6;
 }
 
 }  // namespace approx::bench

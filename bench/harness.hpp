@@ -93,6 +93,24 @@ double amortized_steps_mixed(sim::ICounter& counter, unsigned n,
                              std::uint64_t total_ops, double read_fraction,
                              std::uint64_t seed);
 
+/// Wall-clock throughput (million ops/sec) of a seeded increment/read
+/// mix driven from `num_threads` OS threads (pid = thread index) behind
+/// a start barrier — the shared driver of the throughput experiments
+/// (E10/E14/E15). The driver deliberately avoids ScopedRecording so the
+/// only per-op work besides the counter is the (identical) rng +
+/// virtual dispatch.
+double counter_throughput_mops(sim::ICounter& counter, unsigned num_threads,
+                               std::uint64_t ops_per_thread,
+                               std::uint64_t seed, double read_fraction);
+
+/// Same for a max register: `read_fraction` reads, the rest writes of
+/// log-uniform values in [1, max_write_value].
+double max_register_throughput_mops(sim::IMaxRegister& reg,
+                                    unsigned num_threads,
+                                    std::uint64_t ops_per_thread,
+                                    std::uint64_t seed, double read_fraction,
+                                    std::uint64_t max_write_value);
+
 /// Wall-clock timing of a callable, in seconds.
 template <typename Fn>
 double time_seconds(Fn&& fn) {

@@ -1,0 +1,150 @@
+// sharded_telemetry — the telemetry fleet end to end: a registry of
+// named sharded counters hammered by workers while a background
+// aggregator ships sequence-numbered frames, i.e. the full src/shard
+// stack (sharded_counter + registry + aggregator) on the production
+// (DirectBackend) build.
+//
+//   $ ./build/examples/sharded_telemetry
+//
+// Four statistics with different accuracy/striping trade-offs:
+//   requests      mult  k=2, 4 shards — high-rate, order-of-magnitude ok
+//   cache_misses  mult  k=2, 2 shards
+//   bytes_in      add   k=4096, 4 shards — absolute slack (≤ S·k = 16384)
+//   errors        exact, 1 shard — rare events, exactness is cheap
+//
+// The final report compares each counter against an exact shadow tally
+// and checks the value against the error bound the *frame* carries —
+// frames are self-describing, no side channel needed.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/backend.hpp"
+#include "core/approx.hpp"
+#include "shard/aggregator.hpp"
+#include "shard/registry.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+constexpr unsigned kWorkers = 4;
+// Pid space: workers 0..3, aggregator 4 (one thread per pid, always).
+constexpr unsigned kAggregatorPid = kWorkers;
+
+struct Stat {
+  const char* name;
+  double rate;  // probability per worker iteration
+  approx::shard::CounterSpec spec;
+};
+
+const Stat kStats[] = {
+    {"requests", 0.85,
+     {approx::shard::ErrorModel::kMultiplicative, 2, 4}},
+    {"cache_misses", 0.40,
+     {approx::shard::ErrorModel::kMultiplicative, 2, 2}},
+    {"bytes_in", 0.85, {approx::shard::ErrorModel::kAdditive, 4096, 4}},
+    {"errors", 0.02, {approx::shard::ErrorModel::kExact, 0, 1}},
+};
+constexpr int kNumStats = 4;
+
+}  // namespace
+
+int main() {
+  using approx::base::DirectBackend;
+
+  approx::shard::RegistryT<DirectBackend> registry(kWorkers + 1);
+  // Workers materialize their counters lazily (create is get-or-create)
+  // — done up front here so the shadow array lines up by index.
+  approx::shard::AnyCounter* counters[kNumStats];
+  for (int i = 0; i < kNumStats; ++i) {
+    counters[i] = &registry.create(kStats[i].name, kStats[i].spec);
+  }
+  std::atomic<std::uint64_t> exact[kNumStats] = {{0}, {0}, {0}, {0}};
+
+  approx::shard::AggregatorT<DirectBackend> aggregator(registry,
+                                                       kAggregatorPid);
+  aggregator.start(std::chrono::milliseconds(60));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (unsigned pid = 0; pid < kWorkers; ++pid) {
+    workers.emplace_back([&, pid] {
+      approx::sim::Rng rng(pid + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int i = 0; i < kNumStats; ++i) {
+          if (rng.chance(kStats[i].rate)) {
+            counters[i]->increment(pid);
+            exact[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Monitor view: print a few live frames as the aggregator ships them.
+  std::uint64_t last_seen = 0;
+  for (int shown = 0; shown < 4;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    const approx::shard::TelemetryFrame frame = aggregator.latest();
+    if (frame.sequence == last_seen) continue;
+    last_seen = frame.sequence;
+    ++shown;
+    std::cout << "frame #" << frame.sequence << ":";
+    for (const approx::shard::Sample& sample : frame.samples) {
+      std::cout << "  " << sample.name << "~" << sample.value;
+    }
+    std::cout << '\n';
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  aggregator.stop();
+
+  // Quiescent frame: every value must satisfy the bound it reports.
+  const approx::shard::TelemetryFrame frame = aggregator.collect();
+  std::cout << "\nfinal frame #" << frame.sequence
+            << " (self-describing bounds):\n";
+  bool all_in_band = true;
+  for (const approx::shard::Sample& sample : frame.samples) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < kNumStats; ++i) {
+      if (sample.name == kStats[i].name) {
+        v = exact[i].load(std::memory_order_relaxed);
+      }
+    }
+    bool in_band = true;
+    std::string band;
+    switch (sample.model) {
+      case approx::shard::ErrorModel::kMultiplicative:
+        in_band = approx::core::within_mult_band(sample.value, v,
+                                                 sample.error_bound);
+        band = "[v/" + std::to_string(sample.error_bound) + ", " +
+               std::to_string(sample.error_bound) + "v]";
+        break;
+      case approx::shard::ErrorModel::kAdditive:
+        in_band = approx::core::within_add_band(sample.value, v,
+                                                sample.error_bound);
+        band = "v ± " + std::to_string(sample.error_bound);
+        break;
+      case approx::shard::ErrorModel::kExact:
+        in_band = sample.value == v;
+        band = "exact";
+        break;
+    }
+    all_in_band = all_in_band && in_band;
+    std::cout << "  " << std::setw(12) << sample.name << "  exact="
+              << std::setw(10) << v << "  reported=" << std::setw(10)
+              << sample.value << "  " << std::setw(6)
+              << approx::shard::error_model_name(sample.model)
+              << "  band=" << band
+              << (in_band ? "  [in band]" : "  [OUT OF BAND]") << '\n';
+  }
+  std::cout << (all_in_band ? "\nall statistics within reported bounds\n"
+                            : "\nBOUND VIOLATION\n");
+  return all_in_band ? 0 : 1;
+}

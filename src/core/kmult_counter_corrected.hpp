@@ -104,6 +104,13 @@ class KMultCounterCorrectedT {
     return locals_[pid].helping_returns;
   }
 
+  /// Search attempts consumed by `pid`'s most recent read_fast call
+  /// (diagnostic; pins the helping-derived retry bound ≤ 2n+2 in
+  /// tests/core/test_read_fast.cpp).
+  [[nodiscard]] std::uint64_t last_read_fast_attempts(unsigned pid) const {
+    return locals_[pid].last_fast_attempts;
+  }
+
  private:
   struct alignas(64) Local {
     std::uint64_t last = 0;       // read cursor over scan positions
@@ -112,7 +119,8 @@ class KMultCounterCorrectedT {
     std::uint64_t sn = 0;         // successful announces
     std::uint64_t single_cursor = 0;  // next single to try (absolute, ≤ k+1)
     std::uint64_t offset = 1;     // resume offset within the current I_q
-    std::uint64_t helping_returns = 0;  // diagnostic
+    std::uint64_t helping_returns = 0;    // diagnostic
+    std::uint64_t last_fast_attempts = 0;  // diagnostic
     std::vector<std::uint64_t> help;
   };
 
@@ -120,6 +128,13 @@ class KMultCounterCorrectedT {
   // first and last switch).
   [[nodiscard]] std::uint64_t next_scan_position(std::uint64_t pos) const;
   [[nodiscard]] std::uint64_t previous_scan_position(std::uint64_t pos) const;
+
+  // The helping witness shared by read() and read_fast(): baseline every
+  // process's announce sequence number, later return through any pair
+  // whose sn advanced by ≥ 2 (a complete announce inside the read —
+  // paper lines 50–55, Lemma III.3).
+  void capture_help_baseline(Local& me);
+  [[nodiscard]] bool check_helped_return(Local& me, std::uint64_t& value);
 
   unsigned n_;
   std::uint64_t k_;
@@ -241,6 +256,27 @@ std::uint64_t KMultCounterCorrectedT<Backend>::previous_scan_position(
 }
 
 template <typename Backend>
+void KMultCounterCorrectedT<Backend>::capture_help_baseline(Local& me) {
+  for (unsigned i = 0; i < n_; ++i) {
+    me.help[i] = unpack_help_sn(h_[i].read());
+  }
+}
+
+template <typename Backend>
+bool KMultCounterCorrectedT<Backend>::check_helped_return(
+    Local& me, std::uint64_t& value) {
+  for (unsigned i = 0; i < n_; ++i) {
+    const std::uint64_t pair = h_[i].read();
+    if (unpack_help_sn(pair) >= me.help[i] + 2) {
+      me.helping_returns += 1;
+      value = value_at_position(unpack_help_position(pair));
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Backend>
 std::uint64_t KMultCounterCorrectedT<Backend>::read(unsigned pid) {
   assert(pid < n_);
   Local& me = locals_[pid];
@@ -254,17 +290,10 @@ std::uint64_t KMultCounterCorrectedT<Backend>::read(unsigned pid) {
     c += 1;
     if (c % n_ == 0) {
       if (c == n_) {
-        for (unsigned i = 0; i < n_; ++i) {
-          me.help[i] = unpack_help_sn(h_[i].read());
-        }
+        capture_help_baseline(me);
       } else {
-        for (unsigned i = 0; i < n_; ++i) {
-          const std::uint64_t pair = h_[i].read();
-          if (unpack_help_sn(pair) >= me.help[i] + 2) {
-            me.helping_returns += 1;
-            return value_at_position(unpack_help_position(pair));
-          }
-        }
+        std::uint64_t helped_value = 0;
+        if (check_helped_return(me, helped_value)) return helped_value;
       }
     }
   }
@@ -275,11 +304,23 @@ std::uint64_t KMultCounterCorrectedT<Backend>::read(unsigned pid) {
 
 template <typename Backend>
 std::uint64_t KMultCounterCorrectedT<Backend>::read_fast(unsigned pid) {
-  // Retry the search a few times under concurrent prefix growth; each
-  // retry implies at least one new switch was set meanwhile. Afterwards
-  // fall back to the linear read, whose helping mechanism guarantees
-  // termination (wait-freedom) regardless of writer behaviour.
-  for (int attempt = 0; attempt < 8; ++attempt) {
+  // Retries under concurrent prefix growth are bounded via the helping
+  // array rather than a fixed attempt count (ROADMAP follow-up to the
+  // original 8-attempt cap): every failed verification witnesses ≥ 1
+  // switch won strictly after the previous attempt, and a process's
+  // second post-baseline win is preceded (program order) by the
+  // H-write of its first, so after at most 2n+1 failed attempts some
+  // H[i] has advanced by ≥ 2 since the baseline — a complete announce
+  // inside this read, and exactly the linearization witness the linear
+  // read's helping branch uses (Lemma III.3). The loop therefore
+  // terminates within kMaxAttempts = 2n+2 attempts; the final linear-
+  // read fallback is belt-and-braces (unreachable unless the bound
+  // argument is violated), keeping wait-freedom unconditional.
+  Local& me = locals_[pid];
+  const std::uint64_t kMaxAttempts = 2 * std::uint64_t{n_} + 2;
+  bool have_baseline = false;
+  for (std::uint64_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    me.last_fast_attempts = attempt + 1;
     // Doubling phase: find some unset index (the prefix is finite).
     std::uint64_t hi = 1;
     if (!switches_.at(0).read()) return 0;
@@ -302,7 +343,16 @@ std::uint64_t KMultCounterCorrectedT<Backend>::read_fast(unsigned pid) {
     if (switches_.at(lo).read() && !switches_.at(lo + 1).read()) {
       return value_at_position(lo);
     }
-    // The boundary moved past lo+1; writers are making progress — retry.
+    // The boundary moved past lo+1: writers are announcing. Baseline
+    // the helping array on the first failure, then watch for a ≥ 2
+    // advance exactly as the linear read does.
+    if (!have_baseline) {
+      capture_help_baseline(me);
+      have_baseline = true;
+    } else {
+      std::uint64_t helped_value = 0;
+      if (check_helped_return(me, helped_value)) return helped_value;
+    }
   }
   return read(pid);
 }

@@ -16,8 +16,32 @@
 //
 // Record publication uses pointer-swing to an immutable heap record, the
 // standard realization of a large atomic register. Superseded records are
-// retired to a lock-free list freed on destruction (documented trade-off:
-// memory grows with the number of updates; fine for tests/benches).
+// retired to a lock-free list.
+//
+// RECLAMATION (PR 1 follow-up; the list used to grow unboundedly and was
+// only freed on destruction). Retired records are reclaimed with a
+// minimal epoch-style scheme so long benches (E15) can run at higher n:
+//
+//   * scans register in a process-wide in-flight counter for their whole
+//     duration (collect loads through result assembly);
+//   * once the retired list exceeds `retire_cap`, an updater captures
+//     the entire list (atomic exchange) and then samples the in-flight
+//     counter. Records are unlinked from their slot *before* they are
+//     retired, so any scan able to reach a captured record must have
+//     registered before the capture; observing zero in-flight scans
+//     after the capture therefore proves no reader holds a captured
+//     pointer (seq_cst total order), and the batch is freed. Otherwise
+//     the batch is pushed back and the attempt re-armed after cap/4
+//     further retirements.
+//
+// The cap is a *soft* bound: reclamation only succeeds at a moment with
+// no scan in flight, so continuously overlapping scans can grow the list
+// past the cap (it is still freed on destruction). Workloads made of
+// discrete operations — every bench and test here — quiesce constantly,
+// keeping the list near the cap; retired_records_unrecorded() exposes
+// the length for tests. The in-flight counter and capture machinery are
+// memory management, not model primitives: like helped_scans_ they are
+// never charged as steps.
 #pragma once
 
 #include <atomic>
@@ -39,7 +63,11 @@ class SnapshotT {
  public:
   using backend_type = Backend;
 
-  explicit SnapshotT(unsigned num_processes);
+  /// Default soft bound on the retired-record list (see header).
+  static constexpr std::size_t kDefaultRetireCap = 1024;
+
+  explicit SnapshotT(unsigned num_processes,
+                     std::size_t retire_cap = kDefaultRetireCap);
   ~SnapshotT();
 
   SnapshotT(const SnapshotT&) = delete;
@@ -63,6 +91,22 @@ class SnapshotT {
     return helped_scans_.load(std::memory_order_relaxed);
   }
 
+  /// Current length of the retired-record list (diagnostic; racy under
+  /// concurrency, exact at quiescence). Stays near retire_cap in
+  /// workloads that quiesce between operations.
+  [[nodiscard]] std::size_t retired_records_unrecorded() const noexcept {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Total records freed by the epoch-style reclaimer (diagnostic).
+  [[nodiscard]] std::uint64_t reclaimed_records_unrecorded() const noexcept {
+    return reclaimed_count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t retire_cap() const noexcept {
+    return retire_cap_;
+  }
+
  private:
   struct Record {
     std::uint64_t value = 0;
@@ -81,10 +125,19 @@ class SnapshotT {
 
   void retire(Record* record) const;
 
+  // Epoch-style reclamation of the retired list (see header comment).
+  void maybe_reclaim() const;
+
   std::vector<Slot> slots_;
   std::unique_ptr<Record[]> initial_;       // seq-0 records, one per slot
+  std::size_t retire_cap_;
   mutable std::atomic<Record*> retired_{nullptr};
-  mutable std::atomic<std::uint64_t> helped_scans_{0};  // diagnostic
+  mutable std::atomic<std::size_t> retired_count_{0};
+  mutable std::atomic<std::uint64_t> scans_active_{0};
+  mutable std::atomic<bool> reclaim_busy_{false};
+  mutable std::atomic<std::size_t> next_reclaim_at_{0};
+  mutable std::atomic<std::uint64_t> reclaimed_count_{0};   // diagnostic
+  mutable std::atomic<std::uint64_t> helped_scans_{0};      // diagnostic
 };
 
 /// The model-faithful default instantiation (pre-policy class name).
@@ -95,8 +148,11 @@ using Snapshot = SnapshotT<base::InstrumentedBackend>;
 // ---------------------------------------------------------------------
 
 template <typename Backend>
-SnapshotT<Backend>::SnapshotT(unsigned num_processes)
-    : slots_(num_processes), initial_(new Record[num_processes]) {
+SnapshotT<Backend>::SnapshotT(unsigned num_processes, std::size_t retire_cap)
+    : slots_(num_processes),
+      initial_(new Record[num_processes]),
+      retire_cap_(retire_cap),
+      next_reclaim_at_(retire_cap) {
   assert(num_processes >= 1);
   for (unsigned i = 0; i < num_processes; ++i) {
     slots_[i].record.store(&initial_[i], std::memory_order_relaxed);
@@ -120,12 +176,70 @@ SnapshotT<Backend>::~SnapshotT() {
 template <typename Backend>
 void SnapshotT<Backend>::retire(Record* record) const {
   if (record == nullptr || record->seq == 0) return;  // initial records
+  // Count BEFORE publishing: a capture that races between the push and
+  // a post-push increment would subtract a record the counter never
+  // saw, wrapping retired_count_ to ~2^64 and disarming reclamation
+  // forever. Counting first only ever over-counts transiently (the +1
+  // matches a record that is about to be pushed), which at worst
+  // triggers one early reclaim probe.
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
   Record* head = retired_.load(std::memory_order_relaxed);
   do {
     record->retired_next = head;
   } while (!retired_.compare_exchange_weak(head, record,
                                            std::memory_order_release,
                                            std::memory_order_relaxed));
+}
+
+template <typename Backend>
+void SnapshotT<Backend>::maybe_reclaim() const {
+  if (retired_count_.load(std::memory_order_relaxed) <
+      next_reclaim_at_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // One reclaimer at a time; losers simply skip (they will retire more
+  // records and retry at the threshold).
+  if (reclaim_busy_.exchange(true, std::memory_order_acquire)) return;
+  Record* batch = retired_.exchange(nullptr, std::memory_order_seq_cst);
+  if (batch == nullptr) {
+    reclaim_busy_.store(false, std::memory_order_release);
+    return;
+  }
+  std::size_t batch_length = 1;
+  Record* tail = batch;
+  while (tail->retired_next != nullptr) {
+    tail = tail->retired_next;
+    ++batch_length;
+  }
+  // Every captured record was unlinked from its slot before the capture,
+  // so only a scan registered before the capture can hold a pointer into
+  // the batch; observing zero in-flight scans now (seq_cst) proves all
+  // such scans have finished.
+  if (scans_active_.load(std::memory_order_seq_cst) == 0) {
+    while (batch != nullptr) {
+      Record* next = batch->retired_next;
+      delete batch;
+      batch = next;
+    }
+    retired_count_.fetch_sub(batch_length, std::memory_order_relaxed);
+    reclaimed_count_.fetch_add(batch_length, std::memory_order_relaxed);
+    next_reclaim_at_.store(retire_cap_, std::memory_order_relaxed);
+  } else {
+    // Readers in flight: push the whole chain back and re-arm a little
+    // above the current length so a busy period is not probed every
+    // update (the cap is soft; see header).
+    Record* head = retired_.load(std::memory_order_relaxed);
+    do {
+      tail->retired_next = head;
+    } while (!retired_.compare_exchange_weak(head, batch,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+    next_reclaim_at_.store(
+        retired_count_.load(std::memory_order_relaxed) +
+            retire_cap_ / 4 + 1,
+        std::memory_order_relaxed);
+  }
+  reclaim_busy_.store(false, std::memory_order_release);
 }
 
 template <typename Backend>
@@ -140,6 +254,17 @@ auto SnapshotT<Backend>::collect() const -> std::vector<const Record*> {
 
 template <typename Backend>
 std::vector<std::uint64_t> SnapshotT<Backend>::scan() const {
+  // Register as an in-flight reader for the whole scan: every record
+  // pointer obtained below stays safe from the reclaimer until the
+  // guard releases (not a model primitive; never charged as a step).
+  struct ScanGuard {
+    std::atomic<std::uint64_t>& active;
+    explicit ScanGuard(std::atomic<std::uint64_t>& counter)
+        : active(counter) {
+      active.fetch_add(1, std::memory_order_seq_cst);
+    }
+    ~ScanGuard() { active.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard(scans_active_);
   const unsigned n = num_processes();
   std::vector<unsigned> moved(n, 0);
   std::vector<const Record*> first = collect();
@@ -180,6 +305,7 @@ void SnapshotT<Backend>::update(unsigned pid, std::uint64_t value) {
   Backend::on_step(slot.id, base::PrimitiveKind::kWrite);
   slot.record.store(record, std::memory_order_seq_cst);
   retire(previous);
+  maybe_reclaim();
 }
 
 extern template class SnapshotT<base::DirectBackend>;

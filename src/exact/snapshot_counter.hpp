@@ -50,6 +50,16 @@ class SnapshotCounterT {
     return snapshot_.num_processes();
   }
 
+  /// Reclamation diagnostics of the underlying snapshot (see
+  /// exact/snapshot.hpp; E15 reports these to document the bounded
+  /// retirement list).
+  [[nodiscard]] std::size_t retired_records_unrecorded() const noexcept {
+    return snapshot_.retired_records_unrecorded();
+  }
+  [[nodiscard]] std::uint64_t reclaimed_records_unrecorded() const noexcept {
+    return snapshot_.reclaimed_records_unrecorded();
+  }
+
  private:
   SnapshotT<Backend> snapshot_;
   std::vector<std::uint64_t> local_;  // owner-only increment counts

@@ -1,0 +1,130 @@
+// aggregator.hpp — periodic batched reader over a counter registry.
+//
+// The monitoring plane of the telemetry fleet: collect() batches one
+// Registry::snapshot_all pass into a compact, sequence-numbered
+// TelemetryFrame — the unit a scraper would ship off-box. Because every
+// sample carries its error model + composed bound, a frame is
+// self-describing: downstream consumers need no side channel to know
+// how approximate each figure is.
+//
+// Two modes:
+//
+//   * pull — call collect() whenever a frame is wanted (any backend;
+//     this is what instrumented tests drive under the sim);
+//   * background — start(period) spawns a thread that collects every
+//     `period` and publishes the newest frame for latest() readers.
+//     Restricted to DirectBackend: an instrumented background thread
+//     would charge steps to (and yield into) whatever scheduler the
+//     test harness has installed, which only makes sense for program
+//     threads the harness knows about.
+//
+// The aggregator reads as a dedicated pid: give it its own slot in the
+// registry's pid space (one thread per pid is the repo-wide contract —
+// per-pid read cursors inside k-multiplicative shards are not shareable
+// between the aggregator and a worker).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "shard/registry.hpp"
+
+namespace approx::shard {
+
+/// One batched snapshot-all pass. Frames are totally ordered per
+/// aggregator by `sequence`.
+struct TelemetryFrame {
+  std::uint64_t sequence = 0;  // 0 = no frame collected yet
+  std::vector<Sample> samples;
+};
+
+template <typename Backend = base::InstrumentedBackend>
+class AggregatorT {
+ public:
+  /// @param registry fleet to aggregate (must outlive the aggregator).
+  /// @param pid the aggregator's dedicated slot in the registry's pid
+  ///   space; no worker may share it.
+  AggregatorT(const RegistryT<Backend>& registry, unsigned pid)
+      : registry_(registry), pid_(pid) {}
+
+  ~AggregatorT() { stop(); }
+
+  AggregatorT(const AggregatorT&) = delete;
+  AggregatorT& operator=(const AggregatorT&) = delete;
+
+  /// Collects one frame now (pull mode) and publishes it for latest().
+  /// Serialized against the background thread (and other pull callers):
+  /// the aggregator owns ONE pid, and the per-pid read state inside
+  /// k-multiplicative shards must never be driven from two threads at
+  /// once — the collect mutex enforces that, and also keeps published
+  /// sequence numbers monotone in publication order.
+  TelemetryFrame collect() {
+    std::lock_guard collect_lock(collect_mutex_);
+    TelemetryFrame frame;
+    frame.samples = registry_.snapshot_all(pid_);
+    frame.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+    {
+      std::lock_guard lock(latest_mutex_);
+      latest_ = frame;
+    }
+    return frame;
+  }
+
+  /// Newest published frame (sequence 0 with no samples before the
+  /// first collect()).
+  [[nodiscard]] TelemetryFrame latest() const {
+    std::lock_guard lock(latest_mutex_);
+    return latest_;
+  }
+
+  [[nodiscard]] std::uint64_t frames_collected() const noexcept {
+    return next_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Background mode (DirectBackend only; see header): collect a frame
+  /// every `period` until stop(). No-op if already running.
+  void start(std::chrono::milliseconds period)
+    requires(!Backend::kInstrumented)
+  {
+    if (thread_.joinable()) return;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this, period] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        collect();
+        // Sleep in small slices so stop() stays responsive at long
+        // periods.
+        const auto deadline = std::chrono::steady_clock::now() + period;
+        while (!stop_.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+
+  /// Stops the background thread, if any. Idempotent.
+  void stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] unsigned pid() const noexcept { return pid_; }
+
+ private:
+  const RegistryT<Backend>& registry_;
+  unsigned pid_;
+  std::mutex collect_mutex_;  // serializes collect() passes (see above)
+  std::atomic<std::uint64_t> next_sequence_{0};
+  mutable std::mutex latest_mutex_;
+  TelemetryFrame latest_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+using Aggregator = AggregatorT<base::InstrumentedBackend>;
+
+}  // namespace approx::shard

@@ -1,0 +1,23 @@
+// registry.cpp — out-of-line pieces of the telemetry registry.
+#include "shard/registry.hpp"
+
+namespace approx::shard {
+
+const char* error_model_name(ErrorModel model) noexcept {
+  switch (model) {
+    case ErrorModel::kMultiplicative:
+      return "mult";
+    case ErrorModel::kAdditive:
+      return "add";
+    case ErrorModel::kExact:
+    default:
+      return "exact";
+  }
+}
+
+// Compile the registry (and through it the sharded-counter templates)
+// once per backend; every user links against these.
+template class RegistryT<base::DirectBackend>;
+template class RegistryT<base::InstrumentedBackend>;
+
+}  // namespace approx::shard

@@ -1,0 +1,187 @@
+// registry.hpp — concurrent named-counter registry: the telemetry fleet.
+//
+// The "millions of users" scenario in miniature: a service tracks many
+// named statistics (requests, errors, bytes, …), each a sharded
+// approximate counter, and a monitoring plane periodically snapshots
+// them all. The registry owns the counters and provides
+//
+//   * create(name, spec)  — get-or-create; idempotent on the name (the
+//     first spec wins), so racing workers can lazily materialize the
+//     counter they are about to bump;
+//   * lookup(name)        — wait-free after a shared-lock acquisition;
+//     returned handles stay valid for the registry's lifetime (counters
+//     are never destroyed before the registry — the map only grows);
+//   * snapshot_all(pid)   — one Sample per counter, carrying the value
+//     together with its error model + composed bound, so consumers can
+//     interpret every figure without knowing how it was configured.
+//
+// Counter kinds are erased behind `AnyCounter` so one fleet can mix
+// multiplicative, additive and exact striping; the virtual hop is
+// negligible against the shared-memory operations behind it (same
+// argument as sim/adapters.hpp).
+//
+// Locking note: the shared_mutex serializes only create/lookup/
+// snapshot-all against each other. increment()/read() on a handle never
+// touch the registry — the hot path stays wait-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_counter.hpp"
+
+namespace approx::shard {
+
+/// Human-readable tag for an error model ("exact", "mult", "add").
+[[nodiscard]] const char* error_model_name(ErrorModel model) noexcept;
+
+/// Configuration of one registry counter.
+struct CounterSpec {
+  ErrorModel model = ErrorModel::kMultiplicative;
+  std::uint64_t k = 2;  // per-shard accuracy parameter (ignored: exact)
+  unsigned shards = 1;
+  ShardPolicy policy = ShardPolicy::kHashPinned;
+};
+
+/// One counter's reading in a snapshot-all pass.
+struct Sample {
+  std::string name;
+  std::uint64_t value = 0;
+  ErrorModel model = ErrorModel::kExact;
+  std::uint64_t error_bound = 0;
+};
+
+/// Type-erased sharded counter held by the registry.
+class AnyCounter {
+ public:
+  virtual ~AnyCounter() = default;
+  virtual void increment(unsigned pid) = 0;
+  virtual std::uint64_t read(unsigned pid) = 0;
+  virtual void flush(unsigned pid) = 0;
+  [[nodiscard]] virtual ErrorModel error_model() const = 0;
+  [[nodiscard]] virtual std::uint64_t error_bound() const = 0;
+  [[nodiscard]] virtual unsigned num_shards() const = 0;
+  [[nodiscard]] virtual bool accuracy_guaranteed() const = 0;
+};
+
+namespace detail {
+
+template <template <typename> class CounterTmpl, typename Backend>
+class ErasedSharded final : public AnyCounter {
+ public:
+  ErasedSharded(unsigned n, std::uint64_t k, unsigned shards,
+                ShardPolicy policy)
+      : counter_(n, k, shards, policy) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  void flush(unsigned pid) override { counter_.flush(pid); }
+  [[nodiscard]] ErrorModel error_model() const override {
+    return counter_.error_model();
+  }
+  [[nodiscard]] std::uint64_t error_bound() const override {
+    return counter_.error_bound();
+  }
+  [[nodiscard]] unsigned num_shards() const override {
+    return counter_.num_shards();
+  }
+  [[nodiscard]] bool accuracy_guaranteed() const override {
+    return counter_.accuracy_guaranteed();
+  }
+
+ private:
+  ShardedCounterT<CounterTmpl, Backend> counter_;
+};
+
+}  // namespace detail
+
+/// Named-counter registry over a fixed pid space. Thread-safe; see the
+/// header comment for the locking contract.
+template <typename Backend = base::InstrumentedBackend>
+class RegistryT {
+ public:
+  using backend_type = Backend;
+
+  /// @param num_processes pid space shared by every counter created
+  ///   here (one thread per pid, including any aggregator thread).
+  explicit RegistryT(unsigned num_processes) : n_(num_processes) {}
+
+  RegistryT(const RegistryT&) = delete;
+  RegistryT& operator=(const RegistryT&) = delete;
+
+  /// Get-or-create the counter `name`. Idempotent: a second create with
+  /// the same name returns the existing counter (its original spec
+  /// wins). The reference stays valid for the registry's lifetime.
+  AnyCounter& create(const std::string& name, const CounterSpec& spec) {
+    std::unique_lock lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, make_counter(spec)).first;
+    }
+    return *it->second;
+  }
+
+  /// The counter registered under `name`, or nullptr.
+  [[nodiscard]] AnyCounter* lookup(const std::string& name) const {
+    std::shared_lock lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+  }
+
+  /// Reads every registered counter (as process `pid`) into one
+  /// name-sorted batch of samples.
+  [[nodiscard]] std::vector<Sample> snapshot_all(unsigned pid) const {
+    std::shared_lock lock(mutex_);
+    std::vector<Sample> samples;
+    samples.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      samples.push_back(Sample{name, counter->read(pid),
+                               counter->error_model(),
+                               counter->error_bound()});
+    }
+    return samples;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return counters_.size();
+  }
+
+  [[nodiscard]] unsigned num_processes() const noexcept { return n_; }
+
+ private:
+  std::unique_ptr<AnyCounter> make_counter(const CounterSpec& spec) const {
+    switch (spec.model) {
+      case ErrorModel::kMultiplicative:
+        return std::make_unique<
+            detail::ErasedSharded<core::KMultCounterCorrectedT, Backend>>(
+            n_, spec.k, spec.shards, spec.policy);
+      case ErrorModel::kAdditive:
+        return std::make_unique<
+            detail::ErasedSharded<core::KAdditiveCounterT, Backend>>(
+            n_, spec.k, spec.shards, spec.policy);
+      case ErrorModel::kExact:
+      default:
+        return std::make_unique<
+            detail::ErasedSharded<exact::FetchAddCounterT, Backend>>(
+            n_, spec.k, spec.shards, spec.policy);
+    }
+  }
+
+  unsigned n_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<AnyCounter>> counters_;
+};
+
+/// The model-faithful default instantiation (matches the repo-wide
+/// convention of un-suffixed names pinning InstrumentedBackend).
+using Registry = RegistryT<base::InstrumentedBackend>;
+
+extern template class RegistryT<base::DirectBackend>;
+extern template class RegistryT<base::InstrumentedBackend>;
+
+}  // namespace approx::shard

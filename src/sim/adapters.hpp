@@ -36,6 +36,7 @@
 #include "exact/fetch_add_counter.hpp"
 #include "exact/snapshot_counter.hpp"
 #include "exact/unbounded_max_register.hpp"
+#include "shard/sharded_counter.hpp"
 
 namespace approx::sim {
 
@@ -230,6 +231,138 @@ class KAdditiveCounterAdapterT final : public ICounter {
 };
 
 using KAdditiveCounterAdapter = KAdditiveCounterAdapterT<>;
+
+// ---------------------------------------------------------------------
+// Sharded-counter adapters (src/shard layer)
+// ---------------------------------------------------------------------
+
+/// Sharded corrected k-multiplicative counter. Reports the *composed*
+/// accuracy parameter (= k: multiplicative bands survive summation), so
+/// the generic k-mult checkers apply to the aggregate unchanged.
+template <typename Backend = base::InstrumentedBackend>
+class ShardedKMultCounterAdapterT final : public ICounter {
+ public:
+  ShardedKMultCounterAdapterT(
+      unsigned n, std::uint64_t k, unsigned shards,
+      shard::ShardPolicy policy = shard::ShardPolicy::kHashPinned)
+      : counter_(n, k, shards, policy) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override {
+    return counter_.error_bound();
+  }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>(
+        "sharded-kmult(k=" + std::to_string(counter_.k()) +
+        ",S=" + std::to_string(counter_.num_shards()) + ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] shard::ShardedCounterT<core::KMultCounterCorrectedT,
+                                       Backend>&
+  impl() noexcept {
+    return counter_;
+  }
+
+ private:
+  shard::ShardedCounterT<core::KMultCounterCorrectedT, Backend> counter_;
+};
+
+using ShardedKMultCounterAdapter = ShardedKMultCounterAdapterT<>;
+
+/// Sharded k-additive counter. Follows the KAdditiveCounterAdapter
+/// convention of reporting k = 1 to the multiplicative checkers; the
+/// additive aggregate bound is impl().error_bound() (= S·k).
+template <typename Backend = base::InstrumentedBackend>
+class ShardedKAdditiveCounterAdapterT final : public ICounter {
+ public:
+  ShardedKAdditiveCounterAdapterT(
+      unsigned n, std::uint64_t k, unsigned shards,
+      shard::ShardPolicy policy = shard::ShardPolicy::kHashPinned)
+      : counter_(n, k, shards, policy) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>(
+        "sharded-kadditive(k=" + std::to_string(counter_.k()) +
+        ",S=" + std::to_string(counter_.num_shards()) + ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] shard::ShardedCounterT<core::KAdditiveCounterT, Backend>&
+  impl() noexcept {
+    return counter_;
+  }
+
+ private:
+  shard::ShardedCounterT<core::KAdditiveCounterT, Backend> counter_;
+};
+
+using ShardedKAdditiveCounterAdapter = ShardedKAdditiveCounterAdapterT<>;
+
+/// Sharded snapshot-based exact counter (compact shards under the
+/// pinned policy: per-shard updates cost O((n/S)²) instead of O(n²)).
+template <typename Backend = base::InstrumentedBackend>
+class ShardedSnapshotCounterAdapterT final : public ICounter {
+ public:
+  ShardedSnapshotCounterAdapterT(
+      unsigned n, unsigned shards,
+      shard::ShardPolicy policy = shard::ShardPolicy::kHashPinned)
+      : counter_(n, 0, shards, policy) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>(
+        "sharded-snapshot(S=" + std::to_string(counter_.num_shards()) +
+        ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] shard::ShardedCounterT<exact::SnapshotCounterT, Backend>&
+  impl() noexcept {
+    return counter_;
+  }
+
+ private:
+  shard::ShardedCounterT<exact::SnapshotCounterT, Backend> counter_;
+};
+
+using ShardedSnapshotCounterAdapter = ShardedSnapshotCounterAdapterT<>;
+
+/// Sharded fetch&add — the classic striped statistics counter; exact.
+template <typename Backend = base::InstrumentedBackend>
+class ShardedFetchAddCounterAdapterT final : public ICounter {
+ public:
+  ShardedFetchAddCounterAdapterT(
+      unsigned n, unsigned shards,
+      shard::ShardPolicy policy = shard::ShardPolicy::kHashPinned)
+      : counter_(n, 0, shards, policy) {}
+  void increment(unsigned pid) override { counter_.increment(pid); }
+  std::uint64_t read(unsigned pid) override { return counter_.read(pid); }
+  [[nodiscard]] std::uint64_t k() const override { return 1; }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>(
+        "sharded-fetch&add(S=" + std::to_string(counter_.num_shards()) +
+        ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] shard::ShardedCounterT<exact::FetchAddCounterT, Backend>&
+  impl() noexcept {
+    return counter_;
+  }
+
+ private:
+  shard::ShardedCounterT<exact::FetchAddCounterT, Backend> counter_;
+};
+
+using ShardedFetchAddCounterAdapter = ShardedFetchAddCounterAdapterT<>;
 
 // ---------------------------------------------------------------------
 // Max-register adapters

@@ -1,0 +1,176 @@
+// Tests for the telemetry registry (src/shard/registry.hpp) and the
+// batching aggregator (src/shard/aggregator.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/backend.hpp"
+#include "core/approx.hpp"
+#include "shard/aggregator.hpp"
+#include "shard/registry.hpp"
+
+namespace approx::shard {
+namespace {
+
+TEST(Registry, CreateLookupAndMissing) {
+  Registry registry(4);
+  AnyCounter& requests =
+      registry.create("requests", {ErrorModel::kMultiplicative, 2, 2});
+  EXPECT_EQ(registry.lookup("requests"), &requests);
+  EXPECT_EQ(registry.lookup("nope"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, CreateIsIdempotentFirstSpecWins) {
+  Registry registry(4);
+  AnyCounter& first =
+      registry.create("hits", {ErrorModel::kMultiplicative, 2, 2});
+  first.increment(0);
+  AnyCounter& second =
+      registry.create("hits", {ErrorModel::kAdditive, 64, 4});
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.error_model(), ErrorModel::kMultiplicative);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, SamplesCarryModelAndBound) {
+  Registry registry(4);
+  registry.create("m", {ErrorModel::kMultiplicative, 3, 2});
+  registry.create("a", {ErrorModel::kAdditive, 8, 4});
+  registry.create("x", {ErrorModel::kExact, 0, 4});
+  const auto samples = registry.snapshot_all(0);
+  ASSERT_EQ(samples.size(), 3u);  // name-sorted: a, m, x
+  EXPECT_EQ(samples[0].name, "a");
+  EXPECT_EQ(samples[0].model, ErrorModel::kAdditive);
+  EXPECT_EQ(samples[0].error_bound, 32u);
+  EXPECT_EQ(samples[1].name, "m");
+  EXPECT_EQ(samples[1].model, ErrorModel::kMultiplicative);
+  EXPECT_EQ(samples[1].error_bound, 3u);
+  EXPECT_EQ(samples[2].name, "x");
+  EXPECT_EQ(samples[2].model, ErrorModel::kExact);
+  EXPECT_EQ(samples[2].error_bound, 0u);
+  EXPECT_STREQ(error_model_name(samples[0].model), "add");
+  EXPECT_STREQ(error_model_name(samples[1].model), "mult");
+  EXPECT_STREQ(error_model_name(samples[2].model), "exact");
+}
+
+TEST(Registry, SnapshotAllValuesStayInReportedBand) {
+  Registry registry(2);
+  AnyCounter& mult =
+      registry.create("mult", {ErrorModel::kMultiplicative, 2, 2});
+  AnyCounter& exact = registry.create("exact", {ErrorModel::kExact, 0, 2});
+  for (int i = 0; i < 500; ++i) {
+    mult.increment(0);
+    exact.increment(0);
+  }
+  for (const Sample& sample : registry.snapshot_all(1)) {
+    if (sample.model == ErrorModel::kMultiplicative) {
+      EXPECT_TRUE(core::within_mult_band(sample.value, 500,
+                                         sample.error_bound))
+          << sample.name << "=" << sample.value;
+    } else {
+      EXPECT_EQ(sample.value, 500u) << sample.name;
+    }
+  }
+}
+
+TEST(Registry, ConcurrentGetOrCreateYieldsOneCounterPerName) {
+  // Racing workers lazily materializing the same names must converge on
+  // one instance each (DirectBackend: real threads, no sim scheduler).
+  RegistryT<base::DirectBackend> registry(8);
+  constexpr unsigned kWorkers = 8;
+  constexpr int kNames = 4;
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (unsigned pid = 0; pid < kWorkers; ++pid) {
+    workers.emplace_back([&, pid] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        const std::string name = "ctr" + std::to_string(i % kNames);
+        AnyCounter& counter = registry.create(
+            name, {ErrorModel::kExact, 0, 4, ShardPolicy::kHashPinned});
+        counter.increment(pid);
+      }
+    });
+  }
+  while (ready.load() < kWorkers) std::this_thread::yield();
+  go.store(true);
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(registry.size(), static_cast<std::size_t>(kNames));
+  std::uint64_t total = 0;
+  for (const Sample& sample : registry.snapshot_all(0)) {
+    total += sample.value;
+  }
+  EXPECT_EQ(total, std::uint64_t{kWorkers} * 200);
+}
+
+TEST(Aggregator, PullModeFramesAreSequencedAndSelfDescribing) {
+  Registry registry(2);
+  AnyCounter& hits =
+      registry.create("hits", {ErrorModel::kMultiplicative, 2, 2});
+  Aggregator aggregator(registry, 1);
+  EXPECT_EQ(aggregator.latest().sequence, 0u);
+
+  for (int i = 0; i < 100; ++i) hits.increment(0);
+  const TelemetryFrame first = aggregator.collect();
+  EXPECT_EQ(first.sequence, 1u);
+  ASSERT_EQ(first.samples.size(), 1u);
+  EXPECT_TRUE(core::within_mult_band(first.samples[0].value, 100,
+                                     first.samples[0].error_bound));
+
+  for (int i = 0; i < 100; ++i) hits.increment(0);
+  const TelemetryFrame second = aggregator.collect();
+  EXPECT_EQ(second.sequence, 2u);
+  EXPECT_GE(second.samples[0].value, first.samples[0].value);
+  EXPECT_EQ(aggregator.latest().sequence, 2u);
+  EXPECT_EQ(aggregator.frames_collected(), 2u);
+}
+
+TEST(Aggregator, BackgroundModeCollectsWhileWorkersIncrement) {
+  // DirectBackend: the background thread is a real thread with its own
+  // dedicated pid (3); workers use pids 0..2.
+  RegistryT<base::DirectBackend> registry(4);
+  registry.create("events", {ErrorModel::kMultiplicative, 2, 2});
+  AggregatorT<base::DirectBackend> aggregator(registry, 3);
+  aggregator.start(std::chrono::milliseconds(1));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> exact{0};
+  for (unsigned pid = 0; pid < 3; ++pid) {
+    workers.emplace_back([&, pid] {
+      AnyCounter* counter = registry.lookup("events");
+      ASSERT_NE(counter, nullptr);
+      while (!stop.load(std::memory_order_acquire)) {
+        counter->increment(pid);
+        exact.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  aggregator.stop();
+
+  EXPECT_GE(aggregator.frames_collected(), 2u);
+  const TelemetryFrame frame = aggregator.latest();
+  ASSERT_EQ(frame.samples.size(), 1u);
+  // The final frame was collected at some point during the run: within
+  // the mult band of some count ≤ the final exact total.
+  EXPECT_LE(frame.samples[0].value / 2,
+            exact.load(std::memory_order_relaxed) * 2);
+  // A fresh post-quiescence collect is banded against the exact total.
+  const TelemetryFrame last = aggregator.collect();
+  EXPECT_TRUE(core::within_mult_band(last.samples[0].value, exact.load(),
+                                     last.samples[0].error_bound));
+}
+
+}  // namespace
+}  // namespace approx::shard
