@@ -13,10 +13,15 @@
 // the model-faithful build tests and experiments expect; hot paths opt
 // into DirectBackend explicitly.
 //
-// Sequential consistency note: all primitives use seq_cst ordering. The
-// paper assumes atomic (linearizable) registers in a sequentially
-// consistent shared memory; we favour model fidelity over weaker-ordering
-// micro-optimizations (see DESIGN.md §5).
+// Memory orders: every primitive *requests an OrderRole* from the
+// backend (base/backend.hpp). The paper assumes atomic (linearizable)
+// registers in a sequentially consistent shared memory, and the seq_cst
+// backends map every role to memory_order_seq_cst — model fidelity (see
+// DESIGN.md §5). RelaxedDirectBackend maps the role to the weakest
+// ordering it names; the defaults are the publication pairing
+// (read = load-acquire, write = store-release) that every register
+// protocol in this repo needs, and sites that can prove less request a
+// relaxed role explicitly (with an audit comment at the call site).
 #pragma once
 
 #include <atomic>
@@ -45,16 +50,30 @@ class Register {
   Register(const Register&) = delete;
   Register& operator=(const Register&) = delete;
 
-  /// read primitive: returns the current value.
+  /// read primitive: returns the current value. The default role pairs
+  /// with write()'s release publication; sites that can prove less
+  /// instantiate read<OrderRole::kLoadRelaxed>(). Only load roles are
+  /// representable — a store/RMW role is a compile error, so a misuse
+  /// cannot reach the relaxed backend as an invalid memory_order.
+  template <OrderRole role = OrderRole::kLoadAcquire>
   [[nodiscard]] T read() const noexcept {
+    static_assert(role == OrderRole::kLoadAcquire ||
+                      role == OrderRole::kLoadRelaxed,
+                  "Register::read requires a load role");
     Backend::on_step(handle_, PrimitiveKind::kRead);
-    return cell_.load(std::memory_order_seq_cst);
+    return cell_.load(Backend::order(role));
   }
 
   /// write primitive: unconditionally overwrites the value (historyless).
+  /// The default role publishes every program-order-earlier write to the
+  /// reader that observes this value. Only store roles are representable.
+  template <OrderRole role = OrderRole::kStoreRelease>
   void write(T value) noexcept {
+    static_assert(role == OrderRole::kStoreRelease ||
+                      role == OrderRole::kStoreRelaxed,
+                  "Register::write requires a store role");
     Backend::on_step(handle_, PrimitiveKind::kWrite);
-    cell_.store(value, std::memory_order_seq_cst);
+    cell_.store(value, Backend::order(role));
   }
 
   /// Base-object identity (instrumentation only; kInvalidObjectId under
@@ -77,5 +96,8 @@ class Register {
 static_assert(sizeof(Register<std::uint64_t, DirectBackend>) ==
                   sizeof(std::atomic<std::uint64_t>),
               "DirectBackend Register must be layout-identical to the cell");
+static_assert(sizeof(Register<std::uint64_t, RelaxedDirectBackend>) ==
+                  sizeof(std::atomic<std::uint64_t>),
+              "RelaxedDirectBackend Register must be layout-identical too");
 
 }  // namespace approx::base

@@ -13,8 +13,11 @@
 // array pre-exists and indexing it is local computation. The array is
 // therefore Backend-policy transparent (base/backend.hpp): instantiate it
 // with TasBitT<B> / Register<T, B> elements and the element operations
-// carry the policy; the directory itself costs the same under either
-// backend.
+// carry the policy — including their memory-order roles; the directory
+// itself costs the same under every backend. The directory's slot
+// publication is already the weakest sound ordering (acquire load,
+// acq_rel CAS: a reader of a published segment pointer must see the
+// segment's zero-initialized elements), so it needs no role mapping.
 #pragma once
 
 #include <atomic>

@@ -9,6 +9,14 @@
 // Like Register, the bit is parameterized on the Backend policy
 // (base/backend.hpp): DirectBackend bits are bare atomic bytes,
 // InstrumentedBackend bits carry an ObjectId and charge steps.
+//
+// Memory orders: test&set requests kRmwAcqRel — the winning application
+// must release-publish the writes that preceded it (readers infer state
+// from a set bit) and a losing application must acquire the winner's
+// publication (the kmult prefix invariant chains failed test&sets into a
+// happens-before path over the switch sequence). read requests
+// kLoadAcquire, pairing with the winner's release. Seq_cst backends map
+// both to seq_cst (see base/backend.hpp).
 #pragma once
 
 #include <atomic>
@@ -33,15 +41,24 @@ class TasBitT {
 
   /// test&set primitive: atomically sets the bit to 1 and returns the
   /// previous value (0 exactly for the unique winning application).
+  /// Only RMW roles are representable (see Register::read).
+  template <OrderRole role = OrderRole::kRmwAcqRel>
   bool test_and_set() noexcept {
+    static_assert(role == OrderRole::kRmwAcqRel ||
+                      role == OrderRole::kRmwRelaxed,
+                  "TasBit::test_and_set requires an RMW role");
     Backend::on_step(handle_, PrimitiveKind::kTestAndSet);
-    return bit_.exchange(1, std::memory_order_seq_cst) != 0;
+    return bit_.exchange(1, Backend::order(role)) != 0;
   }
 
-  /// read primitive.
+  /// read primitive. Only load roles are representable.
+  template <OrderRole role = OrderRole::kLoadAcquire>
   [[nodiscard]] bool read() const noexcept {
+    static_assert(role == OrderRole::kLoadAcquire ||
+                      role == OrderRole::kLoadRelaxed,
+                  "TasBit::read requires a load role");
     Backend::on_step(handle_, PrimitiveKind::kRead);
-    return bit_.load(std::memory_order_seq_cst) != 0;
+    return bit_.load(Backend::order(role)) != 0;
   }
 
   [[nodiscard]] ObjectId id() const noexcept { return handle_.id(); }
@@ -62,5 +79,8 @@ using TasBit = TasBitT<InstrumentedBackend>;
 static_assert(sizeof(TasBitT<DirectBackend>) ==
                   sizeof(std::atomic<std::uint8_t>),
               "DirectBackend TasBit must be layout-identical to the bit");
+static_assert(sizeof(TasBitT<RelaxedDirectBackend>) ==
+                  sizeof(std::atomic<std::uint8_t>),
+              "RelaxedDirectBackend TasBit must be layout-identical too");
 
 }  // namespace approx::base

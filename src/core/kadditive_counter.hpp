@@ -21,6 +21,13 @@
 // (amortized O(1) for k ≥ n); reads cost n reads. Unlike Algorithm 1, the
 // *read* cost is inherently Θ(n) here — which is exactly the contrast the
 // ablation is meant to exhibit.
+//
+// Memory-order audit (RelaxedDirectBackend). Identical shape to the
+// collect counter (see exact/collect_counter.hpp): single-writer
+// monotone components, so the default register roles (release flush
+// store, acquire collect loads) are the weakest sound pair; the ±k band
+// argument only adds the observation that at most k increments are
+// batched locally, which is unaffected by ordering.
 #pragma once
 
 #include <cassert>

@@ -1,4 +1,4 @@
-// Explicit instantiations of Algorithm 1 for the two shipped backends.
+// Explicit instantiations of Algorithm 1 for the shipped backends.
 // The template definitions live in the header (the class is parameterized
 // on the Backend policy); this TU gives the library a compiled copy of
 // each so downstream targets don't re-instantiate.
@@ -7,6 +7,7 @@
 namespace approx::core {
 
 template class KMultCounterT<base::DirectBackend>;
+template class KMultCounterT<base::RelaxedDirectBackend>;
 template class KMultCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

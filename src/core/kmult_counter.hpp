@@ -36,6 +36,35 @@
 // The Backend policy (base/backend.hpp) selects the zero-overhead direct
 // build or the instrumented model build; `KMultCounter` aliases the
 // instrumented instantiation (the pre-policy behaviour).
+//
+// Memory-order audit (RelaxedDirectBackend). Three primitive families,
+// each on its default role:
+//
+//   * switch test&set — kRmwAcqRel. The release half publishes the
+//     announcer's state to whoever observes the bit; the acquire half is
+//     what keeps Lemma III.2's prefix invariant causal under weak
+//     memory: a process attempts the switches of an interval in order
+//     and moves past a switch only by winning it or by a failed test&set
+//     (which synchronizes with the winner), so when it sets switch l,
+//     every switch its scan passed is set in its happens-before past —
+//     and a reader's acquire scan that sees switch l set inherits that
+//     past, making value_at_position's "prefix [0, l] is set" inference
+//     sound.
+//   * H[i] writes — release (line 18): the helping pair (l, sn) promises
+//     that switch l is set; the program-order-earlier test&set win rides
+//     on the release so a reader that takes the helped return
+//     synchronizes with the complete announce it is returning.
+//   * switch/H reads — acquire, pairing with the above.
+//
+// What is *not* preserved: the helping-scan baseline (lines 47–48) reads
+// H[i] without a surrounding SC total order, so "sn advanced by ≥ 2
+// since the baseline" counts advances since a possibly slightly stale
+// baseline. On multi-copy-atomic hardware (x86, ARMv8) every load
+// returns the newest coherent value, the baseline is interval-recent,
+// and Lemma III.3's within-the-read witness stands; the seq_cst
+// backends keep the formal proof verbatim. The adversarial accuracy
+// property tests and the TSan relaxed suite exercise exactly this
+// handshake.
 #pragma once
 
 #include <cassert>
@@ -260,9 +289,10 @@ std::uint64_t KMultCounterT<Backend>::first_unset_switch_unrecorded() const {
   return i;
 }
 
-// Compiled in kmult_counter.cpp for the two shipped backends; other
+// Compiled in kmult_counter.cpp for the three shipped backends; other
 // backends instantiate from this header.
 extern template class KMultCounterT<base::DirectBackend>;
+extern template class KMultCounterT<base::RelaxedDirectBackend>;
 extern template class KMultCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

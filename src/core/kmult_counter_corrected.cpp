@@ -5,6 +5,7 @@
 namespace approx::core {
 
 template class KMultCounterCorrectedT<base::DirectBackend>;
+template class KMultCounterCorrectedT<base::RelaxedDirectBackend>;
 template class KMultCounterCorrectedT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

@@ -36,6 +36,16 @@
 //
 // Backend policy as in kmult_counter.hpp: `KMultCounterCorrected`
 // aliases the instrumented instantiation.
+//
+// Memory-order audit (RelaxedDirectBackend): identical to the uncorrected
+// algorithm's audit in kmult_counter.hpp — the fix re-weights the switch
+// sequence but keeps the same three primitive families and the same
+// helping-array handshake (release H-writes pairing with acquire H-reads,
+// acq_rel switch test&set carrying the prefix invariant). read_fast adds
+// no new ordering requirement: its doubling/binary-search probes are
+// acquire switch reads, its boundary verification re-reads in real-time
+// order exactly like the linear scan, and its retry bound reuses the
+// helping witness audited there.
 #pragma once
 
 #include <cassert>
@@ -372,6 +382,7 @@ std::uint64_t KMultCounterCorrectedT<Backend>::first_unset_switch_unrecorded()
 }
 
 extern template class KMultCounterCorrectedT<base::DirectBackend>;
+extern template class KMultCounterCorrectedT<base::RelaxedDirectBackend>;
 extern template class KMultCounterCorrectedT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

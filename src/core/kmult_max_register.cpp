@@ -1,10 +1,11 @@
-// Explicit instantiations of Algorithm 2 for the two shipped backends
+// Explicit instantiations of Algorithm 2 for the shipped backends
 // (definitions live in the header).
 #include "core/kmult_max_register.hpp"
 
 namespace approx::core {
 
 template class KMultMaxRegisterT<base::DirectBackend>;
+template class KMultMaxRegisterT<base::RelaxedDirectBackend>;
 template class KMultMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::core

@@ -12,6 +12,13 @@
 // written (0 if none): since every value v with index p lies in
 // [k^{p−1}, k^p − 1], the returned x = k^p satisfies v ≤ x ≤ v·k — within
 // the two-sided band v/k ≤ x ≤ v·k.
+//
+// Memory-order audit (RelaxedDirectBackend): Algorithm 2 performs no
+// primitives of its own — index computation is local, and the one shared
+// object is the exact AACH index register, whose release/acquire
+// justification lives in exact/bounded_max_register.hpp. (Same for the
+// unbounded plug-in in kmult_unbounded_max_register.hpp and the bounded
+// counter in kmult_bounded_counter.hpp, which delegate likewise.)
 #pragma once
 
 #include <cassert>

@@ -1,10 +1,11 @@
-// Explicit instantiations of the AACH counter for the two shipped
+// Explicit instantiations of the AACH counter for the shipped
 // backends (definitions live in the header).
 #include "exact/aach_counter.hpp"
 
 namespace approx::exact {
 
 template class AachCounterT<base::DirectBackend>;
+template class AachCounterT<base::RelaxedDirectBackend>;
 template class AachCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -13,6 +13,19 @@
 // returns the root's value. Monotonicity of all inputs makes every gate
 // of this "adder circuit" a max register, which is the heart of the AACH
 // linearizability proof.
+//
+// Memory-order audit (RelaxedDirectBackend). Three site families, all on
+// the default publication roles: (i) leaf writes are single-writer
+// release stores of the owner's monotone count; (ii) the child reads in
+// each gate re-evaluation are acquire loads, so a sum written upward was
+// actually published by its inputs (a stale input only *under*-
+// approximates, which the max-register gates absorb — the monotone-
+// circuit argument is ordering-tolerant by design); (iii) every internal
+// node is an UnboundedMaxRegisterT whose announce-after-publish audit
+// lives in exact/unbounded_max_register.hpp. A read that returns the
+// root's value synchronizes with the increment that wrote it, and that
+// increment's leaf store happens-before its root write — so the returned
+// sum is justified by completed leaf updates.
 #pragma once
 
 #include <cassert>
@@ -113,6 +126,7 @@ std::uint64_t AachCounterT<Backend>::read() const {
 }
 
 extern template class AachCounterT<base::DirectBackend>;
+extern template class AachCounterT<base::RelaxedDirectBackend>;
 extern template class AachCounterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

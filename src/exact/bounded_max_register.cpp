@@ -5,6 +5,7 @@
 namespace approx::exact {
 
 template class BoundedMaxRegisterT<base::DirectBackend>;
+template class BoundedMaxRegisterT<base::RelaxedDirectBackend>;
 template class BoundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

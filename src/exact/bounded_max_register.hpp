@@ -25,6 +25,20 @@
 // path, not 2^62. Allocation is bookkeeping below the model: only switch
 // and leaf primitives are charged as steps (under InstrumentedBackend;
 // DirectBackend charges nothing — see base/backend.hpp).
+//
+// Memory-order audit (RelaxedDirectBackend). The construction's one
+// ordering requirement is stated above: "writing the right half *before*
+// raising the switch is what makes reads linearizable". The default
+// register roles realize exactly that: each switch/leaf write is a
+// release store, so raising a switch publishes every right-subtree write
+// that preceded it in program order, and each switch read is an acquire
+// load, so a reader that descends right synchronizes with the writer
+// that raised the switch and finds the value the switch promises. Writes
+// descend O(log m) levels storing a bit per level — on x86 the release
+// mapping deletes a full fence per level, the dominant E16 max-register
+// win. Monotonicity across reads follows from per-bit coherence (bits
+// only rise). The node CAS-publication is allocation bookkeeping and was
+// already acquire/acq_rel.
 #pragma once
 
 #include <atomic>
@@ -182,6 +196,7 @@ std::uint64_t BoundedMaxRegisterT<Backend>::read() const {
 }
 
 extern template class BoundedMaxRegisterT<base::DirectBackend>;
+extern template class BoundedMaxRegisterT<base::RelaxedDirectBackend>;
 extern template class BoundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -15,6 +15,18 @@
 //
 // Step complexity: increments 1, reads n — the Θ(n) exact baseline the
 // paper's approximate counter is measured against.
+//
+// Memory-order audit (RelaxedDirectBackend). Each component is a
+// single-writer register carrying nothing but its own monotone count, so
+// the default register roles are already the weakest sound pair: the
+// owner's write(++shadow) is a release store (on x86 this deletes the
+// per-increment full fence — the biggest single win E16 measures) and
+// the collect's reads are acquire loads, so each collected value is one
+// the owner actually published. The linearization argument (the sum lies
+// between the totals at invocation and response, monotonicity passes
+// through it) only needs per-component monotonicity — coherence — plus
+// interval-recency of the loads, which the multi-copy-atomic targets
+// provide; the seq_cst backends remain the formal model.
 #pragma once
 
 #include <cassert>

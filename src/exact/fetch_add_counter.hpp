@@ -10,6 +10,19 @@
 // step per read; the hardware RMW has no counterpart among the model's
 // primitive kinds (documented in DESIGN.md §2.2). Under DirectBackend the
 // counter is a bare atomic cell.
+//
+// Memory-order audit (RelaxedDirectBackend). The whole counter is one
+// atomic cell, so the cell's modification order IS the linearization
+// order of increments; nothing is published through the cell besides the
+// count itself. The increment therefore requests kRmwRelaxed and the
+// read kLoadRelaxed: a relaxed fetch&add still takes its unique place in
+// the modification order, and a relaxed load returns some value of that
+// order — on the multi-copy-atomic hardware we target (x86, ARMv8) the
+// newest one the coherence fabric has made visible, i.e. a value inside
+// the read's real-time interval. The formally seq_cst-faithful builds
+// are the other two backends. (On x86 the RMW compiles to the same
+// lock-prefixed instruction either way; the relaxed win is ARM's ldadd
+// vs ldaddal and the compiler's freedom to keep the loop tight.)
 #pragma once
 
 #include <atomic>
@@ -34,12 +47,12 @@ class FetchAddCounterT {
 
   void increment() {
     Backend::on_step(handle_, base::PrimitiveKind::kWrite);
-    cell_.fetch_add(1, std::memory_order_seq_cst);
+    cell_.fetch_add(1, Backend::order(base::OrderRole::kRmwRelaxed));
   }
 
   [[nodiscard]] std::uint64_t read() const {
     Backend::on_step(handle_, base::PrimitiveKind::kRead);
-    return cell_.load(std::memory_order_seq_cst);
+    return cell_.load(Backend::order(base::OrderRole::kLoadRelaxed));
   }
 
  private:

@@ -1,10 +1,11 @@
-// Explicit instantiations of the Afek et al. snapshot for the two shipped
+// Explicit instantiations of the Afek et al. snapshot for the shipped
 // backends (definitions live in the header).
 #include "exact/snapshot.hpp"
 
 namespace approx::exact {
 
 template class SnapshotT<base::DirectBackend>;
+template class SnapshotT<base::RelaxedDirectBackend>;
 template class SnapshotT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -42,6 +42,22 @@
 // the length for tests. The in-flight counter and capture machinery are
 // memory management, not model primitives: like helped_scans_ they are
 // never charged as steps.
+//
+// Memory-order audit (RelaxedDirectBackend). The record-pointer slots
+// are the snapshot's only model primitives, and they are a textbook
+// publication pattern: update() fully constructs the immutable record
+// (value, seq, embedded view) before swinging the slot pointer, so the
+// swing requests kStoreRelease and every collect load requests
+// kLoadAcquire — a scanner that observes a record (in particular one it
+// borrows the embedded view from) synchronizes with its writer and sees
+// the record's contents. The writer's read of its *own* slot (to chain
+// seq) requests kLoadRelaxed: the slot is single-writer, so per-location
+// coherence already returns its last store. Everything in the
+// retirement/reclamation machinery keeps explicit seq_cst: the
+// "zero in-flight scans after the capture" proof relies on the single
+// total order of the scans_active_ and retired_ operations, and the
+// scanner's seq_cst registration RMW is what orders its subsequent slot
+// loads after the reclaimer's check on the multi-copy-atomic targets.
 #pragma once
 
 #include <atomic>
@@ -247,7 +263,11 @@ auto SnapshotT<Backend>::collect() const -> std::vector<const Record*> {
   std::vector<const Record*> records(slots_.size());
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Backend::on_step(slots_[i].id, base::PrimitiveKind::kRead);
-    records[i] = slots_[i].record.load(std::memory_order_seq_cst);
+    // Acquire pairs with update()'s release swing: the record's fields —
+    // including the embedded view the helping branch returns — are
+    // visible once the pointer is.
+    records[i] =
+        slots_[i].record.load(Backend::order(base::OrderRole::kLoadAcquire));
   }
   return records;
 }
@@ -300,15 +320,19 @@ void SnapshotT<Backend>::update(unsigned pid, std::uint64_t value) {
   record->value = value;
   record->view = scan();  // embedded view for scanner helping
   Slot& slot = slots_[pid];
-  Record* previous = slot.record.load(std::memory_order_seq_cst);
+  // Single-writer slot: coherence alone returns our own last store.
+  Record* previous =
+      slot.record.load(Backend::order(base::OrderRole::kLoadRelaxed));
   record->seq = previous->seq + 1;
   Backend::on_step(slot.id, base::PrimitiveKind::kWrite);
-  slot.record.store(record, std::memory_order_seq_cst);
+  // Release-publish the fully built record (see the audit in the header).
+  slot.record.store(record, Backend::order(base::OrderRole::kStoreRelease));
   retire(previous);
   maybe_reclaim();
 }
 
 extern template class SnapshotT<base::DirectBackend>;
+extern template class SnapshotT<base::RelaxedDirectBackend>;
 extern template class SnapshotT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

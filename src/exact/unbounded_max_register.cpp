@@ -5,6 +5,7 @@
 namespace approx::exact {
 
 template class UnboundedMaxRegisterT<base::DirectBackend>;
+template class UnboundedMaxRegisterT<base::RelaxedDirectBackend>;
 template class UnboundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -33,6 +33,17 @@
 // polylog(n) bound of Baig et al. needs their more elaborate helping
 // machinery; the k-multiplicative plug-in in src/core does not need it —
 // see kmult_unbounded_max_register.hpp.)
+//
+// Memory-order audit (RelaxedDirectBackend). Announce-after-publish is
+// the same pattern as inside the AACH tree, one level up: the mantissa
+// tree is written first, then `level_` announces e+1, and both are
+// BoundedMaxRegisterT instances whose bit writes are release stores and
+// whose bit reads are acquire loads (see exact/bounded_max_register.hpp).
+// A reader that obtains t from `level_` therefore synchronizes with the
+// write that announced t, which program-order-follows that write's
+// mantissa publication — the mantissa value the reader then loads is at
+// least the announced write's. The mantissa-slot CAS publication is
+// allocation bookkeeping, already acquire/acq_rel.
 #pragma once
 
 #include <atomic>
@@ -136,6 +147,7 @@ std::uint64_t UnboundedMaxRegisterT<Backend>::read() const {
 }
 
 extern template class UnboundedMaxRegisterT<base::DirectBackend>;
+extern template class UnboundedMaxRegisterT<base::RelaxedDirectBackend>;
 extern template class UnboundedMaxRegisterT<base::InstrumentedBackend>;
 
 }  // namespace approx::exact

@@ -1,11 +1,26 @@
 // aggregator.hpp — periodic batched reader over a counter registry.
 //
 // The monitoring plane of the telemetry fleet: collect() batches one
-// Registry::snapshot_all pass into a compact, sequence-numbered
-// TelemetryFrame — the unit a scraper would ship off-box. Because every
-// sample carries its error model + composed bound, a frame is
-// self-describing: downstream consumers need no side channel to know
-// how approximate each figure is.
+// single-pass Registry::snapshot_all_into walk into a compact,
+// sequence-numbered TelemetryFrame — the unit a scraper would ship
+// off-box. Because every sample carries its error model + composed
+// bound, a frame is self-describing: downstream consumers need no side
+// channel to know how approximate each figure is.
+//
+// Frame assembly is allocation-free at steady state: the aggregator owns
+// a scratch frame whose sample storage is refreshed in place by the
+// registry's flat-table pass (names/models/bounds are re-copied only
+// when the registry version changed), so a frame costs one read per
+// counter plus the publication copy for latest().
+//
+// Publication ordering: the sequence number is *released last*. collect()
+// stores the frame into latest_ (under latest_mutex_) and only then
+// release-stores next_sequence_; frames_collected() loads it with
+// acquire. A consumer that observes frames_collected() ≥ N therefore
+// synchronizes with frame N's publication, and a subsequent latest()
+// returns a frame with sequence ≥ N. (The previous fetch_add(relaxed)
+// *before* the payload store ordered nothing: the counter could read N
+// while latest_ still held frame N−1.)
 //
 // Two modes:
 //
@@ -40,6 +55,11 @@ namespace approx::shard {
 struct TelemetryFrame {
   std::uint64_t sequence = 0;  // 0 = no frame collected yet
   std::vector<Sample> samples;
+  /// Registry version the samples' constant fields (name/model/bound)
+  /// reflect — the in-place refresh cache for collect_into (and a
+  /// provenance stamp: frames with equal versions describe the same
+  /// counter set).
+  std::uint64_t registry_version = 0;
 };
 
 template <typename Backend = base::InstrumentedBackend>
@@ -61,17 +81,23 @@ class AggregatorT {
   /// the aggregator owns ONE pid, and the per-pid read state inside
   /// k-multiplicative shards must never be driven from two threads at
   /// once — the collect mutex enforces that, and also keeps published
-  /// sequence numbers monotone in publication order.
+  /// sequence numbers monotone in publication order. One single-pass
+  /// walk of the registry's flat table, reusing the scratch frame's
+  /// storage (see the header).
   TelemetryFrame collect() {
     std::lock_guard collect_lock(collect_mutex_);
-    TelemetryFrame frame;
-    frame.samples = registry_.snapshot_all(pid_);
-    frame.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
-    {
-      std::lock_guard lock(latest_mutex_);
-      latest_ = frame;
-    }
-    return frame;
+    collect_locked(scratch_);
+    return scratch_;
+  }
+
+  /// The zero-allocation form: refreshes `out` in place (values every
+  /// pass; names/models/bounds only when the registry grew) and
+  /// publishes it exactly like collect(). Callers that loop — the
+  /// background thread, scrapers — reuse one frame and pay no per-frame
+  /// allocation at steady state.
+  void collect_into(TelemetryFrame& out) {
+    std::lock_guard collect_lock(collect_mutex_);
+    collect_locked(out);
   }
 
   /// Newest published frame (sequence 0 with no samples before the
@@ -81,8 +107,10 @@ class AggregatorT {
     return latest_;
   }
 
+  /// Frames published so far. Pairs (acquire) with collect()'s release
+  /// store: after observing N here, latest() returns sequence ≥ N.
   [[nodiscard]] std::uint64_t frames_collected() const noexcept {
-    return next_sequence_.load(std::memory_order_relaxed);
+    return next_sequence_.load(std::memory_order_acquire);
   }
 
   /// Background mode (DirectBackend only; see header): collect a frame
@@ -93,8 +121,9 @@ class AggregatorT {
     if (thread_.joinable()) return;
     stop_.store(false, std::memory_order_relaxed);
     thread_ = std::thread([this, period] {
+      TelemetryFrame frame;  // reused across the thread's lifetime
       while (!stop_.load(std::memory_order_acquire)) {
-        collect();
+        collect_into(frame);
         // Sleep in small slices so stop() stays responsive at long
         // periods.
         const auto deadline = std::chrono::steady_clock::now() + period;
@@ -115,9 +144,26 @@ class AggregatorT {
   [[nodiscard]] unsigned pid() const noexcept { return pid_; }
 
  private:
+  /// One single-pass frame refresh + publication; collect_mutex_ held.
+  void collect_locked(TelemetryFrame& frame) {
+    frame.registry_version = registry_.snapshot_all_into(
+        pid_, frame.samples, frame.registry_version);
+    // next_sequence_ is only written under collect_mutex_, so a plain
+    // relaxed load reads our own last publication.
+    frame.sequence = next_sequence_.load(std::memory_order_relaxed) + 1;
+    {
+      std::lock_guard lock(latest_mutex_);
+      latest_ = frame;
+    }
+    // Payload first, sequence last (release): an observer of sequence N
+    // via frames_collected() sees N's frame published (header comment).
+    next_sequence_.store(frame.sequence, std::memory_order_release);
+  }
+
   const RegistryT<Backend>& registry_;
   unsigned pid_;
   std::mutex collect_mutex_;  // serializes collect() passes (see above)
+  TelemetryFrame scratch_;    // collect()'s reused storage (collect_mutex_)
   std::atomic<std::uint64_t> next_sequence_{0};
   mutable std::mutex latest_mutex_;
   TelemetryFrame latest_;

@@ -18,6 +18,7 @@ const char* error_model_name(ErrorModel model) noexcept {
 // Compile the registry (and through it the sharded-counter templates)
 // once per backend; every user links against these.
 template class RegistryT<base::DirectBackend>;
+template class RegistryT<base::RelaxedDirectBackend>;
 template class RegistryT<base::InstrumentedBackend>;
 
 }  // namespace approx::shard

@@ -13,7 +13,18 @@
 //     are never destroyed before the registry — the map only grows);
 //   * snapshot_all(pid)   — one Sample per counter, carrying the value
 //     together with its error model + composed bound, so consumers can
-//     interpret every figure without knowing how it was configured.
+//     interpret every figure without knowing how it was configured;
+//   * snapshot_all_into(pid, out, version) — the single-pass form the
+//     aggregator drives: the registry keeps a name-sorted flat table of
+//     (name, counter, model, bound) entries, immutable except for
+//     sorted inserts on create, and a collect pass walks that table
+//     once, writing each counter's fresh value into the caller's
+//     existing Sample storage. Names, models and bounds are constant
+//     per counter, so they are copied only when the registry's version
+//     changed since the caller's last pass — a steady-state frame is
+//     one read per shard of every counter and zero allocations, instead
+//     of the map walk + string copies + virtual metadata hops the
+//     allocating form pays (E16 measures the difference).
 //
 // Counter kinds are erased behind `AnyCounter` so one fleet can mix
 // multiplicative, additive and exact striping; the virtual hop is
@@ -25,6 +36,8 @@
 // touch the registry — the hot path stays wait-free.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -108,7 +121,8 @@ class RegistryT {
 
   /// @param num_processes pid space shared by every counter created
   ///   here (one thread per pid, including any aggregator thread).
-  explicit RegistryT(unsigned num_processes) : n_(num_processes) {}
+  explicit RegistryT(unsigned num_processes)
+      : n_(num_processes), version_(instance_nonce()) {}
 
   RegistryT(const RegistryT&) = delete;
   RegistryT& operator=(const RegistryT&) = delete;
@@ -121,6 +135,18 @@ class RegistryT {
     auto it = counters_.find(name);
     if (it == counters_.end()) {
       it = counters_.emplace(name, make_counter(spec)).first;
+      // Mirror the new counter into the flat snapshot table at its
+      // name-sorted position, caching the per-counter constants so
+      // collect passes never touch the map or the metadata virtuals.
+      AnyCounter& counter = *it->second;
+      const auto pos = std::lower_bound(
+          flat_.begin(), flat_.end(), name,
+          [](const Entry& entry, const std::string& key) {
+            return entry.name < key;
+          });
+      flat_.insert(pos, Entry{name, &counter, counter.error_model(),
+                              counter.error_bound()});
+      ++version_;
     }
     return *it->second;
   }
@@ -133,17 +159,45 @@ class RegistryT {
   }
 
   /// Reads every registered counter (as process `pid`) into one
-  /// name-sorted batch of samples.
+  /// name-sorted batch of samples. Allocating convenience form of
+  /// snapshot_all_into.
   [[nodiscard]] std::vector<Sample> snapshot_all(unsigned pid) const {
-    std::shared_lock lock(mutex_);
     std::vector<Sample> samples;
-    samples.reserve(counters_.size());
-    for (const auto& [name, counter] : counters_) {
-      samples.push_back(Sample{name, counter->read(pid),
-                               counter->error_model(),
-                               counter->error_bound()});
-    }
+    (void)snapshot_all_into(pid, samples, 0);  // 0 never matches version_
     return samples;
+  }
+
+  /// Single-pass collect (see header): refreshes `out` in place with one
+  /// read per counter. `cached_version` is the value a previous call
+  /// returned for this same `out` (0 initially); when it still matches
+  /// the registry, the constant fields (name/model/bound) are reused and
+  /// the pass only writes values. Returns the version `out` now reflects.
+  std::uint64_t snapshot_all_into(unsigned pid, std::vector<Sample>& out,
+                                  std::uint64_t cached_version) const {
+    std::shared_lock lock(mutex_);
+    if (cached_version != version_ || out.size() != flat_.size()) {
+      out.resize(flat_.size());
+      for (std::size_t i = 0; i < flat_.size(); ++i) {
+        out[i].name = flat_[i].name;
+        out[i].model = flat_[i].model;
+        out[i].error_bound = flat_[i].error_bound;
+      }
+    }
+    for (std::size_t i = 0; i < flat_.size(); ++i) {
+      out[i].value = flat_[i].counter->read(pid);
+    }
+    return version_;
+  }
+
+  /// Monotone counter bumped by every create; snapshot_all_into callers
+  /// use it to skip re-copying the constant sample fields. Seeded with a
+  /// per-instance nonce (high bits), so a cached version from one
+  /// registry never matches another registry — a frame reused across
+  /// registries always takes the full refresh path instead of silently
+  /// keeping the first registry's names/bounds.
+  [[nodiscard]] std::uint64_t version() const {
+    std::shared_lock lock(mutex_);
+    return version_;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -172,9 +226,28 @@ class RegistryT {
     }
   }
 
+  /// One row of the flat snapshot table: the per-counter constants a
+  /// collect pass needs, cached at create time (counters are never
+  /// destroyed or reconfigured before the registry).
+  struct Entry {
+    std::string name;
+    AnyCounter* counter;
+    ErrorModel model;
+    std::uint64_t error_bound;
+  };
+
+  /// Process-unique version seed per registry instance (see version()).
+  /// Never 0, so a zero cached_version always misses.
+  static std::uint64_t instance_nonce() {
+    static std::atomic<std::uint64_t> next{1};
+    return (next.fetch_add(1, std::memory_order_relaxed) << 32) | 1;
+  }
+
   unsigned n_;
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<AnyCounter>> counters_;
+  std::vector<Entry> flat_;  // name-sorted mirror of counters_
+  std::uint64_t version_;    // nonce-seeded, bumped per create (never 0)
 };
 
 /// The model-faithful default instantiation (matches the repo-wide
@@ -182,6 +255,7 @@ class RegistryT {
 using Registry = RegistryT<base::InstrumentedBackend>;
 
 extern template class RegistryT<base::DirectBackend>;
+extern template class RegistryT<base::RelaxedDirectBackend>;
 extern template class RegistryT<base::InstrumentedBackend>;
 
 }  // namespace approx::shard

@@ -30,23 +30,35 @@
 // Shard placement. Increments route by thread id (kHashPinned, the
 // default: home shard = pid mod S — on the dense pid space 0..n−1 the
 // identity is the balanced hash, and it keeps the in-shard remap O(1))
-// or rotate per-increment over all shards (kRoundRobin, rebalancing
-// skewed incrementers at the cost of the pinned mode's tighter accuracy
-// precondition — see accuracy_guaranteed()). Reads always visit every
-// shard.
+// or rotate per-increment (kRoundRobin, rebalancing skewed incrementers
+// where rotation balances anything — see the remap table below). Reads
+// always visit every shard.
 //
 // Shard sizing. Underlying counters whose read() takes no pid (the
-// collect/snapshot/fetch&add/k-additive family) are *compact-sharded*
-// under kHashPinned: shard s is constructed only over the ~n/S pids
-// homed on it, so per-shard costs that scale with the process count
-// drop by S (collect reads) or S² (snapshot updates, whose embedded
-// scans are quadratic) — the algorithmic win E14 measures. Counters
-// whose read(pid) carries per-process state (the k-multiplicative
-// family: read cursors + helping buffers) are *full-width* sharded —
-// every shard spans all n pids so any pid may read any shard race-free;
-// the win there is splitting announce/helping traffic, not shrinking n.
-// Round-robin routing also forces full width (every pid may touch every
-// shard).
+// collect/snapshot/fetch&add/k-additive family) are *compact-sharded*:
+// shard s is constructed only over the ~n/S pids homed on it, so
+// per-shard costs that scale with the process count drop by S (collect
+// reads) or S² (snapshot updates, whose embedded scans are quadratic) —
+// the algorithmic win E14 measures. Counters whose read(pid) carries
+// per-process state (the k-multiplicative family: read cursors + helping
+// buffers) are *full-width* sharded — every shard spans all n pids so
+// any pid may read any shard race-free; the win there is splitting
+// announce/helping traffic, not shrinking n.
+//
+// The round-robin remap table. Round-robin used to force the compact
+// family back to full-width shards (any pid could flush into any
+// shard). But for that family a shard "slot" is a single-writer
+// register: increments contend with nobody, so rotating them balances
+// *nothing* — it only destroys the compact layout. The per-pid remap
+// table makes this explicit: every slot-owning increment is remapped to
+// its pid's compact home cell (home shard, local slot) under BOTH
+// policies, so E14's n/S-wide collect win now applies to round-robin
+// fleets too. Rotation is preserved exactly where increments really
+// contend: shared-cell shards (fetch&add — the rr cursor spreads RMW
+// traffic over the S cells) and the full-width k-multiplicative family
+// (the rr cursor spreads announce/helping traffic over the S switch
+// arrays, at the cost of the pinned mode's tighter accuracy
+// precondition — see accuracy_guaranteed()).
 //
 // Each shard lives in its own cache-line-aligned heap allocation, so
 // shard headers never false-share; per-pid routing state is line-padded
@@ -170,9 +182,16 @@ class ShardedCounterT {
         k_(k),
         policy_(policy),
         num_shards_(clamp_shards(num_shards, num_processes)),
-        compact_(!kReadTakesPid && policy == ShardPolicy::kHashPinned),
+        compact_(!kReadTakesPid),
         per_process_(new PerProcess[num_processes]) {
     assert(num_processes >= 1);
+    // The remap table: every pid's compact home cell, precomputed. Slot-
+    // owning increments route through it under both policies (see the
+    // header); full-width shards keep the global pid as the local slot.
+    for (unsigned pid = 0; pid < num_processes; ++pid) {
+      per_process_[pid].route_shard = home_shard(pid);
+      per_process_[pid].route_local = compact_ ? local_pid(pid) : pid;
+    }
     shards_.reserve(num_shards_);
     for (unsigned s = 0; s < num_shards_; ++s) {
       const unsigned shard_pids = compact_ ? bucket_size(s) : n_;
@@ -194,16 +213,27 @@ class ShardedCounterT {
   /// Adds one to the count. At most one thread per pid.
   void increment(unsigned pid) {
     assert(pid < n_);
-    unsigned s = home_shard(pid);
-    if (policy_ == ShardPolicy::kRoundRobin) {
-      s = static_cast<unsigned>((s + per_process_[pid].rr_cursor++) %
-                                num_shards_);
-    }
-    shard_type& target = shards_[s]->shard;
-    if constexpr (requires { target.increment(0u); }) {
-      target.increment(compact_ ? local_pid(pid) : pid);
+    PerProcess& me = per_process_[pid];
+    if constexpr (requires(shard_type& c) { c.increment(0u); }) {
+      if (kReadTakesPid && policy_ == ShardPolicy::kRoundRobin) {
+        // Full-width k-multiplicative family: rotation spreads announce/
+        // helping traffic, and any pid may hit any shard (global pid).
+        const unsigned s = static_cast<unsigned>(
+            (home_shard(pid) + me.rr_cursor++) % num_shards_);
+        shards_[s]->shard.increment(pid);
+      } else {
+        // Slot-owning increments (single-writer slots): the remap table
+        // routes both policies onto the compact home cell — rotation has
+        // no contention to balance here (see the header).
+        shards_[me.route_shard]->shard.increment(me.route_local);
+      }
     } else {
-      target.increment();
+      // Shared-cell shards (fetch&add): rotation spreads RMW contention.
+      unsigned s = me.route_shard;
+      if (policy_ == ShardPolicy::kRoundRobin) {
+        s = static_cast<unsigned>((s + me.rr_cursor++) % num_shards_);
+      }
+      shards_[s]->shard.increment();
     }
   }
 
@@ -230,15 +260,10 @@ class ShardedCounterT {
   void flush(unsigned pid) {
     assert(pid < n_);
     if constexpr (requires(shard_type& c) { c.flush(0u); }) {
-      if (compact_) {
-        // Pinned increments only ever batch in the home shard.
-        shards_[home_shard(pid)]->shard.flush(local_pid(pid));
-      } else {
-        // Round-robin may leave pending batches in any shard.
-        for (unsigned s = 0; s < num_shards_; ++s) {
-          shards_[s]->shard.flush(pid);
-        }
-      }
+      // Batching counters are slot-owning, so the remap table confines
+      // every batch to the pid's home cell — under both policies.
+      const PerProcess& me = per_process_[pid];
+      shards_[me.route_shard]->shard.flush(me.route_local);
     }
   }
 
@@ -301,6 +326,8 @@ class ShardedCounterT {
  private:
   struct alignas(64) PerProcess {
     std::uint64_t rr_cursor = 0;  // round-robin rotation state
+    unsigned route_shard = 0;     // remap table: the pid's home cell
+    unsigned route_local = 0;     //   (shard index, in-shard slot)
   };
 
   /// One shard in its own cache-line-aligned allocation.

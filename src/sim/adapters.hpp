@@ -66,11 +66,15 @@ class IMaxRegister {
 };
 
 namespace detail {
-/// Appends the backend tag to direct-build adapter names so bench output
-/// distinguishes the two builds of the same algorithm.
+/// Appends the backend tag to uninstrumented-build adapter names so
+/// bench output distinguishes the builds of the same algorithm
+/// ("/direct" = seq_cst hot path, "/relaxed" = role-mapped orders).
 template <typename Backend>
 std::string tag_name(std::string name) {
-  if constexpr (!Backend::kInstrumented) name += "/direct";
+  if constexpr (!Backend::kInstrumented) {
+    name += '/';
+    name += Backend::kLabel;
+  }
   return name;
 }
 }  // namespace detail

@@ -175,6 +175,95 @@ TEST(BackendEquivalence, UnboundedMaxRegisters) {
                                   0x1B1);
 }
 
+// --- RelaxedDirectBackend: same values, weaker orders ----------------
+//
+// Single-threaded operation sequences are deterministic under ANY
+// memory-order mapping, so the relaxed instantiation of every algorithm
+// must return exactly the instrumented values — the role mapping changes
+// *how a primitive is fenced*, never *what it does*. (Concurrent
+// behaviour of the relaxed build is covered by the TSan suite in
+// tests/integration/test_relaxed_threads.cpp and the stepper-free
+// property tests in tests/shard/test_sharded_accuracy.cpp.)
+
+template <template <typename> class CounterT>
+void check_pid_counter_relaxed(unsigned n, std::uint64_t k,
+                               std::uint64_t ops) {
+  CounterT<base::RelaxedDirectBackend> relaxed(n, k);
+  CounterT<base::InstrumentedBackend> instrumented(n, k);
+  expect_equivalent_counters(
+      relaxed, instrumented, n,
+      [](auto& c, unsigned pid) { c.increment(pid); },
+      [](auto& c, unsigned pid) { return c.read(pid); }, ops, 0xBEEF + n);
+}
+
+TEST(BackendEquivalence, RelaxedKMultCounters) {
+  check_pid_counter_relaxed<core::KMultCounterT>(4, 2, 20'000);
+  check_pid_counter_relaxed<core::KMultCounterCorrectedT>(8, 3, 20'000);
+}
+
+TEST(BackendEquivalence, RelaxedKMultCounterCorrectedReadFast) {
+  core::KMultCounterCorrectedT<base::RelaxedDirectBackend> relaxed(4, 3);
+  core::KMultCounterCorrectedT<base::InstrumentedBackend> instrumented(4, 3);
+  expect_equivalent_counters(
+      relaxed, instrumented, 4,
+      [](auto& c, unsigned pid) { c.increment(pid); },
+      [](auto& c, unsigned pid) { return c.read_fast(pid); }, 20'000, 0xF457);
+}
+
+TEST(BackendEquivalence, RelaxedExactAndAdditiveCounters) {
+  const unsigned n = 4;
+  exact::CollectCounterT<base::RelaxedDirectBackend> collect_r(n);
+  exact::CollectCounterT<base::InstrumentedBackend> collect_i(n);
+  expect_equivalent_counters(
+      collect_r, collect_i, n,
+      [](auto& c, unsigned pid) { c.increment(pid); },
+      [](auto& c, unsigned) { return c.read(); }, 20'000, 0xC011);
+
+  exact::AachCounterT<base::RelaxedDirectBackend> aach_r(n);
+  exact::AachCounterT<base::InstrumentedBackend> aach_i(n);
+  expect_equivalent_counters(
+      aach_r, aach_i, n, [](auto& c, unsigned pid) { c.increment(pid); },
+      [](auto& c, unsigned) { return c.read(); }, 5'000, 0xAAC4);
+
+  exact::SnapshotCounterT<base::RelaxedDirectBackend> snap_r(n);
+  exact::SnapshotCounterT<base::InstrumentedBackend> snap_i(n);
+  expect_equivalent_counters(
+      snap_r, snap_i, n, [](auto& c, unsigned pid) { c.increment(pid); },
+      [](auto& c, unsigned) { return c.read(); }, 2'000, 0x5A45);
+
+  exact::FetchAddCounterT<base::RelaxedDirectBackend> faa_r;
+  exact::FetchAddCounterT<base::InstrumentedBackend> faa_i;
+  expect_equivalent_counters(
+      faa_r, faa_i, n, [](auto& c, unsigned) { c.increment(); },
+      [](auto& c, unsigned) { return c.read(); }, 20'000, 0xFAA);
+
+  core::KAdditiveCounterT<base::RelaxedDirectBackend> add_r(n, 64);
+  core::KAdditiveCounterT<base::InstrumentedBackend> add_i(n, 64);
+  expect_equivalent_counters(
+      add_r, add_i, n, [](auto& c, unsigned pid) { c.increment(pid); },
+      [](auto& c, unsigned) { return c.read(); }, 20'000, 0xADD);
+}
+
+TEST(BackendEquivalence, RelaxedMaxRegisters) {
+  const std::uint64_t m = std::uint64_t{1} << 32;
+  exact::BoundedMaxRegisterT<base::RelaxedDirectBackend> exact_r(m);
+  exact::BoundedMaxRegisterT<base::InstrumentedBackend> exact_i(m);
+  expect_equivalent_max_registers(exact_r, exact_i, m - 1, 5'000, 0xE4AC);
+
+  core::KMultMaxRegisterT<base::RelaxedDirectBackend> kmult_r(m, 3);
+  core::KMultMaxRegisterT<base::InstrumentedBackend> kmult_i(m, 3);
+  expect_equivalent_max_registers(kmult_r, kmult_i, m - 1, 5'000, 0x7143);
+
+  exact::UnboundedMaxRegisterT<base::RelaxedDirectBackend> unb_r;
+  exact::UnboundedMaxRegisterT<base::InstrumentedBackend> unb_i;
+  expect_equivalent_max_registers(unb_r, unb_i, base::kU64Max, 5'000, 0x0B0);
+
+  core::KMultUnboundedMaxRegisterT<base::RelaxedDirectBackend> kunb_r(4);
+  core::KMultUnboundedMaxRegisterT<base::InstrumentedBackend> kunb_i(4);
+  expect_equivalent_max_registers(kunb_r, kunb_i, base::kU64Max, 5'000,
+                                  0x1B1);
+}
+
 // --- the zero-overhead side of the policy contract -------------------
 
 TEST(DirectBackendContract, NoStepsRecordedEvenWithRecorderInstalled) {
@@ -212,6 +301,40 @@ TEST(DirectBackendContract, LayoutIdenticalToRawAtomics) {
   // The instrumented builds carry exactly one ObjectId on top.
   EXPECT_EQ(sizeof(base::Register<std::uint64_t>),
             sizeof(std::atomic<std::uint64_t>) + sizeof(base::ObjectId));
+}
+
+TEST(RelaxedDirectBackendContract, ZeroOverheadAndRoleMapping) {
+  // Cost model identical to DirectBackend: no steps, no ids, no storage.
+  base::Register<std::uint64_t, base::RelaxedDirectBackend> reg(1);
+  base::TasBitT<base::RelaxedDirectBackend> bit;
+  base::StepRecorder recorder(/*track_objects=*/true);
+  {
+    base::ScopedRecording on(recorder);
+    reg.write(5);
+    (void)reg.read();
+    (void)bit.test_and_set();
+  }
+  EXPECT_EQ(recorder.total(), 0u);
+  EXPECT_EQ(reg.id(), base::kInvalidObjectId);
+  EXPECT_EQ(
+      sizeof(base::Register<std::uint64_t, base::RelaxedDirectBackend>),
+      sizeof(std::atomic<std::uint64_t>));
+
+  // The role mapping is the whole point; pin it.
+  using base::OrderRole;
+  static_assert(base::RelaxedDirectBackend::order(OrderRole::kLoadAcquire) ==
+                std::memory_order_acquire);
+  static_assert(base::RelaxedDirectBackend::order(OrderRole::kStoreRelease) ==
+                std::memory_order_release);
+  static_assert(base::RelaxedDirectBackend::order(OrderRole::kRmwAcqRel) ==
+                std::memory_order_acq_rel);
+  static_assert(base::RelaxedDirectBackend::order(OrderRole::kLoadRelaxed) ==
+                std::memory_order_relaxed);
+  // ... while the seq_cst backends ignore every role (model fidelity).
+  static_assert(base::DirectBackend::order(OrderRole::kLoadRelaxed) ==
+                std::memory_order_seq_cst);
+  static_assert(base::InstrumentedBackend::order(OrderRole::kRmwRelaxed) ==
+                std::memory_order_seq_cst);
 }
 
 TEST(InstrumentedBackendContract, StepsStillRecorded) {

@@ -111,6 +111,97 @@ TEST(Registry, ConcurrentGetOrCreateYieldsOneCounterPerName) {
   EXPECT_EQ(total, std::uint64_t{kWorkers} * 200);
 }
 
+TEST(Registry, SnapshotAllIntoReusesStorageAndTracksVersion) {
+  Registry registry(2);
+  registry.create("b", {ErrorModel::kExact, 0, 2});
+  registry.create("a", {ErrorModel::kExact, 0, 2});
+
+  std::vector<Sample> frame;
+  std::uint64_t version = registry.snapshot_all_into(0, frame, 0);
+  ASSERT_EQ(frame.size(), 2u);
+  EXPECT_EQ(frame[0].name, "a");  // flat table stays name-sorted
+  EXPECT_EQ(frame[1].name, "b");
+  EXPECT_EQ(version, registry.version());
+
+  // Steady state: same version → values refreshed in place, constants
+  // (and the samples' string storage) untouched.
+  registry.lookup("a")->increment(0);
+  const char* const name_storage = frame[0].name.data();
+  const std::uint64_t same = registry.snapshot_all_into(0, frame, version);
+  EXPECT_EQ(same, version);
+  EXPECT_EQ(frame[0].name.data(), name_storage);
+  EXPECT_EQ(frame[0].value, 1u);
+
+  // A create bumps the version and the next pass re-fills the constants,
+  // keeping the sorted order with the newcomer in place.
+  registry.create("aa", {ErrorModel::kAdditive, 8, 2});
+  const std::uint64_t bumped = registry.snapshot_all_into(0, frame, same);
+  EXPECT_GT(bumped, same);
+  ASSERT_EQ(frame.size(), 3u);
+  EXPECT_EQ(frame[0].name, "a");
+  EXPECT_EQ(frame[1].name, "aa");
+  EXPECT_EQ(frame[1].model, ErrorModel::kAdditive);
+  EXPECT_EQ(frame[1].error_bound, 16u);
+  EXPECT_EQ(frame[2].name, "b");
+
+  // The allocating form agrees with the in-place form.
+  const auto allocated = registry.snapshot_all(0);
+  ASSERT_EQ(allocated.size(), frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(allocated[i].name, frame[i].name);
+    EXPECT_EQ(allocated[i].value, frame[i].value);
+  }
+}
+
+TEST(Registry, VersionsAreUniquePerRegistryInstance) {
+  // Reusing a frame against a *different* registry must take the full
+  // refresh path even when both registries hold equally many counters
+  // after equally many creates — versions carry a per-instance nonce.
+  Registry first(2);
+  first.create("a", {ErrorModel::kExact, 0, 2});
+  Registry second(2);
+  second.create("z", {ErrorModel::kAdditive, 8, 2});
+  ASSERT_NE(first.version(), second.version());
+
+  std::vector<Sample> frame;
+  const std::uint64_t from_first = first.snapshot_all_into(0, frame, 0);
+  EXPECT_EQ(frame[0].name, "a");
+  (void)second.snapshot_all_into(0, frame, from_first);
+  EXPECT_EQ(frame[0].name, "z");  // refreshed, not stale "a"
+  EXPECT_EQ(frame[0].model, ErrorModel::kAdditive);
+}
+
+TEST(Aggregator, SequencePublicationOrdersPayload) {
+  // The release/acquire publication contract: a consumer that observes
+  // frames_collected() == N and then calls latest() must see frame N (or
+  // newer) — the sequence is released only after the payload store.
+  RegistryT<base::DirectBackend> registry(4);
+  AnyCounter& counter = registry.create("c", {ErrorModel::kExact, 0, 2});
+  AggregatorT<base::DirectBackend> aggregator(registry, 3);
+
+  std::atomic<bool> stop{false};
+  std::thread collector([&] {
+    unsigned pid = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      counter.increment(pid % 2);
+      pid += 1;
+      aggregator.collect();
+    }
+  });
+  std::uint64_t observed = 0;
+  std::uint64_t checks = 0;
+  while (checks < 20'000) {
+    const std::uint64_t count = aggregator.frames_collected();
+    const TelemetryFrame frame = aggregator.latest();
+    ASSERT_GE(frame.sequence, count) << "sequence published before payload";
+    ASSERT_GE(frame.sequence, observed) << "latest() regressed";
+    observed = frame.sequence;
+    ++checks;
+  }
+  stop.store(true, std::memory_order_release);
+  collector.join();
+}
+
 TEST(Aggregator, PullModeFramesAreSequencedAndSelfDescribing) {
   Registry registry(2);
   AnyCounter& hits =

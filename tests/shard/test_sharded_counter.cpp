@@ -45,8 +45,10 @@ TEST(ShardedCounter, ShardCountClampedToPidSpace) {
 }
 
 TEST(ShardedCounter, LayoutSelection) {
-  // read(pid) counters must be full-width; pid-less readers compact
-  // under the pinned policy, full-width under round-robin.
+  // read(pid) counters must be full-width; pid-less readers are compact
+  // under BOTH policies — the remap table routes round-robin slot
+  // increments onto the home cell, so rotation no longer forces full
+  // width.
   ShardedKMult mult(8, 3, 4);
   EXPECT_FALSE(mult.compact());
   EXPECT_EQ(mult.shard(0).num_processes(), 8u);
@@ -56,8 +58,40 @@ TEST(ShardedCounter, LayoutSelection) {
   EXPECT_EQ(pinned.shard(0).num_processes(), 2u);
 
   ShardedSnapshot rotating(8, 0, 4, ShardPolicy::kRoundRobin);
-  EXPECT_FALSE(rotating.compact());
-  EXPECT_EQ(rotating.shard(0).num_processes(), 8u);
+  EXPECT_TRUE(rotating.compact());
+  EXPECT_EQ(rotating.shard(0).num_processes(), 2u);
+}
+
+TEST(ShardedCounter, RemapTableRoutesRoundRobinSlotsToHomeCell) {
+  // Slot-owning counters under round-robin: every increment lands in the
+  // pid's compact home cell (single-writer slots have no contention to
+  // rotate away), so the sum stays exact and shard loads mirror the
+  // pinned layout.
+  ShardedCollect counter(8, 0, 4, ShardPolicy::kRoundRobin);
+  ASSERT_TRUE(counter.compact());
+  for (int round = 0; round < 10; ++round) {
+    counter.increment(5);  // home shard 1, local slot 1
+    counter.increment(1);  // home shard 1, local slot 0
+    counter.increment(2);  // home shard 2, local slot 0
+  }
+  EXPECT_EQ(counter.shard(1).read(), 20u);
+  EXPECT_EQ(counter.shard(2).read(), 10u);
+  EXPECT_EQ(counter.shard(0).read(), 0u);
+  EXPECT_EQ(counter.shard(3).read(), 0u);
+  EXPECT_EQ(counter.read(0), 30u);
+}
+
+TEST(ShardedCounter, RoundRobinBatchingCounterFlushesHomeCellOnly) {
+  // The k-additive counter batches locally; with the remap table its
+  // batches live only in the home cell, so one flush per pid makes a
+  // quiescent round-robin read exact.
+  ShardedKAdd counter(8, 32, 4, ShardPolicy::kRoundRobin);
+  ASSERT_TRUE(counter.compact());
+  for (unsigned pid = 0; pid < 8; ++pid) {
+    for (int i = 0; i < 3; ++i) counter.increment(pid);
+  }
+  for (unsigned pid = 0; pid < 8; ++pid) counter.flush(pid);
+  EXPECT_EQ(counter.read(0), 24u);
 }
 
 TEST(ShardedCounter, CompactBucketsCoverUnevenPidSpaces) {

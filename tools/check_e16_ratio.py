@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI guard for the memory-order backend (E16).
+
+Reads e16_memory_order --json output and fails (exit 1) if the relaxed
+backend is measurably *slower* than the seq_cst backend. A mis-mapped
+ordering role cannot make the relaxed build faster-but-wrong past the
+TSan/property suites, but it can silently regress performance (a role
+mapped to a stronger order than intended, or a new primitive site
+bypassing the role table); this check turns that into a red build.
+
+A mis-mapping depresses an implementation across its whole thread sweep,
+while shared CI runners routinely steal a scheduler quantum from one
+short measurement cell. The guard therefore distinguishes the two:
+
+  * per implementation (rows of a section sharing the first column), the
+    geometric mean of relaxed/seq_cst must be >= --threshold (0.95) —
+    applied only to families with >= 2 cells, where the mean actually
+    averages out noise (a single-row family would degenerate to the
+    strict threshold on its noisiest single measurement);
+  * any single cell below --cell-threshold (0.70) fails outright — a
+    gross regression is never noise.
+
+Usage: check_e16_ratio.py [e16.json] [--threshold=0.95]
+                          [--cell-threshold=0.70]
+Reads stdin when no file is given.
+"""
+
+import json
+import math
+import sys
+
+RATIO_COLUMN = "relaxed/seq_cst"
+
+
+def main(argv):
+    threshold = 0.95
+    cell_threshold = 0.70
+    path = None
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--cell-threshold="):
+            cell_threshold = float(arg.split("=", 1)[1])
+        else:
+            path = arg
+    doc = json.load(open(path) if path else sys.stdin)
+
+    checked = 0
+    failures = []
+    for section in doc.get("sections", []):
+        columns = section.get("columns", [])
+        if RATIO_COLUMN not in columns:
+            continue
+        ratio_idx = columns.index(RATIO_COLUMN)
+        title = section.get("title", "?")
+        groups = {}
+        for row in section.get("rows", []):
+            ratio = float(row[ratio_idx])
+            label = " ".join(row[:ratio_idx])
+            checked += 1
+            if ratio < cell_threshold:
+                failures.append(
+                    f"  cell {title}: {label} -> {ratio:.2f} < "
+                    f"{cell_threshold:.2f} (gross regression)"
+                )
+            groups.setdefault(row[0], []).append(ratio)
+        for impl, ratios in groups.items():
+            if len(ratios) < 2:
+                continue  # single cell: only the gross-regression floor
+            geomean = math.exp(
+                sum(math.log(max(r, 1e-9)) for r in ratios) / len(ratios)
+            )
+            if geomean < threshold:
+                failures.append(
+                    f"  family {title}: {impl} geomean {geomean:.2f} < "
+                    f"{threshold:.2f} over {ratios}"
+                )
+
+    if checked == 0:
+        print("check_e16_ratio: no ratio columns found — wrong input?")
+        return 1
+    if failures:
+        print(
+            f"check_e16_ratio: relaxed backend slower than seq_cst "
+            f"({len(failures)} finding(s), {checked} cells):"
+        )
+        print("\n".join(failures))
+        return 1
+    print(
+        f"check_e16_ratio: OK — relaxed holds >= {threshold:.2f}x seq_cst "
+        f"per implementation across {checked} cells"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
