@@ -1,0 +1,254 @@
+// E17 — the service layer under load: a SnapshotServer over the
+// 48-counter × 4-hot fleet, swept across subscriber counts and frame
+// rates by a real socket-level load generator (svc::TelemetryClient per
+// subscriber thread).
+//
+// Three questions, one per section:
+//
+//   1. Wire economics — bytes/frame of the full encoding vs the
+//      steady-state delta on a fleet where only 4 of 48 counters move
+//      per tick. The delta carries (index, value) pairs for the hot
+//      counters only, so the expected ratio is ~an order of magnitude;
+//      the acceptance bar is ≥ 3×.
+//   2. Fan-out — frames/s each subscriber actually receives as the
+//      subscriber count grows at a fixed tick rate. The server encodes
+//      once per tick and shares the bytes, so per-subscriber frame rate
+//      should hold ~flat to 64 subscribers.
+//   3. Freshness — p99 collect→apply latency end to end (server steady
+//      clock stamp, same-host comparison), per cell.
+//
+// Time-based: cells run for --duration-ms after --warmup-ms (defaults
+// 300/50; the harness flags exist for exactly this experiment — op
+// counts make no sense for a rate-driven server).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/backend.hpp"
+#include "bench/harness.hpp"
+#include "shard/registry.hpp"
+#include "sim/workload.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace approx;
+using namespace std::chrono_literals;
+
+constexpr unsigned kFleetCounters = 48;
+constexpr unsigned kHotCounters = 4;  // the only ones that move
+constexpr unsigned kWorkers = 2;
+constexpr unsigned kServerPid = kWorkers;  // registry pid space: n = 3
+
+std::string fleet_counter_name(unsigned index) {
+  return "svc_ctr_" + std::to_string(index / 10) + std::to_string(index % 10);
+}
+
+/// Per-subscriber receive tallies for one cell.
+struct SubscriberResult {
+  std::uint64_t frames = 0;
+  std::uint64_t fulls = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t full_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  std::vector<std::uint64_t> latencies_ns;
+  bool survived = false;
+};
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t>& values, double p) {
+  if (values.empty()) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+const bench::Experiment kExperiment{
+    "e17",
+    "service load generator: subscribers × frame rate over the snapshot "
+    "server",
+    "48-counter fleet (4 hot: 2 exact + 2 mult, incremented by 2 worker "
+    "threads), SnapshotServer on loopback TCP, S subscriber threads each "
+    "decoding the full+delta stream for the measure window",
+    "the paper's counters make per-tick monitoring cheap in shared memory; "
+    "the service layer must keep it cheap on the wire — deltas encode only "
+    "what moved (registry changed-since tracking), so steady-state frames "
+    "shrink by ~|fleet| / |hot|",
+    "delta frames ≥ 3× smaller than full frames; per-subscriber frame rate "
+    "~flat with subscriber count; p99 latency well under the tick period",
+    [](const bench::Options& options, bench::Report& report) {
+      const auto warmup = bench::warmup_or(options, 50);
+      const auto duration = bench::duration_or(options, 300);
+
+      const unsigned subscriber_counts[] = {1, 16, 64};
+      const std::uint64_t periods_ms[] = {5, 20};
+
+      auto& table = report.section(
+          {"subs", "tick ms", "frames/s/sub", "full B/frame",
+           "delta B/frame", "full/delta", "p99 ms", "coalesced"},
+          "subscriber × frame-rate sweep (" +
+              std::to_string(duration.count()) + " ms cells)");
+      double fleet_ratio = 0.0;  // 48-counter acceptance figure (any cell)
+
+      for (const std::uint64_t period_ms : periods_ms) {
+        for (const unsigned subs : subscriber_counts) {
+          // Fresh fleet per cell: tracking sequences and socket state
+          // start clean, so cells are independent measurements.
+          shard::RegistryT<base::RelaxedDirectBackend> registry(kWorkers + 1);
+          std::vector<shard::AnyCounter*> hot;
+          for (unsigned c = 0; c < kFleetCounters; ++c) {
+            shard::CounterSpec spec;
+            if (c < kHotCounters) {
+              spec.model = (c % 2 == 0) ? shard::ErrorModel::kExact
+                                        : shard::ErrorModel::kMultiplicative;
+              spec.k = 2;
+              spec.shards = 2;
+            } else {
+              spec.model = shard::ErrorModel::kExact;
+              spec.shards = 1;
+            }
+            shard::AnyCounter& counter =
+                registry.create(fleet_counter_name(c), spec);
+            if (c < kHotCounters) hot.push_back(&counter);
+          }
+
+          svc::ServerOptions server_options;
+          server_options.period = std::chrono::milliseconds(period_ms);
+          server_options.io_threads = 2;
+          svc::RelaxedSnapshotServer server(registry, kServerPid,
+                                            server_options);
+          if (!server.start()) continue;  // port exhaustion; skip cell
+
+          std::atomic<bool> stop{false};
+          std::vector<std::thread> workers;
+          for (unsigned pid = 0; pid < kWorkers; ++pid) {
+            workers.emplace_back([&, pid] {
+              sim::Rng rng(options.seed + pid);
+              while (!stop.load(std::memory_order_acquire)) {
+                hot[rng.below(hot.size())]->increment(pid);
+                // ~1k increments/ms keeps every hot counter moving every
+                // tick without saturating the box the server shares.
+                if ((rng.next() & 0x3F) == 0) std::this_thread::yield();
+              }
+            });
+          }
+
+          std::atomic<bool> measuring{false};
+          std::atomic<bool> done{false};
+          std::vector<SubscriberResult> results(subs);
+          std::vector<std::thread> subscribers;
+          for (unsigned s = 0; s < subs; ++s) {
+            subscribers.emplace_back([&, s] {
+              SubscriberResult& r = results[s];
+              svc::TelemetryClient client;
+              if (!client.connect(server.port())) return;
+              std::uint64_t base_frames = 0;
+              std::uint64_t base_fulls = 0;
+              std::uint64_t base_full_b = 0;
+              std::uint64_t base_delta_b = 0;
+              bool armed = false;
+              while (!done.load(std::memory_order_acquire)) {
+                if (!client.poll_frame(50ms)) {
+                  if (!client.connected()) return;  // dropped: not survived
+                  continue;  // idle slice; re-check phase flags
+                }
+                if (measuring.load(std::memory_order_acquire)) {
+                  if (!armed) {  // discard warmup tallies once
+                    base_frames = client.view().frames_applied();
+                    base_fulls = client.view().full_frames();
+                    base_full_b = client.full_frame_bytes();
+                    base_delta_b = client.delta_frame_bytes();
+                    armed = true;
+                  }
+                  // Unstamped frames (collect_ns 0) leave last_latency_ns
+                  // at the previous frame's value — counting it again
+                  // would duplicate a sample, so only stamped frames
+                  // contribute to the percentile.
+                  if (client.view().last_collect_ns() != 0) {
+                    r.latencies_ns.push_back(client.last_latency_ns());
+                  }
+                }
+              }
+              if (!armed) return;
+              (void)base_full_b;
+              r.frames = client.view().frames_applied() - base_frames;
+              const std::uint64_t window_fulls =
+                  client.view().full_frames() - base_fulls;
+              r.deltas = r.frames - window_fulls;
+              r.delta_bytes = client.delta_frame_bytes() - base_delta_b;
+              // Full-frame size is a static property of the fleet; the
+              // (usually single, warmup-time) full is tallied lifetime —
+              // the measure window sees only steady-state deltas.
+              r.fulls = client.view().full_frames();
+              r.full_bytes = client.full_frame_bytes();
+              r.survived = client.connected();
+            });
+          }
+
+          std::this_thread::sleep_for(warmup);
+          measuring.store(true, std::memory_order_release);
+          const double measured_secs = bench::time_seconds(
+              [&] { std::this_thread::sleep_for(duration); });
+          done.store(true, std::memory_order_release);
+          for (std::thread& t : subscribers) t.join();
+          stop.store(true, std::memory_order_release);
+          for (std::thread& t : workers) t.join();
+          const svc::ServerStats stats = server.stats();
+          server.stop();
+
+          std::uint64_t frames = 0;
+          std::uint64_t fulls = 0;
+          std::uint64_t deltas = 0;
+          std::uint64_t full_bytes = 0;
+          std::uint64_t delta_bytes = 0;
+          unsigned survived = 0;
+          std::vector<std::uint64_t> latencies;
+          for (SubscriberResult& r : results) {
+            frames += r.frames;
+            fulls += r.fulls;
+            deltas += r.deltas;
+            full_bytes += r.full_bytes;
+            delta_bytes += r.delta_bytes;
+            survived += r.survived ? 1 : 0;
+            latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                             r.latencies_ns.end());
+          }
+          const double per_sub_fps =
+              survived == 0 ? 0.0
+                            : static_cast<double>(frames) /
+                                  static_cast<double>(survived) /
+                                  measured_secs;
+          const double full_per = fulls == 0 ? 0.0
+                                             : static_cast<double>(full_bytes) /
+                                                   static_cast<double>(fulls);
+          const double delta_per =
+              deltas == 0 ? 0.0
+                          : static_cast<double>(delta_bytes) /
+                                static_cast<double>(deltas);
+          const double ratio =
+              delta_per == 0.0 ? 0.0 : full_per / delta_per;
+          fleet_ratio = std::max(fleet_ratio, ratio);
+          const double p99_ms =
+              static_cast<double>(percentile_ns(latencies, 0.99)) / 1e6;
+          table.add_row({bench::num(std::uint64_t{subs}),
+                         bench::num(period_ms), bench::num(per_sub_fps, 1),
+                         bench::num(full_per, 0), bench::num(delta_per, 0),
+                         bench::num(ratio, 1), bench::num(p99_ms, 3),
+                         bench::num(stats.frames_coalesced)});
+        }
+      }
+
+      auto& verdict = report.section(
+          {"check", "value", "bar", "pass"},
+          "acceptance: delta compression on the 48-counter / 4-hot fleet");
+      verdict.add_row({"full/delta bytes ratio", bench::num(fleet_ratio, 1),
+                       ">= 3.0", fleet_ratio >= 3.0 ? "yes" : "NO"});
+    }};
+
+}  // namespace
+
+APPROX_BENCH_MAIN(kExperiment)

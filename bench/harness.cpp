@@ -18,10 +18,13 @@ namespace {
 void usage(const Experiment& experiment) {
   std::cout << experiment.id << " — " << experiment.title << "\n\n"
             << "Options:\n"
-            << "  --scale=F   multiply experiment op counts by F (default 1)\n"
-            << "  --seed=N    base PRNG seed (default 42)\n"
-            << "  --json      emit a JSON document instead of tables\n"
-            << "  --help      this message\n";
+            << "  --scale=F        multiply experiment op counts by F (default 1)\n"
+            << "  --seed=N         base PRNG seed (default 42)\n"
+            << "  --json           emit a JSON document instead of tables\n"
+            << "  --duration-ms=N  measure window for time-based experiments\n"
+            << "                   (experiment default when omitted)\n"
+            << "  --warmup-ms=N    warmup window for time-based experiments\n"
+            << "  --help           this message\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options,
@@ -38,6 +41,12 @@ bool parse_args(int argc, char** argv, Options& options,
       if (options.scale <= 0.0) return false;
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.data() + 7, nullptr, 10);
+    } else if (arg.rfind("--duration-ms=", 0) == 0) {
+      options.duration_ms = std::strtoull(arg.data() + 14, nullptr, 10);
+      if (options.duration_ms == 0) return false;  // nothing to measure
+    } else if (arg.rfind("--warmup-ms=", 0) == 0) {
+      // 0 is a legitimate request: measure cold, no warmup window.
+      options.warmup_ms = std::strtoull(arg.data() + 12, nullptr, 10);
     } else {
       return false;
     }
@@ -143,6 +152,20 @@ std::string num(std::uint64_t value) { return sim::Table::num(value); }
 std::uint64_t scaled_ops(const Options& options, std::uint64_t base_ops) {
   const double scaled = static_cast<double>(base_ops) * options.scale;
   return scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+}
+
+std::chrono::milliseconds duration_or(const Options& options,
+                                      std::uint64_t default_ms) {
+  return std::chrono::milliseconds(options.duration_ms != Options::kUnsetMs
+                                       ? options.duration_ms
+                                       : default_ms);
+}
+
+std::chrono::milliseconds warmup_or(const Options& options,
+                                    std::uint64_t default_ms) {
+  return std::chrono::milliseconds(
+      options.warmup_ms != Options::kUnsetMs ? options.warmup_ms
+                                             : default_ms);
 }
 
 double amortized_steps_mixed(sim::ICounter& counter, unsigned n,

@@ -37,6 +37,14 @@ struct Options {
   double scale = 1.0;       // multiplies experiment op counts (--scale)
   std::uint64_t seed = 42;  // base PRNG seed (--seed)
   bool json = false;        // emit JSON instead of tables (--json)
+  // Time-based runs (E17's service load generator; kUnsetMs = flag not
+  // given, so op-count experiments e1–e16 behave exactly as before and
+  // an explicit --warmup-ms=0 still means "no warmup"). Experiments
+  // that measure for a duration read these through duration_or /
+  // warmup_or with their own defaults.
+  static constexpr std::uint64_t kUnsetMs = ~std::uint64_t{0};
+  std::uint64_t duration_ms = kUnsetMs;  // measure window (--duration-ms)
+  std::uint64_t warmup_ms = kUnsetMs;    // warmup window (--warmup-ms)
 };
 
 /// Results accumulator: named sections of (columns, rows). Cells are
@@ -85,6 +93,15 @@ std::string num(std::uint64_t value);
 
 /// Scales a default op count by --scale, keeping at least 1.
 std::uint64_t scaled_ops(const Options& options, std::uint64_t base_ops);
+
+/// The measure window for time-based experiments: --duration-ms when
+/// given, else the experiment's default.
+std::chrono::milliseconds duration_or(const Options& options,
+                                      std::uint64_t default_ms);
+
+/// Same for the warmup window (--warmup-ms).
+std::chrono::milliseconds warmup_or(const Options& options,
+                                    std::uint64_t default_ms);
 
 /// Amortized steps/op of a seeded single-threaded mixed workload
 /// (read_fraction reads, rest increments, round-robin pids). The counter

@@ -1,0 +1,100 @@
+// telemetry_dashboard — the service layer's consumer half: subscribe to
+// a running telemetry_service, decode the full+delta stream into a
+// materialized view, and render it with its staleness metadata.
+//
+//   $ ./build/examples/telemetry_dashboard --port=N [--frames=K]
+//
+// Exits 0 only if K frames were decoded AND the "startup_marker"
+// counter decodes to exactly 42 (the ground truth the server planted
+// before serving) — which makes this binary double as the CI
+// service-smoke assertion: server and client agree, over real sockets,
+// on a value the server definitely incremented.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "shard/registry.hpp"
+#include "svc/client.hpp"
+
+namespace {
+
+constexpr std::uint64_t kExpectedMarker = 42;
+
+const char* model_tag(approx::shard::ErrorModel model) {
+  return approx::shard::error_model_name(model);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace approx;
+  std::uint16_t port = 0;
+  int frames = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<std::uint16_t>(
+          std::strtoul(arg.data() + 7, nullptr, 10));
+    } else if (arg.rfind("--frames=", 0) == 0) {
+      frames = std::atoi(arg.data() + 9);
+    } else {
+      std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]\n";
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::cerr << "telemetry_dashboard: --port is required\n";
+    return 2;
+  }
+
+  svc::TelemetryClient client;
+  if (!client.connect(port)) {
+    std::cerr << "telemetry_dashboard: connect to 127.0.0.1:" << port
+              << " failed\n";
+    return 1;
+  }
+  for (int f = 0; f < frames; ++f) {
+    if (!client.poll_frame(std::chrono::seconds(10))) {
+      std::cerr << "telemetry_dashboard: stream ended after " << f
+                << " frames\n";
+      return 1;
+    }
+  }
+
+  const svc::MaterializedView& view = client.view();
+  std::cout << "frame seq " << view.sequence() << " ("
+            << view.full_frames() << " full + " << view.delta_frames()
+            << " delta frames, " << client.bytes_received()
+            << " bytes, last latency "
+            << client.last_latency_ns() / 1000 << " us)\n\n"
+            << std::left << std::setw(16) << "counter" << std::right
+            << std::setw(12) << "value" << std::setw(8) << "model"
+            << std::setw(12) << "bound" << std::setw(10) << "age\n";
+  bool marker_ok = false;
+  for (std::size_t i = 0; i < view.samples().size(); ++i) {
+    const shard::Sample& sample = view.samples()[i];
+    // Frames are self-describing; staleness is per counter: "age" is
+    // how many frames ago this value last moved.
+    std::cout << std::left << std::setw(16) << sample.name << std::right
+              << std::setw(12) << sample.value << std::setw(8)
+              << model_tag(sample.model) << std::setw(12)
+              << sample.error_bound << std::setw(9)
+              << view.sequence() - view.entry_update_seq()[i] << "\n";
+    if (sample.name == "startup_marker" &&
+        sample.value == kExpectedMarker &&
+        sample.model == shard::ErrorModel::kExact) {
+      marker_ok = true;
+    }
+  }
+  if (!marker_ok) {
+    std::cerr << "\nstartup_marker != " << kExpectedMarker
+              << ": decoded state disagrees with the server\n";
+    return 1;
+  }
+  std::cout << "\nstartup_marker=" << kExpectedMarker << " OK\n";
+  return 0;
+}

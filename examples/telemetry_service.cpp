@@ -1,0 +1,118 @@
+// telemetry_service — the service layer's server half, end to end: a
+// registry of named counters hammered by worker threads while a
+// SnapshotServer streams full+delta frames to any subscriber on
+// loopback TCP (examples/telemetry_dashboard.cpp is the matching
+// consumer; the CI service-smoke job runs the pair).
+//
+//   $ ./build/examples/telemetry_service [--port=N] [--duration-ms=N]
+//
+// Port 0 (the default) picks an ephemeral port; either way the chosen
+// port is printed as "listening on port N" so scripts can scrape it.
+//
+// The fleet mirrors examples/sharded_telemetry.cpp plus one wrinkle the
+// dashboard asserts on: "startup_marker" is an exact counter bumped to
+// exactly 42 BEFORE serving starts, so any subscriber on any frame can
+// check a decoded value against a known ground truth — the CI smoke's
+// correctness probe.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "base/backend.hpp"
+#include "shard/registry.hpp"
+#include "sim/workload.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+constexpr unsigned kWorkers = 3;
+// Pid space: workers 0..2, server aggregator 3 (one thread per pid).
+constexpr unsigned kServerPid = kWorkers;
+constexpr std::uint64_t kStartupMarkerValue = 42;
+
+struct Stat {
+  const char* name;
+  double rate;  // probability per worker iteration
+  approx::shard::CounterSpec spec;
+};
+
+const Stat kStats[] = {
+    {"requests", 0.85, {approx::shard::ErrorModel::kMultiplicative, 2, 4}},
+    {"cache_misses", 0.40, {approx::shard::ErrorModel::kMultiplicative, 2, 2}},
+    {"bytes_in", 0.85, {approx::shard::ErrorModel::kAdditive, 4096, 4}},
+    {"errors", 0.02, {approx::shard::ErrorModel::kExact, 0, 1}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace approx;
+  std::uint16_t port = 0;
+  std::uint64_t duration_ms = 3000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<std::uint16_t>(
+          std::strtoul(arg.data() + 7, nullptr, 10));
+    } else if (arg.rfind("--duration-ms=", 0) == 0) {
+      duration_ms = std::strtoull(arg.data() + 14, nullptr, 10);
+    } else {
+      std::cerr << "usage: telemetry_service [--port=N] [--duration-ms=N]\n";
+      return 2;
+    }
+  }
+
+  shard::RegistryT<base::DirectBackend> registry(kWorkers + 1);
+  shard::AnyCounter& marker = registry.create(
+      "startup_marker", {shard::ErrorModel::kExact, 0, 1});
+  for (std::uint64_t i = 0; i < kStartupMarkerValue; ++i) marker.increment(0);
+  std::vector<shard::AnyCounter*> counters;
+  for (const Stat& stat : kStats) {
+    counters.push_back(&registry.create(stat.name, stat.spec));
+  }
+
+  svc::ServerOptions options;
+  options.port = port;
+  options.period = std::chrono::milliseconds(20);
+  svc::SnapshotServer server(registry, kServerPid, options);
+  if (!server.start()) {
+    std::cerr << "failed to bind port " << port << "\n";
+    return 1;
+  }
+  std::cout << "listening on port " << server.port() << std::endl;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (unsigned pid = 0; pid < kWorkers; ++pid) {
+    workers.emplace_back([&, pid] {
+      sim::Rng rng(0xE17 + pid);
+      while (!stop.load(std::memory_order_acquire)) {
+        for (std::size_t s = 0; s < counters.size(); ++s) {
+          if (rng.chance(kStats[s].rate)) counters[s]->increment(pid);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) worker.join();
+  const svc::ServerStats stats = server.stats();
+  server.stop();
+
+  std::cout << "served " << stats.frames_collected << " frames to "
+            << stats.clients_accepted << " subscribers ("
+            << stats.full_frames_sent << " full, "
+            << stats.delta_frames_sent + stats.catchup_deltas_sent
+            << " delta, " << stats.frames_coalesced << " coalesced, "
+            << stats.bytes_sent << " bytes, " << stats.acks_received
+            << " acks)\n";
+  return 0;
+}

@@ -68,8 +68,19 @@ class AggregatorT {
   /// @param registry fleet to aggregate (must outlive the aggregator).
   /// @param pid the aggregator's dedicated slot in the registry's pid
   ///   space; no worker may share it.
-  AggregatorT(const RegistryT<Backend>& registry, unsigned pid)
-      : registry_(registry), pid_(pid) {}
+  /// @param sequenced opt-in to *sequenced* passes: each collect also
+  ///   stamps the registry's change-tracking columns with the frame's
+  ///   sequence (the for_each_changed_since feed the service layer's
+  ///   delta frames walk). Sequenced passes take the registry's
+  ///   exclusive lock and make this aggregator the registry's single
+  ///   sequencer — at most ONE sequenced aggregator per registry, and
+  ///   its sequence domain is the only one delta consumers may use.
+  ///   Plain aggregators (the default) keep the shared-lock read pass
+  ///   and leave the tracking columns untouched, so any number may
+  ///   coexist.
+  AggregatorT(const RegistryT<Backend>& registry, unsigned pid,
+              bool sequenced = false)
+      : registry_(registry), pid_(pid), sequenced_(sequenced) {}
 
   ~AggregatorT() { stop(); }
 
@@ -145,12 +156,22 @@ class AggregatorT {
 
  private:
   /// One single-pass frame refresh + publication; collect_mutex_ held.
+  /// In sequenced mode (see the constructor) the registry additionally
+  /// records which counters this pass changed, keyed by the frame's own
+  /// sequence number, so delta consumers (src/svc) can later ask for
+  /// exactly the entries that moved since a subscriber's acknowledged
+  /// frame; collect_mutex_ serializes the passes, making this
+  /// aggregator the registry's single sequencer.
   void collect_locked(TelemetryFrame& frame) {
-    frame.registry_version = registry_.snapshot_all_into(
-        pid_, frame.samples, frame.registry_version);
     // next_sequence_ is only written under collect_mutex_, so a plain
     // relaxed load reads our own last publication.
     frame.sequence = next_sequence_.load(std::memory_order_relaxed) + 1;
+    frame.registry_version =
+        sequenced_ ? registry_.snapshot_all_into_sequenced(
+                         pid_, frame.samples, frame.registry_version,
+                         frame.sequence)
+                   : registry_.snapshot_all_into(pid_, frame.samples,
+                                                 frame.registry_version);
     {
       std::lock_guard lock(latest_mutex_);
       latest_ = frame;
@@ -162,6 +183,7 @@ class AggregatorT {
 
   const RegistryT<Backend>& registry_;
   unsigned pid_;
+  bool sequenced_;            // stamp change tracking? (constructor doc)
   std::mutex collect_mutex_;  // serializes collect() passes (see above)
   TelemetryFrame scratch_;    // collect()'s reused storage (collect_mutex_)
   std::atomic<std::uint64_t> next_sequence_{0};

@@ -24,7 +24,14 @@
 //     changed since the caller's last pass — a steady-state frame is
 //     one read per shard of every counter and zero allocations, instead
 //     of the map walk + string copies + virtual metadata hops the
-//     allocating form pays (E16 measures the difference).
+//     allocating form pays (E16 measures the difference);
+//   * snapshot_all_into_sequenced / for_each_changed_since — the delta
+//     channel the service layer (src/svc) consumes: the flat table
+//     additionally carries two tracking columns (last collected value,
+//     sequence of the pass that last changed it), refreshed by the
+//     sequenced collect, so a delta encoder can walk exactly the
+//     counters that moved since a subscriber's acknowledged sequence
+//     instead of re-encoding the whole fleet every tick.
 //
 // Counter kinds are erased behind `AnyCounter` so one fleet can mix
 // multiplicative, additive and exact striping; the virtual hop is
@@ -42,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -175,18 +183,57 @@ class RegistryT {
   std::uint64_t snapshot_all_into(unsigned pid, std::vector<Sample>& out,
                                   std::uint64_t cached_version) const {
     std::shared_lock lock(mutex_);
-    if (cached_version != version_ || out.size() != flat_.size()) {
-      out.resize(flat_.size());
-      for (std::size_t i = 0; i < flat_.size(); ++i) {
-        out[i].name = flat_[i].name;
-        out[i].model = flat_[i].model;
-        out[i].error_bound = flat_[i].error_bound;
+    return refresh_locked(pid, out, cached_version, nullptr);
+  }
+
+  /// Sequenced form of snapshot_all_into: additionally records, per
+  /// flat-table entry, the collected value and `pass_seq` when the value
+  /// differs from the previous sequenced pass — the state
+  /// for_each_changed_since serves. Takes the exclusive lock (it writes
+  /// the tracking columns); the plain shared-lock passes are unaffected.
+  ///
+  /// Single-sequencer contract: the tracking columns form ONE change
+  /// stream, so exactly one party (in practice the serving AggregatorT,
+  /// which already serializes its passes) may drive sequenced collects
+  /// on a registry, with monotonically increasing pass_seq. Concurrent
+  /// sequenced collects from independent sequence domains are memory-safe
+  /// (exclusive lock) but interleave their seqs into one meaningless
+  /// stream.
+  std::uint64_t snapshot_all_into_sequenced(unsigned pid,
+                                            std::vector<Sample>& out,
+                                            std::uint64_t cached_version,
+                                            std::uint64_t pass_seq) const {
+    std::unique_lock lock(mutex_);
+    return refresh_locked(pid, out, cached_version, &pass_seq);
+  }
+
+  /// Invokes `fn(index, name, value, changed_seq)` for every flat-table
+  /// entry whose value changed in a sequenced pass with sequence > `seq`
+  /// (index = position in the name-sorted table, i.e. the wire name-table
+  /// index; value = the one the latest completed pass collected, NOT a
+  /// fresh read). An unchanged fleet yields no calls: the empty delta.
+  ///
+  /// The walk is only meaningful against the name table the caller
+  /// believes in: if the registry's version no longer equals
+  /// `expected_version` (a create shifted the name-sorted indices),
+  /// nothing is visited and nullopt is returned — the caller must fall
+  /// back to a full snapshot. Otherwise returns the sequence of the
+  /// last completed sequenced pass, which is the exact fleet state the
+  /// reported values describe (sequenced passes are mutually exclusive
+  /// with this walk, so a delta labeled with the returned sequence is
+  /// complete: no entry can carry a change from a half-finished pass).
+  template <typename Fn>
+  std::optional<std::uint64_t> for_each_changed_since(
+      std::uint64_t seq, std::uint64_t expected_version, Fn&& fn) const {
+    std::shared_lock lock(mutex_);
+    if (version_ != expected_version) return std::nullopt;
+    for (std::size_t i = 0; i < flat_.size(); ++i) {
+      const Entry& entry = flat_[i];
+      if (entry.changed_seq > seq) {
+        fn(i, entry.name, entry.last_value, entry.changed_seq);
       }
     }
-    for (std::size_t i = 0; i < flat_.size(); ++i) {
-      out[i].value = flat_[i].counter->read(pid);
-    }
-    return version_;
+    return last_pass_seq_;
   }
 
   /// Monotone counter bumped by every create; snapshot_all_into callers
@@ -208,6 +255,33 @@ class RegistryT {
   [[nodiscard]] unsigned num_processes() const noexcept { return n_; }
 
  private:
+  /// The one collect pass both snapshot_all_into forms share. Caller
+  /// holds mutex_: shared suffices for a plain pass (pass_seq ==
+  /// nullptr, nothing written but the caller's frame), exclusive is
+  /// required for a sequenced one (the tracking columns are stamped).
+  std::uint64_t refresh_locked(unsigned pid, std::vector<Sample>& out,
+                               std::uint64_t cached_version,
+                               const std::uint64_t* pass_seq) const {
+    if (cached_version != version_ || out.size() != flat_.size()) {
+      out.resize(flat_.size());
+      for (std::size_t i = 0; i < flat_.size(); ++i) {
+        out[i].name = flat_[i].name;
+        out[i].model = flat_[i].model;
+        out[i].error_bound = flat_[i].error_bound;
+      }
+    }
+    for (std::size_t i = 0; i < flat_.size(); ++i) {
+      const std::uint64_t value = flat_[i].counter->read(pid);
+      out[i].value = value;
+      if (pass_seq != nullptr && value != flat_[i].last_value) {
+        flat_[i].last_value = value;
+        flat_[i].changed_seq = *pass_seq;
+      }
+    }
+    if (pass_seq != nullptr) last_pass_seq_ = *pass_seq;
+    return version_;
+  }
+
   std::unique_ptr<AnyCounter> make_counter(const CounterSpec& spec) const {
     switch (spec.model) {
       case ErrorModel::kMultiplicative:
@@ -234,7 +308,16 @@ class RegistryT {
     AnyCounter* counter;
     ErrorModel model;
     std::uint64_t error_bound;
+    // Change-tracking columns, written only by sequenced collects under
+    // the exclusive lock (mutable: those collects are const like every
+    // snapshot pass). last_value starts at an impossible counter value
+    // so a new entry's first sequenced pass always registers a change.
+    mutable std::uint64_t last_value = kNeverCollected;
+    mutable std::uint64_t changed_seq = 0;
   };
+
+  /// Counters count up from 0; ~0 marks "no sequenced pass yet".
+  static constexpr std::uint64_t kNeverCollected = ~std::uint64_t{0};
 
   /// Process-unique version seed per registry instance (see version()).
   /// Never 0, so a zero cached_version always misses.
@@ -248,6 +331,7 @@ class RegistryT {
   std::map<std::string, std::unique_ptr<AnyCounter>> counters_;
   std::vector<Entry> flat_;  // name-sorted mirror of counters_
   std::uint64_t version_;    // nonce-seeded, bumped per create (never 0)
+  mutable std::uint64_t last_pass_seq_ = 0;  // newest completed sequenced pass
 };
 
 /// The model-faithful default instantiation (matches the repo-wide

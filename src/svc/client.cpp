@@ -1,0 +1,169 @@
+// client.cpp — TelemetryClient stream pump (see client.hpp).
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "svc/server.hpp"  // kAckByte
+
+namespace approx::svc {
+namespace {
+
+/// Upper bound on one frame payload; anything larger is a corrupt
+/// length prefix, not a fleet we serve (a million counters with 64-byte
+/// names is still an order of magnitude below this).
+constexpr std::uint64_t kMaxFramePayload = 1ull << 28;
+
+std::uint32_t read_u32le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+TelemetryClient::~TelemetryClient() { close(); }
+
+void TelemetryClient::send_ack(std::uint64_t sequence) {
+  // Acks are best-effort observability, but the stream must never
+  // desync: a HALF-written record would make the server read the next
+  // record's 0xAC as a varint continuation byte and close us as a
+  // protocol violator. So a partially-sent record's remainder is
+  // buffered and flushed before anything else, and a new ack is
+  // attempted only when nothing is pending — whole records or nothing
+  // ever reach the wire; skipped acks merely dull min_acked_seq.
+  if (!ack_pending_.empty()) {
+    const ssize_t n = ::send(fd_, ack_pending_.data(), ack_pending_.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) ack_pending_.erase(0, static_cast<std::size_t>(n));
+    if (!ack_pending_.empty()) return;  // still jammed; skip this ack
+  }
+  std::string record;
+  record.push_back(static_cast<char>(kAckByte));
+  append_uvarint(record, sequence);
+  const ssize_t n = ::send(fd_, record.data(), record.size(), MSG_NOSIGNAL);
+  if (n > 0 && static_cast<std::size_t>(n) < record.size()) {
+    ack_pending_ = record.substr(static_cast<std::size_t>(n));
+  }
+  // n <= 0 (EAGAIN or error): nothing hit the wire, stream still in
+  // sync; read-path handling owns real socket errors.
+}
+
+void TelemetryClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TelemetryClient::connect(std::uint16_t port, const std::string& host,
+                              int rcvbuf) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  if (rcvbuf > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Non-blocking from here on: poll_frame() multiplexes reads against
+  // its deadline.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  buf_.clear();
+  ack_pending_.clear();
+  return true;
+}
+
+bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return false;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // Consume every complete frame already buffered.
+    while (buf_.size() >= kFramePrefixBytes) {
+      const std::uint64_t payload_len = read_u32le(buf_.data());
+      if (payload_len > kMaxFramePayload) {
+        close();
+        return false;  // corrupt length prefix; resync is impossible
+      }
+      if (buf_.size() < kFramePrefixBytes + payload_len) break;
+      const std::string_view payload(buf_.data() + kFramePrefixBytes,
+                                     static_cast<std::size_t>(payload_len));
+      const std::uint64_t before = view_.frames_applied();
+      const std::uint64_t fulls_before = view_.full_frames();
+      const ApplyResult result = view_.apply(payload);
+      const std::size_t wire_bytes = kFramePrefixBytes + payload.size();
+      buf_.erase(0, wire_bytes);
+      if (result == ApplyResult::kCorrupt) {
+        close();
+        return false;
+      }
+      if (result == ApplyResult::kApplied &&
+          view_.frames_applied() > before) {
+        if (view_.full_frames() > fulls_before) {
+          full_frame_bytes_ += wire_bytes;
+        } else {
+          delta_frame_bytes_ += wire_bytes;
+        }
+        if (view_.last_collect_ns() != 0) {
+          const std::uint64_t now = steady_now_ns();
+          last_latency_ns_ =
+              now > view_.last_collect_ns() ? now - view_.last_collect_ns()
+                                            : 0;
+        }
+        send_ack(view_.sequence());
+        return true;
+      }
+      // Stale skip or kNeedFull: keep pumping until something advances
+      // the view or the deadline passes.
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (rc < 0 && errno != EINTR) {
+      close();
+      return false;
+    }
+    if (rc <= 0) continue;  // timeout slice or EINTR; re-check deadline
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        bytes_received_ += static_cast<std::uint64_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        close();  // server went away
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+  }
+}
+
+}  // namespace approx::svc

@@ -1,0 +1,91 @@
+// client.hpp — TelemetryClient: subscribe to a SnapshotServer stream.
+//
+// The consuming half of the service layer, used by tests, the E17 load
+// generator and examples/telemetry_dashboard. A client owns one TCP
+// connection and one MaterializedView; poll_frame() blocks (bounded)
+// for the next frame on the wire, applies it to the view, acks it, and
+// records receive-side staleness metadata:
+//
+//   * last_latency_ns() — end-to-end collect→apply latency of the last
+//     frame, from the server's steady-clock stamp (same-host only; 0
+//     when the server did not stamp or clocks are not comparable);
+//   * bytes/frame counters split by kind (full vs delta) — the numbers
+//     E17's full-vs-delta comparison reports;
+//   * the view's own sequence/entry_update_seq staleness (wire.hpp).
+//
+// A kNeedFull delta (version change raced past us) is skipped and the
+// stream keeps going — the server hands mismatched subscribers a full
+// frame on its next tick. Corrupt bytes close the connection: after a
+// framing error nothing downstream can be trusted.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "svc/wire.hpp"
+
+namespace approx::svc {
+
+class TelemetryClient {
+ public:
+  TelemetryClient() = default;
+  ~TelemetryClient();
+
+  TelemetryClient(const TelemetryClient&) = delete;
+  TelemetryClient& operator=(const TelemetryClient&) = delete;
+
+  /// Connects to a server on `host`:`port` (default loopback, matching
+  /// where SnapshotServer binds). False on failure; retryable.
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF (set pre-connect so the TCP window
+  /// honors it) — with the server's sndbuf knob, tests bound the bytes
+  /// in flight to force the backpressure/coalescing path.
+  bool connect(std::uint16_t port, const std::string& host = "127.0.0.1",
+               int rcvbuf = 0);
+
+  /// Blocks until one frame is received AND applied to the view (then
+  /// acks it), or `timeout` elapses. Skipped frames (stale duplicates,
+  /// kNeedFull deltas) do not count — the call keeps waiting for a
+  /// frame that advances the view. False on timeout, disconnect, or a
+  /// corrupt stream (the latter two also close()).
+  bool poll_frame(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const MaterializedView& view() const noexcept {
+    return view_;
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  // Receive-side statistics.
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+  /// Wire bytes of full / delta frames applied (incl. the u32 prefix) —
+  /// divide by the view's full_frames()/delta_frames() for bytes/frame.
+  [[nodiscard]] std::uint64_t full_frame_bytes() const noexcept {
+    return full_frame_bytes_;
+  }
+  [[nodiscard]] std::uint64_t delta_frame_bytes() const noexcept {
+    return delta_frame_bytes_;
+  }
+  /// Collect→apply latency of the last applied frame (steady-clock ns;
+  /// 0 before the first frame).
+  [[nodiscard]] std::uint64_t last_latency_ns() const noexcept {
+    return last_latency_ns_;
+  }
+
+ private:
+  void send_ack(std::uint64_t sequence);
+
+  int fd_ = -1;
+  MaterializedView view_;
+  std::string buf_;  // raw stream bytes awaiting a complete frame
+  std::string ack_pending_;  // unsent tail of a partially-written ack
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t full_frame_bytes_ = 0;
+  std::uint64_t delta_frame_bytes_ = 0;
+  std::uint64_t last_latency_ns_ = 0;
+};
+
+}  // namespace approx::svc

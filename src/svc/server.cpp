@@ -1,0 +1,586 @@
+// server.cpp — SnapshotServer internals: collector + poll() I/O workers.
+//
+// Layout: detail::ServerCore is the backend-agnostic machinery (sockets,
+// threads, frame fan-out) driven through two hooks — "collect a frame"
+// and "list entries changed since" — that the thin SnapshotServerT
+// template binds to its AggregatorT / RegistryT pair. Everything
+// socket-ish therefore compiles exactly once.
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace approx::svc {
+namespace detail {
+namespace {
+
+/// Longest ack record: type byte + 10-byte varint.
+constexpr std::size_t kMaxAckBytes = 11;
+
+}  // namespace
+
+class ServerCore {
+ public:
+  struct Hooks {
+    /// Runs one sequenced aggregator pass into the reused frame.
+    std::function<void(shard::TelemetryFrame&)> collect;
+    /// Appends (index, value) for entries changed in passes > `since`,
+    /// valid against the name table of `expected_version`. Returns the
+    /// sequence the reported values are complete up to — the delta's
+    /// label — or nullopt when the registry's version moved on (indices
+    /// shifted: the caller must fall back to a full frame).
+    std::function<std::optional<std::uint64_t>(std::uint64_t since,
+                                               std::uint64_t expected_version,
+                                               std::vector<DeltaEntry>& out)>
+        changed_since;
+  };
+
+  ServerCore(const ServerOptions& options, Hooks hooks)
+      : options_(options), hooks_(std::move(hooks)) {
+    if (options_.io_threads == 0) options_.io_threads = 1;
+    if (options_.period <= std::chrono::milliseconds::zero()) {
+      options_.period = std::chrono::milliseconds(1);
+    }
+  }
+
+  ~ServerCore() { stop(); }
+
+  bool start() {
+    // lifecycle_mutex_ serializes start/stop/stats: workers_ is rebuilt
+    // here and torn down in stop(), and stats() walks it.
+    std::lock_guard lifecycle(lifecycle_mutex_);
+    if (running_.load(std::memory_order_acquire)) return true;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(options_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 128) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    workers_.clear();
+    for (unsigned i = 0; i < options_.io_threads; ++i) {
+      auto worker = std::make_unique<Worker>();
+      if (::pipe2(worker->wake_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+        close_pipes_and_listener();
+        return false;
+      }
+      workers_.push_back(std::move(worker));
+    }
+    running_.store(true, std::memory_order_release);
+    for (unsigned i = 0; i < options_.io_threads; ++i) {
+      workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+    }
+    collector_ = std::thread([this] { collector_loop(); });
+    return true;
+  }
+
+  void stop() {
+    std::lock_guard lifecycle(lifecycle_mutex_);
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+      return;  // never started or already stopped
+    }
+    for (auto& worker : workers_) wake(*worker);
+    if (collector_.joinable()) collector_.join();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    close_pipes_and_listener();
+    workers_.clear();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] ServerStats stats() const {
+    // Serialized against start()/stop() (which rebuild/free workers_);
+    // the per-worker atomics keep the counters themselves race-free
+    // against the running threads.
+    std::lock_guard lifecycle(lifecycle_mutex_);
+    ServerStats out;
+    out.frames_collected = frames_collected_.load(std::memory_order_relaxed);
+    out.clients_accepted = clients_accepted_.load(std::memory_order_relaxed);
+    out.clients_closed = clients_closed_.load(std::memory_order_relaxed);
+    out.full_frames_sent = full_frames_sent_.load(std::memory_order_relaxed);
+    out.delta_frames_sent = delta_frames_sent_.load(std::memory_order_relaxed);
+    out.catchup_deltas_sent =
+        catchup_deltas_sent_.load(std::memory_order_relaxed);
+    out.frames_coalesced = frames_coalesced_.load(std::memory_order_relaxed);
+    out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    out.acks_received = acks_received_.load(std::memory_order_relaxed);
+    std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& worker : workers_) {
+      floor = std::min(floor,
+                       worker->min_acked.load(std::memory_order_relaxed));
+    }
+    out.min_acked_seq =
+        floor == std::numeric_limits<std::uint64_t>::max() ? 0 : floor;
+    return out;
+  }
+
+ private:
+  /// Everything the collector publishes per tick; workers copy it under
+  /// published_mutex_ (shared_ptr payloads make the copy O(1)).
+  struct PublishedFrame {
+    std::uint64_t seq = 0;
+    std::uint64_t base_seq = 0;  // shared delta's basis (previous tick)
+    std::uint64_t registry_version = 0;
+    std::uint64_t collect_ns = 0;
+    std::shared_ptr<const std::string> full;
+    std::shared_ptr<const std::string> delta;  // null: no shared delta
+  };
+
+  struct Client {
+    int fd = -1;
+    std::shared_ptr<const std::string> out;  // the ONE in-flight frame
+    std::size_t off = 0;
+    std::uint64_t sent_seq = 0;  // newest frame fully handed to out
+    std::uint64_t sent_regver = 0;
+    std::uint64_t acked_seq = 0;
+    std::string inbuf;  // partial ack bytes
+  };
+
+  struct Worker {
+    std::thread thread;
+    int wake_fds[2] = {-1, -1};  // [0] poll side, [1] ring side
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;  // accepted fds awaiting adoption
+    std::vector<Client> clients;  // worker-thread-owned
+    std::atomic<std::uint64_t> min_acked{
+        std::numeric_limits<std::uint64_t>::max()};
+  };
+
+  void close_pipes_and_listener() {
+    for (auto& worker : workers_) {
+      for (int& fd : worker->wake_fds) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+      std::lock_guard lock(worker->inbox_mutex);
+      for (int fd : worker->inbox) ::close(fd);
+      worker->inbox.clear();
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  void wake(Worker& worker) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(worker.wake_fds[1], &byte, 1);
+  }
+
+  void collector_loop() {
+    shard::TelemetryFrame frame;  // reused; zero-alloc at steady state
+    std::vector<DeltaEntry> changed;
+    std::uint64_t prev_seq = 0;
+    std::uint64_t prev_regver = 0;
+    while (running_.load(std::memory_order_acquire)) {
+      const auto tick_start = std::chrono::steady_clock::now();
+      hooks_.collect(frame);
+      const std::uint64_t collect_ns = steady_now_ns();
+      PublishedFrame pub;
+      pub.seq = frame.sequence;
+      pub.registry_version = frame.registry_version;
+      pub.collect_ns = collect_ns;
+      // Encode buffers are freshly allocated per tick and retired by
+      // refcount once the last subscriber drains them: a slow reader
+      // holding tick N's bytes never blocks (or races with) tick N+1's
+      // encode. Deliberately NOT a use_count()==1 reuse scheme — the
+      // relaxed use_count load would not order a subscriber's last read
+      // of the buffer before our overwrite. Two buffers (≈ one wire
+      // frame each) per tick at tens of milliseconds is noise next to
+      // the collect pass itself.
+      {
+        auto full = std::make_shared<std::string>();
+        encode_full_frame(frame, collect_ns, *full);
+        pub.full = std::move(full);
+      }
+      if (prev_seq != 0 && prev_regver == frame.registry_version) {
+        changed.clear();
+        // A create racing in since our pass shifts flat-table indices;
+        // the walk then reports nullopt and this tick ships no shared
+        // delta — subscribers get the (old-table) full frame, and the
+        // next tick re-collects under the new version. The collector is
+        // the registry's only sequencer, so on success the walk's label
+        // is exactly this frame's sequence.
+        if (hooks_.changed_since(prev_seq, frame.registry_version, changed)
+                .has_value()) {
+          auto delta = std::make_shared<std::string>();
+          encode_delta_frame(frame.sequence, frame.registry_version,
+                             collect_ns, prev_seq, changed, *delta);
+          pub.base_seq = prev_seq;
+          pub.delta = std::move(delta);
+        }
+      }
+      {
+        std::lock_guard lock(published_mutex_);
+        published_ = pub;
+      }
+      frames_collected_.fetch_add(1, std::memory_order_relaxed);
+      for (auto& worker : workers_) wake(*worker);
+      prev_seq = frame.sequence;
+      prev_regver = frame.registry_version;
+      // Sleep out the tick in 1 ms slices so stop() stays responsive.
+      const auto deadline = tick_start + options_.period;
+      while (running_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  void worker_loop(unsigned index) {
+    Worker& worker = *workers_[index];
+    std::vector<pollfd> pfds;
+    std::vector<DeltaEntry> changed_scratch;
+    while (running_.load(std::memory_order_acquire)) {
+      adopt_inbox(worker);
+      pfds.clear();
+      pfds.push_back({worker.wake_fds[0], POLLIN, 0});
+      if (index == 0) pfds.push_back({listen_fd_, POLLIN, 0});
+      const std::size_t base = pfds.size();
+      for (const Client& client : worker.clients) {
+        short events = POLLIN;
+        if (client.out) events |= POLLOUT;
+        pfds.push_back({client.fd, events, 0});
+      }
+      if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1) < 0 &&
+          errno != EINTR) {
+        break;
+      }
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (pfds[0].revents & POLLIN) drain_wake(worker);
+      if (index == 0 && (pfds[1].revents & POLLIN)) accept_clients();
+      // Clients accepted just now (possibly into our own inbox) join
+      // this round: they sit beyond the pfds snapshot and are serviced
+      // by the tail loop below.
+      adopt_inbox(worker);
+      const PublishedFrame pub = [&] {
+        std::lock_guard lock(published_mutex_);
+        return published_;
+      }();
+      for (std::size_t i = 0; i < worker.clients.size() &&
+                              base + i < pfds.size();
+           ++i) {
+        Client& client = worker.clients[i];
+        const short revents = pfds[base + i].revents;
+        if (revents & (POLLERR | POLLNVAL)) {
+          close_client(client);
+          continue;
+        }
+        if ((revents & POLLIN) && !read_acks(client)) {
+          close_client(client);
+          continue;
+        }
+        service_client(client, pub, changed_scratch);
+      }
+      // Clients adopted this round (beyond the pfds snapshot) get their
+      // first frame immediately rather than next tick.
+      for (std::size_t i = pfds.size() - base; i < worker.clients.size();
+           ++i) {
+        service_client(worker.clients[i], pub, changed_scratch);
+      }
+      std::erase_if(worker.clients,
+                    [](const Client& client) { return client.fd < 0; });
+      publish_min_acked(worker);
+    }
+    for (Client& client : worker.clients) {
+      if (client.fd >= 0) ::close(client.fd);
+    }
+    worker.clients.clear();
+  }
+
+  void adopt_inbox(Worker& worker) {
+    std::lock_guard lock(worker.inbox_mutex);
+    for (int fd : worker.inbox) {
+      Client client;
+      client.fd = fd;
+      worker.clients.push_back(std::move(client));
+    }
+    worker.inbox.clear();
+  }
+
+  void drain_wake(Worker& worker) {
+    char buf[64];
+    while (::read(worker.wake_fds[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void accept_clients() {
+    while (true) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        // Fd exhaustion leaves the pending connection queued and the
+        // listener readable, so poll() would return immediately and
+        // spin this worker at 100% CPU; back off until an fd frees up.
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        break;  // EAGAIN / transient
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (options_.sndbuf > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf,
+                     sizeof(options_.sndbuf));
+      }
+      clients_accepted_.fetch_add(1, std::memory_order_relaxed);
+      Worker& target =
+          *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                    workers_.size()];
+      {
+        std::lock_guard lock(target.inbox_mutex);
+        target.inbox.push_back(fd);
+      }
+      wake(target);
+    }
+  }
+
+  void close_client(Client& client) {
+    if (client.fd < 0) return;
+    ::close(client.fd);
+    client.fd = -1;
+    client.out.reset();
+    clients_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Parses complete { kAckByte, seq } records out of the client's
+  /// inbound bytes. False = EOF / error / protocol violation: close.
+  bool read_acks(Client& client) {
+    char buf[256];
+    while (true) {
+      const ssize_t n = ::recv(client.fd, buf, sizeof(buf), 0);
+      if (n == 0) return false;  // orderly EOF
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      client.inbuf.append(buf, static_cast<std::size_t>(n));
+    }
+    while (!client.inbuf.empty()) {
+      if (static_cast<unsigned char>(client.inbuf[0]) != kAckByte) {
+        return false;  // not speaking our protocol
+      }
+      const char* cursor = client.inbuf.data() + 1;
+      const char* const end = client.inbuf.data() + client.inbuf.size();
+      std::uint64_t seq = 0;
+      if (!read_uvarint(&cursor, end, seq)) {
+        // Truncated varint: wait for more bytes — unless the buffer
+        // already holds a full-size record, which makes it malformed.
+        return client.inbuf.size() < kMaxAckBytes;
+      }
+      client.acked_seq = std::max(client.acked_seq, seq);
+      acks_received_.fetch_add(1, std::memory_order_relaxed);
+      client.inbuf.erase(0, static_cast<std::size_t>(cursor -
+                                                     client.inbuf.data()));
+    }
+    return true;
+  }
+
+  /// Drains the in-flight buffer; true when fully written (or nothing
+  /// pending), false when blocked or the client closed.
+  bool flush(Client& client) {
+    if (!client.out) return true;
+    while (client.off < client.out->size()) {
+      const ssize_t n =
+          ::send(client.fd, client.out->data() + client.off,
+                 client.out->size() - client.off, MSG_NOSIGNAL);
+      if (n > 0) {
+        client.off += static_cast<std::size_t>(n);
+        bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      if (n < 0 && errno == EINTR) continue;
+      close_client(client);  // error, or the impossible 0-byte send
+      return false;
+    }
+    client.out.reset();
+    client.off = 0;
+    return true;
+  }
+
+  /// The backpressure policy (see server.hpp): finish the in-flight
+  /// frame; once drained, hand the client the NEWEST frame in the
+  /// cheapest applicable encoding.
+  void service_client(Client& client, const PublishedFrame& pub,
+                      std::vector<DeltaEntry>& changed_scratch) {
+    if (client.fd < 0) return;
+    if (!flush(client)) return;  // blocked mid-frame (or just closed)
+    if (client.fd < 0 || pub.seq == 0 || client.sent_seq >= pub.seq) return;
+    if (client.sent_seq != 0 && pub.seq > client.sent_seq + 1) {
+      frames_coalesced_.fetch_add(pub.seq - client.sent_seq - 1,
+                                  std::memory_order_relaxed);
+    }
+    std::uint64_t sent_seq = pub.seq;
+    if (client.sent_seq == pub.base_seq && pub.delta &&
+        client.sent_regver == pub.registry_version) {
+      client.out = pub.delta;  // in step: the shared tick delta
+      delta_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else if (client.sent_seq != 0 &&
+               client.sent_regver == pub.registry_version) {
+      // Lagged but (as of publication) same name table: try a
+      // per-client catch-up delta of exactly what moved since its last
+      // fully-sent frame. The version-guarded walk fails if a create
+      // has shifted the flat-table indices meanwhile — fall back to the
+      // full frame rather than ship a delta the client would misapply.
+      // On success the walk's label may run ahead of pub.seq (the
+      // collector finished another pass since publication); the delta
+      // is complete up to that label, so the client's view — and our
+      // sent_seq tracking — jump there.
+      changed_scratch.clear();
+      const std::optional<std::uint64_t> upto = hooks_.changed_since(
+          client.sent_seq, pub.registry_version, changed_scratch);
+      if (upto.has_value()) {
+        auto buf = std::make_shared<std::string>();
+        // pub.collect_ns belongs to pass pub.seq; when the walk ran
+        // ahead to a newer completed pass, stamping it would date newer
+        // values with an older clock (inflating consumer latency), so
+        // the stamp is dropped (0 = not recorded) for that rare race.
+        const std::uint64_t stamp_ns =
+            *upto == pub.seq ? pub.collect_ns : 0;
+        encode_delta_frame(*upto, pub.registry_version, stamp_ns,
+                           client.sent_seq, changed_scratch, *buf);
+        client.out = std::move(buf);
+        sent_seq = std::max(sent_seq, *upto);
+        catchup_deltas_sent_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        client.out = pub.full;
+        full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      client.out = pub.full;  // new subscriber or the table changed
+      full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    client.off = 0;
+    client.sent_seq = sent_seq;
+    client.sent_regver = pub.registry_version;
+    flush(client);
+  }
+
+  void publish_min_acked(Worker& worker) {
+    std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+    for (const Client& client : worker.clients) {
+      floor = std::min(floor, client.acked_seq);
+    }
+    worker.min_acked.store(floor, std::memory_order_relaxed);
+  }
+
+  ServerOptions options_;
+  Hooks hooks_;
+  mutable std::mutex lifecycle_mutex_;  // start/stop/stats (see start())
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread collector_;
+  std::atomic<unsigned> next_worker_{0};
+  std::mutex published_mutex_;
+  PublishedFrame published_;
+  std::atomic<std::uint64_t> frames_collected_{0};
+  std::atomic<std::uint64_t> clients_accepted_{0};
+  std::atomic<std::uint64_t> clients_closed_{0};
+  std::atomic<std::uint64_t> full_frames_sent_{0};
+  std::atomic<std::uint64_t> delta_frames_sent_{0};
+  std::atomic<std::uint64_t> catchup_deltas_sent_{0};
+  std::atomic<std::uint64_t> frames_coalesced_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> acks_received_{0};
+};
+
+}  // namespace detail
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+SnapshotServerT<Backend>::SnapshotServerT(
+    const shard::RegistryT<Backend>& registry, unsigned pid,
+    ServerOptions options)
+    : aggregator_(registry, pid, /*sequenced=*/true), registry_(registry) {
+  typename detail::ServerCore::Hooks hooks;
+  hooks.collect = [this](shard::TelemetryFrame& frame) {
+    aggregator_.collect_into(frame);
+  };
+  hooks.changed_since = [this](std::uint64_t since,
+                               std::uint64_t expected_version,
+                               std::vector<DeltaEntry>& out) {
+    return registry_.for_each_changed_since(
+        since, expected_version,
+        [&](std::size_t index, const std::string& /*name*/,
+            std::uint64_t value, std::uint64_t /*changed_seq*/) {
+          out.push_back({index, value});
+        });
+  };
+  core_ = std::make_unique<detail::ServerCore>(options, std::move(hooks));
+}
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+SnapshotServerT<Backend>::~SnapshotServerT() {
+  stop();
+}
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+bool SnapshotServerT<Backend>::start() {
+  return core_->start();
+}
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+void SnapshotServerT<Backend>::stop() {
+  core_->stop();
+}
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+std::uint16_t SnapshotServerT<Backend>::port() const {
+  return core_->port();
+}
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+ServerStats SnapshotServerT<Backend>::stats() const {
+  return core_->stats();
+}
+
+template class SnapshotServerT<base::DirectBackend>;
+template class SnapshotServerT<base::RelaxedDirectBackend>;
+
+}  // namespace approx::svc

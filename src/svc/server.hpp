@@ -1,0 +1,144 @@
+// server.hpp — SnapshotServer: the registry behind a network facade.
+//
+// The fifth layer's serving half. A SnapshotServer owns one background
+// aggregator over a counter registry and fans its frames out to TCP
+// subscribers on the loopback interface:
+//
+//   * collector thread — every `period`, one sequenced collect_into
+//     pass into a reused double-buffered frame (the aggregator's
+//     scratch/latest pair: zero collect allocations at steady state,
+//     and the pass feeds the registry's changed-since tracking), then
+//     ONE full-frame encode and ONE delta-since-previous-tick encode
+//     shared by every up-to-date subscriber. Encoded byte buffers are
+//     freshly allocated per tick and retired by refcount when the last
+//     subscriber drains them, so a slow reader holding an old tick's
+//     bytes never blocks the next encode.
+//
+//   * N I/O worker threads — a non-blocking poll() loop each, over a
+//     share of the subscriber sockets plus a self-pipe the collector
+//     rings every tick. Worker 0 also polls the listening socket and
+//     deals accepted connections round-robin.
+//
+//   * per-client backpressure — each subscriber has AT MOST one
+//     in-flight encoded frame (partial writes keep an offset; POLLOUT
+//     resumes them) and no queue. A subscriber that drains slower than
+//     the tick rate simply skips frames: when its buffer drains the
+//     worker hands it the NEWEST frame — as the shared delta if it is
+//     exactly one tick behind, as a per-client catch-up delta
+//     (registry for_each_changed_since its last fully-sent sequence)
+//     if it lagged but the name table is unchanged, or as the full
+//     frame otherwise. Memory per client is O(one frame) regardless of
+//     how slow it reads; nobody is disconnected for being slow.
+//
+//   * acks — subscribers send { 0xAC, seq:uvarint } after applying a
+//     frame; the server tracks the fleet-wide acked floor purely as
+//     observability (ServerStats::min_acked_seq), TCP already
+//     guaranteeing delivery of fully-written frames. Unknown inbound
+//     bytes are a protocol error and close that subscriber.
+//
+// Catch-up deltas are encoded from the registry's tracking columns via
+// the version-guarded for_each_changed_since walk: if a create shifted
+// the name-table indices since the frame was published, the walk
+// refuses and the subscriber gets a full frame instead (a delta against
+// the wrong table would silently misapply values). The walk labels the
+// delta with the last *completed* sequenced pass, which may run ahead
+// of the published frame — the delta is complete up to that label.
+//
+// The server binds 127.0.0.1 only: the facade is an in-host scrape/
+// stream endpoint (sidecar, dashboard, load generator), not an
+// authenticated public service.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "base/backend.hpp"
+#include "shard/aggregator.hpp"
+#include "shard/registry.hpp"
+#include "svc/wire.hpp"
+
+namespace approx::svc {
+
+/// Inbound ack record type byte (followed by one uvarint sequence).
+inline constexpr unsigned char kAckByte = 0xAC;
+
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral; port() reports the choice
+  unsigned io_threads = 2;
+  std::chrono::milliseconds period{20};  // collect/broadcast tick
+  /// Per-subscriber SO_SNDBUF in bytes; 0 keeps the kernel default.
+  /// Tests shrink it to force the backpressure/coalescing path without
+  /// megabytes of loopback buffering in the way.
+  int sndbuf = 0;
+};
+
+/// Monotonic counters describing a server's life so far. stats() may be
+/// called from any thread at any time (it is serialized against
+/// start()/stop() internally); while the server runs the counters are a
+/// racy-but-coherent snapshot, exact once stop() returned.
+struct ServerStats {
+  std::uint64_t frames_collected = 0;
+  std::uint64_t clients_accepted = 0;
+  std::uint64_t clients_closed = 0;
+  std::uint64_t full_frames_sent = 0;    // full encodes handed to clients
+  std::uint64_t delta_frames_sent = 0;   // shared tick deltas
+  std::uint64_t catchup_deltas_sent = 0; // per-client changed-since deltas
+  std::uint64_t frames_coalesced = 0;    // ticks skipped by slow readers
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t min_acked_seq = 0;  // slowest subscriber's acked frame
+};
+
+namespace detail {
+class ServerCore;
+}  // namespace detail
+
+/// Serves one registry. Uninstrumented backends only — the collector and
+/// I/O threads are real OS threads outside any sim scheduler, exactly
+/// like AggregatorT's background mode.
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+class SnapshotServerT {
+ public:
+  /// @param registry fleet to serve (must outlive the server).
+  /// @param pid dedicated aggregation slot in the registry's pid space;
+  ///   no worker may share it (one thread per pid, repo-wide).
+  SnapshotServerT(const shard::RegistryT<Backend>& registry, unsigned pid,
+                  ServerOptions options = {});
+  ~SnapshotServerT();
+
+  SnapshotServerT(const SnapshotServerT&) = delete;
+  SnapshotServerT& operator=(const SnapshotServerT&) = delete;
+
+  /// Binds, listens and spawns the collector + I/O threads. False if the
+  /// socket setup failed (port in use, fd limits); the server is then
+  /// inert and start() may be retried with different options.
+  bool start();
+
+  /// Stops all threads and closes every socket. Idempotent.
+  void stop();
+
+  /// The bound TCP port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const;
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The serving aggregator (e.g. to await frames_collected() ≥ N).
+  [[nodiscard]] const shard::AggregatorT<Backend>& aggregator() const {
+    return aggregator_;
+  }
+
+ private:
+  shard::AggregatorT<Backend> aggregator_;
+  const shard::RegistryT<Backend>& registry_;
+  std::unique_ptr<detail::ServerCore> core_;
+};
+
+using SnapshotServer = SnapshotServerT<base::DirectBackend>;
+using RelaxedSnapshotServer = SnapshotServerT<base::RelaxedDirectBackend>;
+
+extern template class SnapshotServerT<base::DirectBackend>;
+extern template class SnapshotServerT<base::RelaxedDirectBackend>;
+
+}  // namespace approx::svc

@@ -1,0 +1,272 @@
+// wire.cpp — telemetry wire format encode/decode (see wire.hpp).
+#include "svc/wire.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace approx::svc {
+namespace {
+
+/// Longest legal LEB128 encoding of a uint64 (10 × 7 bits ≥ 64).
+constexpr int kMaxVarintBytes = 10;
+
+/// Upper bound on the entries reserved up front from an (untrusted)
+/// frame count; larger lists grow geometrically as entries actually
+/// parse, so a lying count cannot command a huge allocation.
+constexpr std::uint64_t kReserveClamp = 4096;
+
+void append_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+/// Patches the u32le length prefix at out[0..3] once the payload is
+/// assembled behind it.
+void patch_length_prefix(std::string& out) {
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(out.size() - kFramePrefixBytes);
+  out[0] = static_cast<char>(payload & 0xFF);
+  out[1] = static_cast<char>((payload >> 8) & 0xFF);
+  out[2] = static_cast<char>((payload >> 16) & 0xFF);
+  out[3] = static_cast<char>((payload >> 24) & 0xFF);
+}
+
+void append_header(std::string& out, FrameKind kind, std::uint64_t sequence,
+                   std::uint64_t registry_version, std::uint64_t collect_ns) {
+  out.push_back(static_cast<char>(kWireMagic0));
+  out.push_back(static_cast<char>(kWireMagic1));
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(kind));
+  append_uvarint(out, sequence);
+  append_uvarint(out, registry_version);
+  append_uvarint(out, collect_ns);
+}
+
+bool read_u8(const char** cursor, const char* end, std::uint8_t& value) {
+  if (*cursor == end) return false;
+  value = static_cast<std::uint8_t>(**cursor);
+  ++*cursor;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_uvarint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+bool read_uvarint(const char** cursor, const char* end, std::uint64_t& value) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  const char* p = *cursor;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (p == end) return false;  // truncated
+    const std::uint8_t byte = static_cast<std::uint8_t>(*p++);
+    if (shift == 63 && (byte & 0x7E) != 0) return false;  // overflows u64
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *cursor = p;
+      value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // overlong encoding
+}
+
+void encode_full_frame(const shard::TelemetryFrame& frame,
+                       std::uint64_t collect_ns, std::string& out) {
+  out.clear();
+  append_u32le(out, 0);  // length prefix, patched below
+  append_header(out, FrameKind::kFull, frame.sequence, frame.registry_version,
+                collect_ns);
+  append_uvarint(out, frame.samples.size());
+  for (const shard::Sample& sample : frame.samples) {
+    append_uvarint(out, sample.name.size());
+    out.append(sample.name);
+    out.push_back(static_cast<char>(sample.model));
+    append_uvarint(out, sample.error_bound);
+    append_uvarint(out, sample.value);
+  }
+  patch_length_prefix(out);
+}
+
+void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
+                        std::uint64_t collect_ns, std::uint64_t base_seq,
+                        const std::vector<DeltaEntry>& entries,
+                        std::string& out) {
+  out.clear();
+  append_u32le(out, 0);  // length prefix, patched below
+  append_header(out, FrameKind::kDelta, sequence, registry_version,
+                collect_ns);
+  append_uvarint(out, base_seq);
+  append_uvarint(out, entries.size());
+  for (const DeltaEntry& entry : entries) {
+    append_uvarint(out, entry.index);
+    append_uvarint(out, entry.value);
+  }
+  patch_length_prefix(out);
+}
+
+ApplyResult MaterializedView::apply(std::string_view payload) {
+  const char* cursor = payload.data();
+  const char* const end = cursor + payload.size();
+  std::uint8_t magic0 = 0;
+  std::uint8_t magic1 = 0;
+  std::uint8_t version = 0;
+  std::uint8_t kind = 0;
+  if (!read_u8(&cursor, end, magic0) || !read_u8(&cursor, end, magic1) ||
+      !read_u8(&cursor, end, version) || !read_u8(&cursor, end, kind)) {
+    return ApplyResult::kCorrupt;
+  }
+  if (magic0 != kWireMagic0 || magic1 != kWireMagic1 ||
+      version != kWireVersion) {
+    return ApplyResult::kCorrupt;
+  }
+  std::uint64_t sequence = 0;
+  std::uint64_t registry_version = 0;
+  std::uint64_t collect_ns = 0;
+  if (!read_uvarint(&cursor, end, sequence) ||
+      !read_uvarint(&cursor, end, registry_version) ||
+      !read_uvarint(&cursor, end, collect_ns)) {
+    return ApplyResult::kCorrupt;
+  }
+  switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::kFull:
+      return apply_full(cursor, end, sequence, registry_version, collect_ns);
+    case FrameKind::kDelta:
+      return apply_delta(cursor, end, sequence, registry_version, collect_ns);
+    default:
+      return ApplyResult::kCorrupt;
+  }
+}
+
+ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
+                                         std::uint64_t sequence,
+                                         std::uint64_t registry_version,
+                                         std::uint64_t collect_ns) {
+  std::uint64_t count = 0;
+  if (!read_uvarint(&cursor, end, count)) return ApplyResult::kCorrupt;
+  // Each entry costs ≥ 4 payload bytes (empty name: len + model + bound
+  // + value); reject counts the remaining bytes cannot possibly hold
+  // before reserving anything, and clamp the reserve regardless — a
+  // corrupt-but-length-valid frame must cost O(bytes actually parsed),
+  // not a count-sized allocation up front.
+  if (count > static_cast<std::uint64_t>(end - cursor) / 4) {
+    return ApplyResult::kCorrupt;
+  }
+  scratch_.clear();
+  scratch_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kReserveClamp)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    if (!read_uvarint(&cursor, end, name_len)) return ApplyResult::kCorrupt;
+    if (name_len > static_cast<std::uint64_t>(end - cursor)) {
+      return ApplyResult::kCorrupt;
+    }
+    shard::Sample sample;
+    sample.name.assign(cursor, static_cast<std::size_t>(name_len));
+    cursor += name_len;
+    std::uint8_t model = 0;
+    if (!read_u8(&cursor, end, model)) return ApplyResult::kCorrupt;
+    if (model > static_cast<std::uint8_t>(shard::ErrorModel::kAdditive)) {
+      return ApplyResult::kCorrupt;
+    }
+    sample.model = static_cast<shard::ErrorModel>(model);
+    if (!read_uvarint(&cursor, end, sample.error_bound) ||
+        !read_uvarint(&cursor, end, sample.value)) {
+      return ApplyResult::kCorrupt;
+    }
+    scratch_.push_back(std::move(sample));
+  }
+  if (cursor != end) return ApplyResult::kCorrupt;  // trailing garbage
+  // A replayed/reordered full frame from the past must not roll the view
+  // back. Same sequence domain only (same registry version); a version
+  // change restarts the table, so its full frame always applies.
+  if (registry_version == registry_version_ && sequence <= sequence_) {
+    ++stale_frames_skipped_;
+    return ApplyResult::kApplied;
+  }
+  samples_.swap(scratch_);
+  entry_update_seq_.assign(samples_.size(), sequence);
+  sequence_ = sequence;
+  registry_version_ = registry_version;
+  collect_ns_ = collect_ns;
+  ++frames_applied_;
+  ++full_frames_;
+  entries_updated_ += samples_.size();
+  return ApplyResult::kApplied;
+}
+
+ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
+                                          std::uint64_t sequence,
+                                          std::uint64_t registry_version,
+                                          std::uint64_t collect_ns) {
+  std::uint64_t base_seq = 0;
+  std::uint64_t count = 0;
+  if (!read_uvarint(&cursor, end, base_seq) ||
+      !read_uvarint(&cursor, end, count)) {
+    return ApplyResult::kCorrupt;
+  }
+  if (count > static_cast<std::uint64_t>(end - cursor) / 2) {
+    return ApplyResult::kCorrupt;  // ≥ 2 bytes per entry; count is a lie
+  }
+  // Parse the whole entry list into scratch before touching the view:
+  // a corrupt tail must not leave a half-applied frame. Clamped reserve
+  // as in apply_full: allocation follows what actually parses.
+  delta_scratch_.clear();
+  delta_scratch_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kReserveClamp)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DeltaEntry entry;
+    if (!read_uvarint(&cursor, end, entry.index) ||
+        !read_uvarint(&cursor, end, entry.value)) {
+      return ApplyResult::kCorrupt;
+    }
+    if (entry.index >= samples_.size() && full_frames_ > 0 &&
+        registry_version == registry_version_) {
+      return ApplyResult::kCorrupt;  // index beyond the agreed name table
+    }
+    delta_scratch_.push_back(entry);
+  }
+  if (cursor != end) return ApplyResult::kCorrupt;
+  // Deltas need an agreed base: same name table and no sequence gap.
+  if (full_frames_ == 0 || registry_version != registry_version_ ||
+      base_seq > sequence_) {
+    return ApplyResult::kNeedFull;
+  }
+  if (sequence <= sequence_) {
+    ++stale_frames_skipped_;  // duplicate/older delta; view already newer
+    return ApplyResult::kApplied;
+  }
+  for (const DeltaEntry& entry : delta_scratch_) {
+    // index bound re-checked against the *current* table (the parse-time
+    // check above is a fast path that may not have fired pre-base).
+    if (entry.index >= samples_.size()) return ApplyResult::kCorrupt;
+    samples_[entry.index].value = entry.value;
+    entry_update_seq_[entry.index] = sequence;
+  }
+  entries_updated_ += delta_scratch_.size();
+  sequence_ = sequence;
+  collect_ns_ = collect_ns;
+  ++frames_applied_;
+  ++delta_frames_;
+  return ApplyResult::kApplied;
+}
+
+}  // namespace approx::svc

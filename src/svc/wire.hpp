@@ -1,0 +1,193 @@
+// wire.hpp — the telemetry wire format: TelemetryFrame as bytes.
+//
+// The service layer (src/svc) ships registry snapshots off-process. The
+// format is compact, versioned and self-describing, mirroring what the
+// in-process TelemetryFrame already guarantees (every figure carries its
+// error model + bound):
+//
+//   stream   := { u32le payload_length, payload }*
+//   payload  := header body
+//   header   := magic[2] version:u8 kind:u8
+//               sequence:uv registry_version:uv collect_ns:uv
+//   full     := count:uv { name_len:uv name model:u8 bound:uv value:uv }*
+//   delta    := base_seq:uv count:uv { index:uv value:uv }*
+//
+// (uv = unsigned LEB128 varint; u32le = little-endian fixed 32-bit.)
+//
+// Name-table interning: a FULL frame carries each counter's name, model
+// and bound once, in the registry's name-sorted flat-table order — that
+// order IS the name table. A DELTA frame then references counters by
+// flat-table index only, carrying just the values that changed since
+// `base_seq` (the registry's for_each_changed_since walk): on the
+// 48-counter / 4-hot fleet E17 measures, a steady-state delta is an
+// order of magnitude smaller than the full frame. Deltas are only
+// meaningful against the same `registry_version` (the table grew
+// otherwise — the server falls back to a full frame, and a decoder must
+// reject the mismatch with kNeedFull).
+//
+// collect_ns is the steady-clock timestamp (nanoseconds) taken when the
+// frame's samples were collected; same-host consumers (E17's load
+// generator) subtract it from their own steady clock for end-to-end
+// latency. 0 = not recorded. Steady-clock values are process-portable on
+// one host but NOT across hosts; cross-host consumers should treat it as
+// opaque.
+//
+// Decode safety: every read is bounds-checked; a truncated buffer, bad
+// magic/version/kind/model byte, overlong varint or out-of-range delta
+// index yields kCorrupt and leaves the MaterializedView untouched
+// (frames are parsed into scratch storage before being applied).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shard/aggregator.hpp"
+#include "shard/registry.hpp"
+
+namespace approx::svc {
+
+inline constexpr unsigned char kWireMagic0 = 0xA5;
+inline constexpr unsigned char kWireMagic1 = 0xC7;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Frame kinds on the wire (header byte 3).
+enum class FrameKind : std::uint8_t {
+  kFull = 0,   // complete snapshot incl. the name table
+  kDelta = 1,  // changed (index, value) pairs since base_seq
+};
+
+/// One changed counter in a delta frame: flat-table index + new value.
+struct DeltaEntry {
+  std::uint64_t index = 0;
+  std::uint64_t value = 0;
+};
+
+/// Bytes the stream framing adds in front of every payload (u32le
+/// length).
+inline constexpr std::size_t kFramePrefixBytes = 4;
+
+/// Steady-clock "now" in nanoseconds — the clock collect_ns stamps use
+/// (comparable across threads/processes on ONE host; see header).
+std::uint64_t steady_now_ns();
+
+// --- primitive encoding (exposed for tests) ---------------------------
+
+/// Appends `value` as an unsigned LEB128 varint (1–10 bytes).
+void append_uvarint(std::string& out, std::uint64_t value);
+
+/// Reads a varint from [*cursor, end); advances *cursor past it. False on
+/// truncation or an overlong (> 10 byte / overflowing) encoding.
+bool read_uvarint(const char** cursor, const char* end, std::uint64_t& value);
+
+// --- frame encoding ---------------------------------------------------
+
+/// Encodes `frame` as a stream-ready FULL frame: out is cleared and
+/// filled with the u32le length prefix followed by the payload.
+/// `collect_ns` stamps the header (0 = unknown).
+void encode_full_frame(const shard::TelemetryFrame& frame,
+                       std::uint64_t collect_ns, std::string& out);
+
+/// Encodes a stream-ready DELTA frame carrying `entries` (flat-table
+/// index + value, any order) relative to `base_seq`: a view at sequence
+/// `base_seq` (or newer, same registry_version) becomes sequence
+/// `sequence` after applying it. An empty `entries` is valid — the
+/// unchanged-fleet heartbeat.
+void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
+                        std::uint64_t collect_ns, std::uint64_t base_seq,
+                        const std::vector<DeltaEntry>& entries,
+                        std::string& out);
+
+// --- decoding ---------------------------------------------------------
+
+/// Outcome of applying one payload to a MaterializedView.
+enum class ApplyResult : std::uint8_t {
+  kApplied,   // view updated (or a stale/duplicate frame skipped)
+  kCorrupt,   // malformed bytes; view untouched
+  kNeedFull,  // well-formed delta the view has no base for (registry
+              // version mismatch or a sequence gap); view untouched —
+              // the consumer should wait for / request a full frame
+};
+
+/// Client-side materialization of a full+delta stream: the decoded fleet
+/// view plus the staleness metadata a dashboard needs to caveat what it
+/// shows. Samples keep the server's name-sorted flat-table order, so
+/// delta indices apply positionally.
+class MaterializedView {
+ public:
+  /// Applies one frame payload (WITHOUT the u32le stream prefix).
+  ApplyResult apply(std::string_view payload);
+
+  /// Decoded samples, name-sorted (server flat-table order). Values are
+  /// as of each entry's last applied frame; entry_update_seq() tells
+  /// which.
+  [[nodiscard]] const std::vector<shard::Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Per-sample sequence of the frame that last wrote its value —
+  /// per-counter staleness: sequence() − entry_update_seq()[i] frames
+  /// have passed since counter i moved.
+  [[nodiscard]] const std::vector<std::uint64_t>& entry_update_seq()
+      const noexcept {
+    return entry_update_seq_;
+  }
+
+  /// Sequence of the newest applied frame (0 = nothing applied yet).
+  [[nodiscard]] std::uint64_t sequence() const noexcept { return sequence_; }
+
+  /// Registry version the current name table reflects.
+  [[nodiscard]] std::uint64_t registry_version() const noexcept {
+    return registry_version_;
+  }
+
+  /// collect_ns stamp of the newest applied frame (steady-clock ns on
+  /// the serving host; 0 = server did not stamp).
+  [[nodiscard]] std::uint64_t last_collect_ns() const noexcept {
+    return collect_ns_;
+  }
+
+  // Stream statistics (staleness / health metadata).
+  [[nodiscard]] std::uint64_t frames_applied() const noexcept {
+    return frames_applied_;
+  }
+  [[nodiscard]] std::uint64_t full_frames() const noexcept {
+    return full_frames_;
+  }
+  [[nodiscard]] std::uint64_t delta_frames() const noexcept {
+    return delta_frames_;
+  }
+  [[nodiscard]] std::uint64_t entries_updated() const noexcept {
+    return entries_updated_;
+  }
+  /// Well-formed frames skipped as stale (sequence ≤ current).
+  [[nodiscard]] std::uint64_t stale_frames_skipped() const noexcept {
+    return stale_frames_skipped_;
+  }
+
+ private:
+  ApplyResult apply_full(const char* cursor, const char* end,
+                         std::uint64_t sequence,
+                         std::uint64_t registry_version,
+                         std::uint64_t collect_ns);
+  ApplyResult apply_delta(const char* cursor, const char* end,
+                          std::uint64_t sequence,
+                          std::uint64_t registry_version,
+                          std::uint64_t collect_ns);
+
+  std::vector<shard::Sample> samples_;
+  std::vector<std::uint64_t> entry_update_seq_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t registry_version_ = 0;
+  std::uint64_t collect_ns_ = 0;
+  std::uint64_t frames_applied_ = 0;
+  std::uint64_t full_frames_ = 0;
+  std::uint64_t delta_frames_ = 0;
+  std::uint64_t entries_updated_ = 0;
+  std::uint64_t stale_frames_skipped_ = 0;
+  std::vector<shard::Sample> scratch_;  // full-frame parse staging
+  std::vector<DeltaEntry> delta_scratch_;
+};
+
+}  // namespace approx::svc

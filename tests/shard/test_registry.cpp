@@ -171,6 +171,128 @@ TEST(Registry, VersionsAreUniquePerRegistryInstance) {
   EXPECT_EQ(frame[0].model, ErrorModel::kAdditive);
 }
 
+TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
+  // The delta channel's pinning contract (src/svc builds on this): a
+  // sequenced pass over a fleet nothing incremented marks nothing
+  // changed, so the walk since the previous pass visits zero entries —
+  // the aggregator/service no longer re-encodes every entry every tick.
+  Registry registry(2);
+  AnyCounter& a = registry.create("a", {ErrorModel::kExact, 0, 1});
+  registry.create("b", {ErrorModel::kExact, 0, 1});
+  a.increment(0);
+
+  std::vector<Sample> frame;
+  std::uint64_t version = registry.snapshot_all_into_sequenced(0, frame, 0, 1);
+  // Pass 1 baselines: every entry is new, so everything changed at 1.
+  std::size_t visited = 0;
+  auto upto = registry.for_each_changed_since(
+      0, version,
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
+        ++visited;
+      });
+  EXPECT_EQ(visited, 2u);
+  ASSERT_TRUE(upto.has_value());
+  EXPECT_EQ(*upto, 1u);  // the walk is complete up to pass 1
+
+  // Pass 2 with an untouched fleet: the delta since pass 1 is EMPTY.
+  version = registry.snapshot_all_into_sequenced(0, frame, version, 2);
+  visited = 0;
+  upto = registry.for_each_changed_since(
+      1, version,
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
+        ++visited;
+      });
+  EXPECT_EQ(visited, 0u);
+  ASSERT_TRUE(upto.has_value());
+  EXPECT_EQ(*upto, 2u);
+
+  // One increment: pass 3's delta names exactly that entry, with the
+  // collected value and the changing pass's sequence.
+  a.increment(0);
+  (void)registry.snapshot_all_into_sequenced(0, frame, version, 3);
+  upto = registry.for_each_changed_since(
+      2, version,
+      [&](std::size_t index, const std::string& name, std::uint64_t value,
+          std::uint64_t changed_seq) {
+        ++visited;
+        EXPECT_EQ(index, 0u);  // "a" sorts first
+        EXPECT_EQ(name, "a");
+        EXPECT_EQ(value, 2u);
+        EXPECT_EQ(changed_seq, 3u);
+      });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(upto.value_or(0), 3u);
+  // The since-0 walk still reports both entries (b last changed at 1).
+  visited = 0;
+  (void)registry.for_each_changed_since(
+      0, version,
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
+        ++visited;
+      });
+  EXPECT_EQ(visited, 2u);
+
+  // A stale expected_version (the table grew: indices shifted) refuses
+  // the walk instead of reporting now-misaligned indices.
+  registry.create("c", {ErrorModel::kExact, 0, 1});
+  visited = 0;
+  upto = registry.for_each_changed_since(
+      0, version,
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
+        ++visited;
+      });
+  EXPECT_FALSE(upto.has_value());
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(Aggregator, SequencedCollectFeedsChangedSinceTracking) {
+  // A sequenced aggregator's frames ARE the sequenced passes: a frame's
+  // sequence is usable directly as the for_each_changed_since basis.
+  Registry registry(2);
+  AnyCounter& hits = registry.create("hits", {ErrorModel::kExact, 0, 2});
+  Aggregator aggregator(registry, 1, /*sequenced=*/true);
+  const TelemetryFrame first = aggregator.collect();
+  const TelemetryFrame second = aggregator.collect();  // nothing moved
+  std::size_t visited = 0;
+  auto upto = registry.for_each_changed_since(
+      first.sequence, second.registry_version,
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
+        ++visited;
+      });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(upto.value_or(0), second.sequence);
+  hits.increment(0);
+  const TelemetryFrame third = aggregator.collect();
+  upto = registry.for_each_changed_since(
+      second.sequence, third.registry_version,
+      [&](std::size_t index, const std::string& name, std::uint64_t value,
+          std::uint64_t changed_seq) {
+        ++visited;
+        EXPECT_EQ(index, 0u);
+        EXPECT_EQ(name, "hits");
+        EXPECT_EQ(value, third.samples[0].value);
+        EXPECT_EQ(changed_seq, third.sequence);
+      });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(upto.value_or(0), third.sequence);
+  EXPECT_EQ(third.samples[0].value, 1u);
+
+  // A plain (default) aggregator on the same registry reads through the
+  // shared-lock pass and leaves the tracking columns alone — its
+  // sequence domain cannot corrupt the sequencer's.
+  Aggregator plain(registry, 0);
+  hits.increment(0);
+  const TelemetryFrame side = plain.collect();
+  EXPECT_EQ(side.samples[0].value, 2u);
+  visited = 0;
+  upto = registry.for_each_changed_since(
+      third.sequence, third.registry_version,
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
+        ++visited;
+      });
+  EXPECT_EQ(visited, 0u);  // the new increment awaits a *sequenced* pass
+  EXPECT_EQ(upto.value_or(0), third.sequence);  // last pass seq unmoved
+}
+
 TEST(Aggregator, SequencePublicationOrdersPayload) {
   // The release/acquire publication contract: a consumer that observes
   // frames_collected() == N and then calls latest() must see frame N (or
