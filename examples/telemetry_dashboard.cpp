@@ -3,12 +3,20 @@
 // materialized view, and render it with its staleness metadata.
 //
 //   $ ./build/examples/telemetry_dashboard --port=N [--frames=K]
+//       [--prefix=P] [--stall-ms=M]
 //
-// Exits 0 only if K frames were decoded AND the "startup_marker"
-// counter decodes to exactly 42 (the ground truth the server planted
-// before serving) — which makes this binary double as the CI
-// service-smoke assertion: server and client agree, over real sockets,
-// on a value the server definitely incremented.
+// --prefix=P subscribes with a wire-v2 prefix filter: the server then
+// streams only counters named P*, and the view's table IS that subset.
+// --stall-ms=M demonstrates client-driven recovery: after the first
+// frame the dashboard goes silent for M ms (the server coalesces the
+// missed ticks), then issues request_resync() and requires a fresh FULL
+// frame to arrive — printing "resync full OK" when it does.
+//
+// Exits 0 only if K frames were decoded, the "startup_marker" counter
+// decodes to exactly 42 whenever the subscription includes it (the
+// ground truth the server planted before serving), and — with
+// --stall-ms — the resync produced its full. This makes the binary
+// double as the CI service-smoke assertion over real sockets.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -16,6 +24,7 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "shard/registry.hpp"
 #include "svc/client.hpp"
@@ -34,6 +43,8 @@ int main(int argc, char** argv) {
   using namespace approx;
   std::uint16_t port = 0;
   int frames = 5;
+  std::string prefix;
+  std::uint64_t stall_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -41,8 +52,13 @@ int main(int argc, char** argv) {
           std::strtoul(arg.data() + 7, nullptr, 10));
     } else if (arg.rfind("--frames=", 0) == 0) {
       frames = std::atoi(arg.data() + 9);
+    } else if (arg.rfind("--prefix=", 0) == 0) {
+      prefix = std::string(arg.substr(9));
+    } else if (arg.rfind("--stall-ms=", 0) == 0) {
+      stall_ms = std::strtoull(arg.data() + 11, nullptr, 10);
     } else {
-      std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]\n";
+      std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]"
+                   " [--prefix=P] [--stall-ms=M]\n";
       return 2;
     }
   }
@@ -57,10 +73,53 @@ int main(int argc, char** argv) {
               << " failed\n";
     return 1;
   }
+  if (!prefix.empty()) {
+    svc::SubscriptionFilter filter;
+    filter.prefixes = {prefix};
+    if (!client.subscribe(filter)) {
+      std::cerr << "telemetry_dashboard: subscribe failed\n";
+      return 1;
+    }
+  }
+  bool resync_ok = stall_ms == 0;  // nothing to prove without a stall
   for (int f = 0; f < frames; ++f) {
     if (!client.poll_frame(std::chrono::seconds(10))) {
       std::cerr << "telemetry_dashboard: stream ended after " << f
                 << " frames\n";
+      return 1;
+    }
+    if (stall_ms != 0 && f == 0) {
+      // Simulated stall: miss ticks, then drive recovery ourselves — a
+      // fresh full must arrive without waiting for a table change.
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      const std::uint64_t fulls_before = client.view().full_frames();
+      if (!client.request_resync()) {
+        std::cerr << "telemetry_dashboard: resync send failed\n";
+        return 1;
+      }
+      for (int attempt = 0; attempt < 50 && !resync_ok; ++attempt) {
+        if (!client.poll_frame(std::chrono::seconds(10))) {
+          std::cerr << "telemetry_dashboard: stream ended mid-resync\n";
+          return 1;
+        }
+        resync_ok = client.view().full_frames() > fulls_before;
+      }
+      if (!resync_ok) {
+        std::cerr << "telemetry_dashboard: no full frame after resync\n";
+        return 1;
+      }
+      std::cout << "resync full OK\n";
+    }
+  }
+  // A filtered run may still be inside the re-base window (the server
+  // services a brand-new client with the unfiltered full before it
+  // reads the SUBSCRIBE): pump until the subset table is in place so
+  // the assertions below judge the subscription, not that race.
+  for (int attempt = 0;
+       attempt < 50 && client.view().rebase_pending(); ++attempt) {
+    if (!client.poll_frame(std::chrono::seconds(10))) {
+      std::cerr << "telemetry_dashboard: stream ended before the"
+                   " subscription re-base\n";
       return 1;
     }
   }
@@ -70,10 +129,16 @@ int main(int argc, char** argv) {
             << view.full_frames() << " full + " << view.delta_frames()
             << " delta frames, " << client.bytes_received()
             << " bytes, last latency "
-            << client.last_latency_ns() / 1000 << " us)\n\n"
+            << client.last_latency_ns() / 1000 << " us)";
+  if (!prefix.empty()) {
+    std::cout << " [subset: " << prefix << "*, " << view.samples().size()
+              << " counters]";
+  }
+  std::cout << "\n\n"
             << std::left << std::setw(16) << "counter" << std::right
             << std::setw(12) << "value" << std::setw(8) << "model"
             << std::setw(12) << "bound" << std::setw(10) << "age\n";
+  bool marker_seen = false;
   bool marker_ok = false;
   for (std::size_t i = 0; i < view.samples().size(); ++i) {
     const shard::Sample& sample = view.samples()[i];
@@ -84,17 +149,32 @@ int main(int argc, char** argv) {
               << model_tag(sample.model) << std::setw(12)
               << sample.error_bound << std::setw(9)
               << view.sequence() - view.entry_update_seq()[i] << "\n";
-    if (sample.name == "startup_marker" &&
-        sample.value == kExpectedMarker &&
-        sample.model == shard::ErrorModel::kExact) {
-      marker_ok = true;
+    if (sample.name == "startup_marker") {
+      marker_seen = true;
+      marker_ok = sample.value == kExpectedMarker &&
+                  sample.model == shard::ErrorModel::kExact;
     }
   }
-  if (!marker_ok) {
+  // The marker must decode correctly whenever the subscription covers
+  // it; a filtered view that excludes it has nothing to assert.
+  const bool marker_expected =
+      prefix.empty() ||
+      std::string_view("startup_marker").substr(0, prefix.size()) == prefix;
+  if (marker_expected && !(marker_seen && marker_ok)) {
     std::cerr << "\nstartup_marker != " << kExpectedMarker
               << ": decoded state disagrees with the server\n";
     return 1;
   }
-  std::cout << "\nstartup_marker=" << kExpectedMarker << " OK\n";
+  if (!marker_expected && marker_seen) {
+    std::cerr << "\nfilter leak: startup_marker is outside --prefix="
+              << prefix << " but was streamed anyway\n";
+    return 1;
+  }
+  if (marker_expected) {
+    std::cout << "\nstartup_marker=" << kExpectedMarker << " OK\n";
+  } else {
+    std::cout << "\nsubset of " << view.samples().size()
+              << " counters OK (marker outside filter)\n";
+  }
   return 0;
 }

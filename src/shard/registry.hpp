@@ -31,7 +31,10 @@
 //     sequence of the pass that last changed it), refreshed by the
 //     sequenced collect, so a delta encoder can walk exactly the
 //     counters that moved since a subscriber's acknowledged sequence
-//     instead of re-encoding the whole fleet every tick.
+//     instead of re-encoding the whole fleet every tick; the _filtered
+//     variant restricts the walk to a selection of flat-table rows (a
+//     subscription filter's matches) and reports subset positions, the
+//     index space of a filtered wire name table.
 //
 // Counter kinds are erased behind `AnyCounter` so one fleet can mix
 // multiplicative, additive and exact striping; the virtual hop is
@@ -231,6 +234,35 @@ class RegistryT {
       const Entry& entry = flat_[i];
       if (entry.changed_seq > seq) {
         fn(i, entry.name, entry.last_value, entry.changed_seq);
+      }
+    }
+    return last_pass_seq_;
+  }
+
+  /// Filtered form of for_each_changed_since, the service layer's
+  /// per-subscription delta walk: visits only the flat-table indices in
+  /// `selection` (ascending positions, e.g. the rows matching a
+  /// subscription filter), invoking
+  /// `fn(subset_index, flat_index, name, value, changed_seq)` —
+  /// subset_index is the position within `selection`, i.e. the wire
+  /// index of a *filtered* name table. Same version guard and sequence
+  /// label as the unfiltered walk; additionally refuses (nullopt) a
+  /// selection holding an out-of-range index, which can only mean it
+  /// was built against a different table.
+  template <typename Fn>
+  std::optional<std::uint64_t> for_each_changed_since_filtered(
+      std::uint64_t seq, std::uint64_t expected_version,
+      const std::vector<std::uint64_t>& selection, Fn&& fn) const {
+    std::shared_lock lock(mutex_);
+    if (version_ != expected_version) return std::nullopt;
+    for (const std::uint64_t index : selection) {
+      if (index >= flat_.size()) return std::nullopt;
+    }
+    for (std::size_t j = 0; j < selection.size(); ++j) {
+      const Entry& entry = flat_[static_cast<std::size_t>(selection[j])];
+      if (entry.changed_seq > seq) {
+        fn(j, static_cast<std::size_t>(selection[j]), entry.name,
+           entry.last_value, entry.changed_seq);
       }
     }
     return last_pass_seq_;

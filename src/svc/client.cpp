@@ -22,40 +22,61 @@ namespace {
 /// names is still an order of magnitude below this).
 constexpr std::uint64_t kMaxFramePayload = 1ull << 28;
 
-std::uint32_t read_u32le(const char* p) {
-  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
-}
-
 }  // namespace
 
 TelemetryClient::~TelemetryClient() { close(); }
 
+void TelemetryClient::flush_outbox() {
+  if (fd_ < 0 || outbox_.empty()) return;
+  const ssize_t n = ::send(fd_, outbox_.data(), outbox_.size(), MSG_NOSIGNAL);
+  if (n > 0) outbox_.erase(0, static_cast<std::size_t>(n));
+  // n <= 0 (EAGAIN or error): keep the bytes; read-path handling owns
+  // real socket errors.
+}
+
+bool TelemetryClient::queue_record(std::string_view record) {
+  // The outbound stream must never desync: a HALF-written record would
+  // make the server read the next record's type byte as a varint
+  // continuation byte and close us as a protocol violator. So records
+  // are appended whole to the outbox and the outbox drains in order —
+  // whole records or nothing ever reach the wire. Control records
+  // (subscribe/resync) are always queued; acks are dropped instead when
+  // the outbox is jammed (send_ack), merely dulling min_acked_seq.
+  if (fd_ < 0) return false;
+  outbox_.append(record);
+  flush_outbox();
+  return true;
+}
+
 void TelemetryClient::send_ack(std::uint64_t sequence) {
-  // Acks are best-effort observability, but the stream must never
-  // desync: a HALF-written record would make the server read the next
-  // record's 0xAC as a varint continuation byte and close us as a
-  // protocol violator. So a partially-sent record's remainder is
-  // buffered and flushed before anything else, and a new ack is
-  // attempted only when nothing is pending — whole records or nothing
-  // ever reach the wire; skipped acks merely dull min_acked_seq.
-  if (!ack_pending_.empty()) {
-    const ssize_t n = ::send(fd_, ack_pending_.data(), ack_pending_.size(),
-                             MSG_NOSIGNAL);
-    if (n > 0) ack_pending_.erase(0, static_cast<std::size_t>(n));
-    if (!ack_pending_.empty()) return;  // still jammed; skip this ack
-  }
+  flush_outbox();
+  if (!outbox_.empty()) return;  // jammed; skip this ack (best-effort)
   std::string record;
   record.push_back(static_cast<char>(kAckByte));
   append_uvarint(record, sequence);
-  const ssize_t n = ::send(fd_, record.data(), record.size(), MSG_NOSIGNAL);
-  if (n > 0 && static_cast<std::size_t>(n) < record.size()) {
-    ack_pending_ = record.substr(static_cast<std::size_t>(n));
-  }
-  // n <= 0 (EAGAIN or error): nothing hit the wire, stream still in
-  // sync; read-path handling owns real socket errors.
+  queue_record(record);
+}
+
+bool TelemetryClient::subscribe(const SubscriptionFilter& filter) {
+  if (fd_ < 0) return false;
+  std::string record;
+  if (!encode_subscribe_record(filter, record)) return false;
+  subscribed_filter_ = filter;
+  subscribed_filter_.normalize();
+  rebase_guard_armed_ = true;
+  rebase_floor_seq_ = view_.sequence();
+  view_.expect_rebase();
+  return queue_record(record);
+}
+
+bool TelemetryClient::request_resync() {
+  if (fd_ < 0) return false;
+  std::string record;
+  encode_resync_record(record);
+  rebase_guard_armed_ = true;
+  rebase_floor_seq_ = view_.sequence();
+  view_.expect_rebase();
+  return queue_record(record);
 }
 
 void TelemetryClient::close() {
@@ -70,6 +91,16 @@ bool TelemetryClient::connect(std::uint16_t port, const std::string& host,
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
+  // A (re)connection starts unfiltered: the server knows nothing of a
+  // previous socket's subscription. The VIEW must restart too — its
+  // table may be a previous subscription's subset, and the new
+  // stream's first full can carry the same (registry_version,
+  // sequence) the old stream reached, which the replay guard would
+  // stale-skip: unfiltered delta indices would then land on (or past)
+  // the stale subset table. A fresh view has no table to misapply to.
+  view_ = MaterializedView{};
+  subscribed_filter_ = SubscriptionFilter{};
+  rebase_guard_armed_ = false;
   if (rcvbuf > 0) {
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
   }
@@ -88,7 +119,7 @@ bool TelemetryClient::connect(std::uint16_t port, const std::string& host,
   const int flags = ::fcntl(fd_, F_GETFL, 0);
   ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   buf_.clear();
-  ack_pending_.clear();
+  outbox_.clear();
   return true;
 }
 
@@ -119,6 +150,27 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
           view_.frames_applied() > before) {
         if (view_.full_frames() > fulls_before) {
           full_frame_bytes_ += wire_bytes;
+          if (rebase_guard_armed_) {
+            // The view auto-clears rebase_pending on any full; only
+            // accept the all-clear if this full can actually be the
+            // awaited re-base (newer than the view was at arm time and
+            // a table the subscribed filter admits) — otherwise it is
+            // a pre-request full that was already in flight: re-arm.
+            bool satisfied = view_.sequence() > rebase_floor_seq_;
+            if (satisfied && !subscribed_filter_.pass_all()) {
+              for (const shard::Sample& sample : view_.samples()) {
+                if (!subscribed_filter_.matches(sample.name)) {
+                  satisfied = false;
+                  break;
+                }
+              }
+            }
+            if (satisfied) {
+              rebase_guard_armed_ = false;
+            } else {
+              view_.expect_rebase();
+            }
+          }
         } else {
           delta_frame_bytes_ += wire_bytes;
         }
@@ -138,7 +190,10 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
     if (now >= deadline) return false;
     const auto remaining =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    pollfd pfd{fd_, POLLIN, 0};
+    flush_outbox();  // drain queued control records / ack tails
+    pollfd pfd{fd_, static_cast<short>(outbox_.empty() ? POLLIN
+                                                       : POLLIN | POLLOUT),
+               0};
     const int rc =
         ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
     if (rc < 0 && errno != EINTR) {
@@ -146,6 +201,7 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
       return false;
     }
     if (rc <= 0) continue;  // timeout slice or EINTR; re-check deadline
+    if (pfd.revents & POLLOUT) flush_outbox();
     char chunk[4096];
     while (true) {
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

@@ -17,11 +17,22 @@
 // stream keeps going — the server hands mismatched subscribers a full
 // frame on its next tick. Corrupt bytes close the connection: after a
 // framing error nothing downstream can be trusted.
+//
+// Wire v2 control channel: subscribe(filter) asks the server for a
+// named subset of the fleet (exact names and/or prefixes; an empty
+// filter is the v1 everything-stream), and request_resync() asks for an
+// immediate fresh full of the current subset — recovery the CLIENT
+// drives, instead of waiting out the server's next table change. Both
+// mark the view rebase-pending until the re-basing full applies (at the
+// server's next tick at the latest). Control records ride the same
+// socket as acks; a record is never split (whole records or nothing),
+// so the outbound stream cannot desync.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "svc/wire.hpp"
 
@@ -50,6 +61,29 @@ class TelemetryClient {
   /// corrupt stream (the latter two also close()).
   bool poll_frame(std::chrono::milliseconds timeout);
 
+  /// Sends a SUBSCRIBE control record: from the server's next tick the
+  /// stream carries only counters the filter matches (empty filter =
+  /// everything again). The next full frame re-bases the view onto the
+  /// subset. view().rebase_pending() stays true until a full CONSISTENT
+  /// with this subscription applies: newer than the view was at this
+  /// call, and (for a selective filter) a table the filter admits.
+  /// That blocks the common false all-clear — an in-flight full whose
+  /// table the new filter does not admit — but consistency is judged
+  /// client-side, so a racing full whose table the filter happens to
+  /// admit (a pass-all subscription, a rapid re-subscribe to a
+  /// superset of the previous filter, a fleet that fits the filter
+  /// entirely) can clear the flag one tick before the true re-basing
+  /// full; exact detection needs a server-echoed subscription
+  /// generation (see ROADMAP). False if disconnected or the filter
+  /// exceeds the wire limits (nothing is sent).
+  bool subscribe(const SubscriptionFilter& filter);
+
+  /// Sends a RESYNC control record: the server's next frame for this
+  /// subscriber is a fresh full of its current subset, within one tick
+  /// — no waiting for a table change. Use after a suspected gap (long
+  /// stall, silent proxy) to re-anchor the view. False if disconnected.
+  bool request_resync();
+
   [[nodiscard]] const MaterializedView& view() const noexcept {
     return view_;
   }
@@ -77,11 +111,22 @@ class TelemetryClient {
 
  private:
   void send_ack(std::uint64_t sequence);
+  bool queue_record(std::string_view record);
+  void flush_outbox();
 
   int fd_ = -1;
   MaterializedView view_;
   std::string buf_;  // raw stream bytes awaiting a complete frame
-  std::string ack_pending_;  // unsent tail of a partially-written ack
+  std::string outbox_;  // unsent tail of partially-written records
+  // Rebase guard: armed by subscribe()/request_resync(). A full frame
+  // only counts as the awaited re-base if the view moved past where it
+  // was at arm time AND its table matches the subscribed filter — a
+  // pre-request full already in flight (the server services new
+  // clients before reading their subscribe) must not clear
+  // rebase_pending() while the view still shows the old table.
+  bool rebase_guard_armed_ = false;
+  std::uint64_t rebase_floor_seq_ = 0;
+  SubscriptionFilter subscribed_filter_;  // in effect; pass-all initially
   std::uint64_t bytes_received_ = 0;
   std::uint64_t full_frame_bytes_ = 0;
   std::uint64_t delta_frame_bytes_ = 0;

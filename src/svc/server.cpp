@@ -24,7 +24,9 @@
 #include <limits>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace approx::svc {
@@ -50,6 +52,15 @@ class ServerCore {
                                                std::uint64_t expected_version,
                                                std::vector<DeltaEntry>& out)>
         changed_since;
+    /// Filtered form for subscription groups: visits only the flat
+    /// indices in `selection`, appending (subset index, value) pairs —
+    /// the index space of that group's filtered name table. Same
+    /// version guard and label contract as changed_since.
+    std::function<std::optional<std::uint64_t>(
+        std::uint64_t since, std::uint64_t expected_version,
+        const std::vector<std::uint64_t>& selection,
+        std::vector<DeltaEntry>& out)>
+        changed_since_filtered;
   };
 
   ServerCore(const ServerOptions& options, Hooks hooks)
@@ -57,6 +68,9 @@ class ServerCore {
     if (options_.io_threads == 0) options_.io_threads = 1;
     if (options_.period <= std::chrono::milliseconds::zero()) {
       options_.period = std::chrono::milliseconds(1);
+    }
+    if (options_.group_heartbeat_ticks == 0) {
+      options_.group_heartbeat_ticks = 1;
     }
   }
 
@@ -121,6 +135,12 @@ class ServerCore {
     }
     close_pipes_and_listener();
     workers_.clear();
+    {
+      std::lock_guard glock(groups_mutex_);
+      groups_.clear();  // worker-held refs died with workers_
+      group_count_.store(0, std::memory_order_relaxed);
+      group_pass_seq_ = 0;
+    }
   }
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
@@ -141,6 +161,15 @@ class ServerCore {
     out.frames_coalesced = frames_coalesced_.load(std::memory_order_relaxed);
     out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
     out.acks_received = acks_received_.load(std::memory_order_relaxed);
+    out.subscribes_received =
+        subscribes_received_.load(std::memory_order_relaxed);
+    out.resyncs_received = resyncs_received_.load(std::memory_order_relaxed);
+    out.filtered_full_encodes =
+        filtered_full_encodes_.load(std::memory_order_relaxed);
+    out.filtered_delta_encodes =
+        filtered_delta_encodes_.load(std::memory_order_relaxed);
+    out.group_deltas_suppressed =
+        group_deltas_suppressed_.load(std::memory_order_relaxed);
     std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
     for (const auto& worker : workers_) {
       floor = std::min(floor,
@@ -152,6 +181,34 @@ class ServerCore {
   }
 
  private:
+  /// One subscription filter's server-side state: every client that
+  /// SUBSCRIBEd with the same canonical filter shares one of these, and
+  /// with it this tick's single delta encode and the lazily-built full.
+  /// All fields are guarded by groups_mutex_.
+  struct FilterGroup {
+    std::string key;  // canonical filter key (the groups_ map key)
+    SubscriptionFilter filter;
+    std::size_t refs = 0;  // clients in the group; erased at zero
+    /// Flat-table indices matching the filter, ascending — valid for
+    /// sel_regver's name table; rebuilt from a frame snapshot when the
+    /// registry version moves.
+    std::vector<std::uint64_t> selection;
+    std::uint64_t sel_regver = 0;
+    /// The group's delta basis: sequence of the last frame shipped to
+    /// the group (deltas cover (sent_seq, label]). Suppressed ticks do
+    /// not advance it, so the next delta still covers them.
+    std::uint64_t sent_seq = 0;
+    unsigned ticks_suppressed = 0;
+    // This tick's shared group delta (null: suppressed or re-based).
+    std::shared_ptr<const std::string> delta;
+    std::uint64_t delta_seq = 0;
+    std::uint64_t delta_base = 0;
+    std::uint64_t delta_regver = 0;
+    // Lazily-encoded filtered full, cached per (group, tick).
+    std::shared_ptr<const std::string> full;
+    std::uint64_t full_seq = 0;
+  };
+
   /// Everything the collector publishes per tick; workers copy it under
   /// published_mutex_ (shared_ptr payloads make the copy O(1)).
   struct PublishedFrame {
@@ -161,6 +218,10 @@ class ServerCore {
     std::uint64_t collect_ns = 0;
     std::shared_ptr<const std::string> full;
     std::shared_ptr<const std::string> delta;  // null: no shared delta
+    /// Copy of the tick's collected frame, for building filtered fulls
+    /// (and late selection rebuilds). Only populated while filter
+    /// groups exist — unfiltered (v1) serving pays nothing for it.
+    std::shared_ptr<const shard::TelemetryFrame> snapshot;
   };
 
   struct Client {
@@ -170,7 +231,9 @@ class ServerCore {
     std::uint64_t sent_seq = 0;  // newest frame fully handed to out
     std::uint64_t sent_regver = 0;
     std::uint64_t acked_seq = 0;
-    std::string inbuf;  // partial ack bytes
+    std::string inbuf;  // partial ack/control bytes
+    std::shared_ptr<FilterGroup> group;  // null: unfiltered (v1)
+    bool force_full = false;  // RESYNC or filter change pending
   };
 
   struct Worker {
@@ -205,6 +268,7 @@ class ServerCore {
   void collector_loop() {
     shard::TelemetryFrame frame;  // reused; zero-alloc at steady state
     std::vector<DeltaEntry> changed;
+    std::vector<DeltaEntry> group_subset;  // per-group intersect scratch
     std::uint64_t prev_seq = 0;
     std::uint64_t prev_regver = 0;
     while (running_.load(std::memory_order_acquire)) {
@@ -228,6 +292,8 @@ class ServerCore {
         encode_full_frame(frame, collect_ns, *full);
         pub.full = std::move(full);
       }
+      bool changed_valid = false;
+      bool version_raced = false;
       if (prev_seq != 0 && prev_regver == frame.registry_version) {
         changed.clear();
         // A create racing in since our pass shifts flat-table indices;
@@ -243,6 +309,54 @@ class ServerCore {
                              collect_ns, prev_seq, changed, *delta);
           pub.base_seq = prev_seq;
           pub.delta = std::move(delta);
+          changed_valid = true;
+        } else {
+          version_raced = true;
+        }
+      }
+      // Filter-group pass, BEFORE publication: a group created by a
+      // worker any later (it must wait on groups_mutex_) reads
+      // group_pass_seq_ = this tick, so its first delta's basis never
+      // skips a tick it did not see. One encode per group per tick,
+      // shared by all its subscribers; a group whose subset did not
+      // change ships nothing (its basis stays put, so the next delta
+      // still covers the quiet ticks) until a heartbeat is due.
+      //
+      // The frame snapshot (an O(fleet) copy) is built OUTSIDE the
+      // groups lock — the frame is collector-private — so workers
+      // servicing filtered clients are not serialized behind it; only
+      // the per-group delta encodes run under the lock. (A subscribe
+      // racing past the unlocked count check is caught by the re-check
+      // inside; that rare tick copies under the lock.)
+      std::shared_ptr<const shard::TelemetryFrame> snapshot;
+      if (group_count_.load(std::memory_order_relaxed) > 0) {
+        snapshot = std::make_shared<shard::TelemetryFrame>(frame);
+      }
+      {
+        std::lock_guard glock(groups_mutex_);
+        group_pass_seq_ = frame.sequence;
+        if (!groups_.empty()) {
+          if (!snapshot) {
+            snapshot = std::make_shared<shard::TelemetryFrame>(frame);
+          }
+          pub.snapshot = std::move(snapshot);
+          for (auto& [key, group] : groups_) {
+            if (changed_valid) {
+              build_group_delta(*group, frame, collect_ns, changed,
+                                group_subset);
+            } else if (version_raced) {
+              // The changed walk is unusable this tick; ship nothing
+              // and keep the basis — subscribers heal via full frames
+              // once the new version publishes next tick.
+              group->delta.reset();
+            } else {
+              // First tick, or the table changed cleanly between
+              // ticks: re-base (subscribers re-sync via fulls).
+              group->delta.reset();
+              group->sent_seq = frame.sequence;
+              group->ticks_suppressed = 0;
+            }
+          }
         }
       }
       {
@@ -266,6 +380,7 @@ class ServerCore {
     Worker& worker = *workers_[index];
     std::vector<pollfd> pfds;
     std::vector<DeltaEntry> changed_scratch;
+    std::vector<std::uint64_t> selection_scratch;
     while (running_.load(std::memory_order_acquire)) {
       adopt_inbox(worker);
       pfds.clear();
@@ -301,17 +416,18 @@ class ServerCore {
           close_client(client);
           continue;
         }
-        if ((revents & POLLIN) && !read_acks(client)) {
+        if ((revents & POLLIN) && !read_inbound(client)) {
           close_client(client);
           continue;
         }
-        service_client(client, pub, changed_scratch);
+        service_client(client, pub, changed_scratch, selection_scratch);
       }
       // Clients adopted this round (beyond the pfds snapshot) get their
       // first frame immediately rather than next tick.
       for (std::size_t i = pfds.size() - base; i < worker.clients.size();
            ++i) {
-        service_client(worker.clients[i], pub, changed_scratch);
+        service_client(worker.clients[i], pub, changed_scratch,
+                       selection_scratch);
       }
       std::erase_if(worker.clients,
                     [](const Client& client) { return client.fd < 0; });
@@ -376,12 +492,53 @@ class ServerCore {
     ::close(client.fd);
     client.fd = -1;
     client.out.reset();
+    if (client.group) {
+      std::lock_guard glock(groups_mutex_);
+      release_group_locked(client);
+    }
     clients_closed_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Parses complete { kAckByte, seq } records out of the client's
-  /// inbound bytes. False = EOF / error / protocol violation: close.
-  bool read_acks(Client& client) {
+  /// Caller holds groups_mutex_.
+  void release_group_locked(Client& client) {
+    if (!client.group) return;
+    if (--client.group->refs == 0) {
+      groups_.erase(client.group->key);
+      group_count_.store(groups_.size(), std::memory_order_relaxed);
+    }
+    client.group.reset();
+  }
+
+  /// Moves the client onto `filter`'s group (or back to the unfiltered
+  /// stream for a pass-all filter) and schedules the re-basing full.
+  void apply_subscription(Client& client, SubscriptionFilter filter) {
+    std::lock_guard glock(groups_mutex_);
+    release_group_locked(client);
+    if (!filter.pass_all()) {
+      std::string key = filter.canonical_key();
+      auto it = groups_.find(key);
+      if (it == groups_.end()) {
+        auto group = std::make_shared<FilterGroup>();
+        group->key = key;
+        group->filter = std::move(filter);
+        // Basis = the last tick whose group pass already ran: the next
+        // pass's delta then covers exactly the ticks this group missed
+        // (none), and the client's re-basing full lands at ≥ this seq.
+        group->sent_seq = group_pass_seq_;
+        it = groups_.emplace(std::move(key), std::move(group)).first;
+        group_count_.store(groups_.size(), std::memory_order_relaxed);
+      }
+      ++it->second->refs;
+      client.group = it->second;
+    }
+    client.force_full = true;
+  }
+
+  /// Parses complete inbound records — { kAckByte, seq } acks (v1) and
+  /// kControlByte-framed SUBSCRIBE/RESYNC control frames (v2) — out of
+  /// the client's buffered bytes. False = EOF / error / protocol
+  /// violation: close.
+  bool read_inbound(Client& client) {
     char buf[256];
     while (true) {
       const ssize_t n = ::recv(client.fd, buf, sizeof(buf), 0);
@@ -394,21 +551,46 @@ class ServerCore {
       client.inbuf.append(buf, static_cast<std::size_t>(n));
     }
     while (!client.inbuf.empty()) {
-      if (static_cast<unsigned char>(client.inbuf[0]) != kAckByte) {
-        return false;  // not speaking our protocol
+      const unsigned char type = static_cast<unsigned char>(client.inbuf[0]);
+      if (type == kAckByte) {
+        const char* cursor = client.inbuf.data() + 1;
+        const char* const end = client.inbuf.data() + client.inbuf.size();
+        std::uint64_t seq = 0;
+        if (!read_uvarint(&cursor, end, seq)) {
+          // Truncated varint: wait for more bytes — unless the buffer
+          // already holds a full-size record, which makes it malformed.
+          return client.inbuf.size() < kMaxAckBytes;
+        }
+        client.acked_seq = std::max(client.acked_seq, seq);
+        acks_received_.fetch_add(1, std::memory_order_relaxed);
+        client.inbuf.erase(0, static_cast<std::size_t>(cursor -
+                                                       client.inbuf.data()));
+        continue;
       }
-      const char* cursor = client.inbuf.data() + 1;
-      const char* const end = client.inbuf.data() + client.inbuf.size();
-      std::uint64_t seq = 0;
-      if (!read_uvarint(&cursor, end, seq)) {
-        // Truncated varint: wait for more bytes — unless the buffer
-        // already holds a full-size record, which makes it malformed.
-        return client.inbuf.size() < kMaxAckBytes;
+      if (type == kControlByte) {
+        if (client.inbuf.size() < kControlPrefixBytes) return true;  // wait
+        const std::uint64_t len = read_u32le(client.inbuf.data() + 1);
+        if (len > kMaxControlPayload) return false;  // lying length
+        if (client.inbuf.size() < kControlPrefixBytes + len) return true;
+        ControlFrame control;
+        if (!decode_control_payload(
+                std::string_view(client.inbuf.data() + kControlPrefixBytes,
+                                 static_cast<std::size_t>(len)),
+                control)) {
+          return false;  // malformed control frame
+        }
+        if (control.kind == FrameKind::kSubscribe) {
+          apply_subscription(client, std::move(control.filter));
+          subscribes_received_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          client.force_full = true;  // RESYNC: full at the next service
+          resyncs_received_.fetch_add(1, std::memory_order_relaxed);
+        }
+        client.inbuf.erase(0, kControlPrefixBytes +
+                                  static_cast<std::size_t>(len));
+        continue;
       }
-      client.acked_seq = std::max(client.acked_seq, seq);
-      acks_received_.fetch_add(1, std::memory_order_relaxed);
-      client.inbuf.erase(0, static_cast<std::size_t>(cursor -
-                                                     client.inbuf.data()));
+      return false;  // not speaking our protocol
     }
     return true;
   }
@@ -441,17 +623,30 @@ class ServerCore {
   /// frame; once drained, hand the client the NEWEST frame in the
   /// cheapest applicable encoding.
   void service_client(Client& client, const PublishedFrame& pub,
-                      std::vector<DeltaEntry>& changed_scratch) {
+                      std::vector<DeltaEntry>& changed_scratch,
+                      std::vector<std::uint64_t>& selection_scratch) {
     if (client.fd < 0) return;
     if (!flush(client)) return;  // blocked mid-frame (or just closed)
-    if (client.fd < 0 || pub.seq == 0 || client.sent_seq >= pub.seq) return;
+    if (client.fd < 0 || pub.seq == 0) return;
+    if (client.group) {
+      service_filtered(client, pub, changed_scratch, selection_scratch);
+      return;
+    }
+    if (client.sent_seq >= pub.seq) return;
     if (client.sent_seq != 0 && pub.seq > client.sent_seq + 1) {
       frames_coalesced_.fetch_add(pub.seq - client.sent_seq - 1,
                                   std::memory_order_relaxed);
     }
     std::uint64_t sent_seq = pub.seq;
-    if (client.sent_seq == pub.base_seq && pub.delta &&
-        client.sent_regver == pub.registry_version) {
+    if (client.force_full) {
+      // RESYNC (or a pass-all re-subscribe): the next frame is a fresh
+      // full — no waiting for a table change. Always a strictly newer
+      // sequence (the pub.seq guard above), so the view applies it.
+      client.out = pub.full;
+      client.force_full = false;
+      full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else if (client.sent_seq == pub.base_seq && pub.delta &&
+               client.sent_regver == pub.registry_version) {
       client.out = pub.delta;  // in step: the shared tick delta
       delta_frames_sent_.fetch_add(1, std::memory_order_relaxed);
     } else if (client.sent_seq != 0 &&
@@ -495,6 +690,169 @@ class ServerCore {
     flush(client);
   }
 
+  /// Filtered-subscriber service: the same newest-frame/backpressure
+  /// policy, but against the client's filter group — re-basing filtered
+  /// full when needed, the group's shared tick delta when in step, a
+  /// per-client filtered catch-up delta when lagged, and nothing at all
+  /// while the subset is quiet.
+  void service_filtered(Client& client, const PublishedFrame& pub,
+                        std::vector<DeltaEntry>& changed_scratch,
+                        std::vector<std::uint64_t>& selection_scratch) {
+    // Snapshot the group's published tick state (collector writes it
+    // under groups_mutex_).
+    std::shared_ptr<const std::string> group_delta;
+    std::uint64_t delta_seq = 0;
+    std::uint64_t delta_base = 0;
+    std::uint64_t delta_regver = 0;
+    std::uint64_t group_sent = 0;
+    {
+      std::lock_guard glock(groups_mutex_);
+      const FilterGroup& group = *client.group;
+      group_delta = group.delta;
+      delta_seq = group.delta_seq;
+      delta_base = group.delta_base;
+      delta_regver = group.delta_regver;
+      group_sent = group.sent_seq;
+    }
+    if (client.force_full || client.sent_seq == 0 ||
+        client.sent_regver != pub.registry_version) {
+      if (pub.seq <= client.sent_seq) return;  // re-base next tick
+      std::shared_ptr<const std::string> full = group_full(client, pub);
+      if (!full) return;  // no snapshot this tick (group just born)
+      client.out = std::move(full);
+      client.off = 0;
+      client.sent_seq = pub.seq;
+      client.sent_regver = pub.registry_version;
+      client.force_full = false;
+      full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      flush(client);
+      return;
+    }
+    if (group_sent <= client.sent_seq) return;  // subset quiet: nothing
+    if (group_delta && delta_regver == client.sent_regver &&
+        delta_base <= client.sent_seq && delta_seq > client.sent_seq) {
+      // In step (or covered): the group's one shared encode this tick.
+      client.out = std::move(group_delta);
+      client.off = 0;
+      client.sent_seq = delta_seq;
+      delta_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      flush(client);
+      return;
+    }
+    // Lagged below the shared delta's basis: per-client filtered
+    // catch-up of exactly what moved in its subset since its last
+    // fully-sent frame. Copy the selection out so the registry walk
+    // runs without groups_mutex_ held.
+    {
+      std::lock_guard glock(groups_mutex_);
+      if (client.group->sel_regver != pub.registry_version) {
+        if (!pub.snapshot) return;  // selection rebuild next tick
+        ensure_selection_locked(*client.group, *pub.snapshot);
+      }
+      selection_scratch = client.group->selection;
+    }
+    changed_scratch.clear();
+    const std::optional<std::uint64_t> upto = hooks_.changed_since_filtered(
+        client.sent_seq, pub.registry_version, selection_scratch,
+        changed_scratch);
+    if (!upto.has_value()) {
+      // The registry's version moved past this publication: the full
+      // path heals it next tick (sent_regver mismatch).
+      client.force_full = true;
+      return;
+    }
+    auto buf = std::make_shared<std::string>();
+    // Same stamp rule as the unfiltered catch-up: pub.collect_ns dates
+    // pass pub.seq only.
+    const std::uint64_t stamp_ns = *upto == pub.seq ? pub.collect_ns : 0;
+    encode_delta_frame(*upto, pub.registry_version, stamp_ns,
+                       client.sent_seq, changed_scratch, *buf);
+    client.out = std::move(buf);
+    client.off = 0;
+    client.sent_seq = std::max(client.sent_seq, *upto);
+    catchup_deltas_sent_.fetch_add(1, std::memory_order_relaxed);
+    flush(client);
+  }
+
+  /// The group's filtered full for this tick, encoding it at most once
+  /// (lazily, cached per group+tick) no matter how many subscribers
+  /// need it. Null when the tick published no snapshot (the group was
+  /// born after the collector's pass — next tick has one).
+  std::shared_ptr<const std::string> group_full(Client& client,
+                                                const PublishedFrame& pub) {
+    std::lock_guard glock(groups_mutex_);
+    FilterGroup& group = *client.group;
+    if (group.full && group.full_seq == pub.seq) return group.full;
+    if (!pub.snapshot) return nullptr;
+    ensure_selection_locked(group, *pub.snapshot);
+    auto buf = std::make_shared<std::string>();
+    encode_full_frame_filtered(*pub.snapshot, group.selection,
+                               pub.collect_ns, *buf);
+    group.full = std::move(buf);
+    group.full_seq = pub.seq;
+    filtered_full_encodes_.fetch_add(1, std::memory_order_relaxed);
+    return group.full;
+  }
+
+  /// Rebuilds the group's flat-index selection when the registry's
+  /// name table moved. Caller holds groups_mutex_.
+  void ensure_selection_locked(FilterGroup& group,
+                               const shard::TelemetryFrame& frame) {
+    if (group.sel_regver == frame.registry_version) return;
+    group.selection.clear();
+    for (std::size_t i = 0; i < frame.samples.size(); ++i) {
+      if (group.filter.matches(frame.samples[i].name)) {
+        group.selection.push_back(i);
+      }
+    }
+    group.sel_regver = frame.registry_version;
+  }
+
+  /// The collector's per-tick group encode: intersects the tick's
+  /// changed list with the group's selection and, when the subset moved
+  /// (or a heartbeat is due), encodes the ONE delta every in-step
+  /// subscriber of the group will share. Caller holds groups_mutex_.
+  void build_group_delta(FilterGroup& group,
+                         const shard::TelemetryFrame& frame,
+                         std::uint64_t collect_ns,
+                         const std::vector<DeltaEntry>& changed,
+                         std::vector<DeltaEntry>& subset) {
+    ensure_selection_locked(group, frame);
+    subset.clear();
+    // Both sides ascend by flat index: one two-pointer pass. Entries
+    // are emitted with SUBSET positions — the filtered table's index
+    // space.
+    std::size_t ci = 0;
+    std::size_t si = 0;
+    while (ci < changed.size() && si < group.selection.size()) {
+      if (changed[ci].index < group.selection[si]) {
+        ++ci;
+      } else if (changed[ci].index > group.selection[si]) {
+        ++si;
+      } else {
+        subset.push_back({si, changed[ci].value});
+        ++ci;
+        ++si;
+      }
+    }
+    if (subset.empty() &&
+        ++group.ticks_suppressed < options_.group_heartbeat_ticks) {
+      group.delta.reset();  // quiet subset: ship nothing this tick
+      group_deltas_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    auto buf = std::make_shared<std::string>();
+    encode_delta_frame(frame.sequence, frame.registry_version, collect_ns,
+                       group.sent_seq, subset, *buf);
+    group.delta = std::move(buf);
+    group.delta_seq = frame.sequence;
+    group.delta_base = group.sent_seq;
+    group.delta_regver = frame.registry_version;
+    group.sent_seq = frame.sequence;
+    group.ticks_suppressed = 0;
+    filtered_delta_encodes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   void publish_min_acked(Worker& worker) {
     std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
     for (const Client& client : worker.clients) {
@@ -514,6 +872,15 @@ class ServerCore {
   std::atomic<unsigned> next_worker_{0};
   std::mutex published_mutex_;
   PublishedFrame published_;
+  /// Filter groups, keyed by canonical filter (wire v2). The map, every
+  /// FilterGroup's fields and group_pass_seq_ are guarded by
+  /// groups_mutex_; Client::group pointers are worker-thread-owned.
+  std::mutex groups_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<FilterGroup>> groups_;
+  std::uint64_t group_pass_seq_ = 0;  // last tick whose group pass ran
+  /// groups_.size() mirror, readable without groups_mutex_ (the
+  /// collector's pre-lock snapshot-copy decision).
+  std::atomic<std::size_t> group_count_{0};
   std::atomic<std::uint64_t> frames_collected_{0};
   std::atomic<std::uint64_t> clients_accepted_{0};
   std::atomic<std::uint64_t> clients_closed_{0};
@@ -523,6 +890,11 @@ class ServerCore {
   std::atomic<std::uint64_t> frames_coalesced_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> acks_received_{0};
+  std::atomic<std::uint64_t> subscribes_received_{0};
+  std::atomic<std::uint64_t> resyncs_received_{0};
+  std::atomic<std::uint64_t> filtered_full_encodes_{0};
+  std::atomic<std::uint64_t> filtered_delta_encodes_{0};
+  std::atomic<std::uint64_t> group_deltas_suppressed_{0};
 };
 
 }  // namespace detail
@@ -547,6 +919,18 @@ SnapshotServerT<Backend>::SnapshotServerT(
           out.push_back({index, value});
         });
   };
+  hooks.changed_since_filtered =
+      [this](std::uint64_t since, std::uint64_t expected_version,
+             const std::vector<std::uint64_t>& selection,
+             std::vector<DeltaEntry>& out) {
+        return registry_.for_each_changed_since_filtered(
+            since, expected_version, selection,
+            [&](std::size_t subset_index, std::size_t /*flat_index*/,
+                const std::string& /*name*/, std::uint64_t value,
+                std::uint64_t /*changed_seq*/) {
+              out.push_back({subset_index, value});
+            });
+      };
   core_ = std::make_unique<detail::ServerCore>(options, std::move(hooks));
 }
 

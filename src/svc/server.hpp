@@ -36,6 +36,26 @@
 //     guaranteeing delivery of fully-written frames. Unknown inbound
 //     bytes are a protocol error and close that subscriber.
 //
+//   * control channel (wire v2) — subscribers may also send SUBSCRIBE /
+//     RESYNC control records (wire.hpp). A SUBSCRIBE installs a name
+//     filter: the client joins a *filter group* (keyed by the filter's
+//     canonical form) and from the next tick receives only the matching
+//     subset — a filtered full re-bases its name table, then
+//     group-shared filtered deltas. The collector builds at most ONE
+//     delta encode per filter group per tick (identically-filtered
+//     subscribers share it, exactly like the unfiltered pair; pinned by
+//     ServerStats::filtered_delta_encodes), and a tick on which a
+//     group's subset did not change ships nothing to that group
+//     (ServerStats::group_deltas_suppressed) until a heartbeat is due
+//     (ServerOptions::group_heartbeat_ticks) — a selective subscriber's
+//     receive cost scales with its subset's activity, not the fleet's.
+//     Filtered fulls are encoded lazily (first subscriber that needs
+//     one this tick) and cached per group+tick. A RESYNC short-circuits
+//     the "wait for the next table change" path: the client's next
+//     frame is a fresh full of its current subset, at the next tick at
+//     the latest. A v1 client simply never sends control records and
+//     sees the unchanged v1 stream.
+//
 // Catch-up deltas are encoded from the registry's tracking columns via
 // the version-guarded for_each_changed_since walk: if a create shifted
 // the name-table indices since the frame was published, the walk
@@ -71,6 +91,11 @@ struct ServerOptions {
   /// Tests shrink it to force the backpressure/coalescing path without
   /// megabytes of loopback buffering in the way.
   int sndbuf = 0;
+  /// A filter group whose subset did not change ships nothing — except
+  /// one empty-delta heartbeat after this many consecutive suppressed
+  /// ticks (liveness + sequence advance for its subscribers). Minimum 1
+  /// (1 = heartbeat every tick, v1 cadence).
+  unsigned group_heartbeat_ticks = 16;
 };
 
 /// Monotonic counters describing a server's life so far. stats() may be
@@ -82,12 +107,24 @@ struct ServerStats {
   std::uint64_t clients_accepted = 0;
   std::uint64_t clients_closed = 0;
   std::uint64_t full_frames_sent = 0;    // full encodes handed to clients
-  std::uint64_t delta_frames_sent = 0;   // shared tick deltas
+  std::uint64_t delta_frames_sent = 0;   // shared tick/group deltas
   std::uint64_t catchup_deltas_sent = 0; // per-client changed-since deltas
   std::uint64_t frames_coalesced = 0;    // ticks skipped by slow readers
   std::uint64_t bytes_sent = 0;
   std::uint64_t acks_received = 0;
   std::uint64_t min_acked_seq = 0;  // slowest subscriber's acked frame
+  // Wire v2 control channel + filter groups.
+  std::uint64_t subscribes_received = 0;
+  std::uint64_t resyncs_received = 0;
+  /// Distinct filtered encodes actually performed. The sharing pins:
+  /// K identically-filtered in-step subscribers over T ticks cost ~T
+  /// delta encodes (not K·T) and ≤ a handful of full encodes.
+  std::uint64_t filtered_full_encodes = 0;
+  std::uint64_t filtered_delta_encodes = 0;
+  /// Group-ticks on which a filter group's subset was unchanged and no
+  /// frame was shipped to it (not coalescing — there was nothing to
+  /// say; a heartbeat bounds the silence).
+  std::uint64_t group_deltas_suppressed = 0;
 };
 
 namespace detail {

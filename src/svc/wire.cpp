@@ -24,15 +24,44 @@ void append_u32le(std::string& out, std::uint32_t value) {
   out.push_back(static_cast<char>((value >> 24) & 0xFF));
 }
 
+/// Patches a u32le length at out[at..at+3] with the byte count
+/// assembled after it.
+void patch_length_at(std::string& out, std::size_t at) {
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(out.size() - at - 4);
+  out[at] = static_cast<char>(payload & 0xFF);
+  out[at + 1] = static_cast<char>((payload >> 8) & 0xFF);
+  out[at + 2] = static_cast<char>((payload >> 16) & 0xFF);
+  out[at + 3] = static_cast<char>((payload >> 24) & 0xFF);
+}
+
 /// Patches the u32le length prefix at out[0..3] once the payload is
 /// assembled behind it.
-void patch_length_prefix(std::string& out) {
-  const std::uint32_t payload =
-      static_cast<std::uint32_t>(out.size() - kFramePrefixBytes);
-  out[0] = static_cast<char>(payload & 0xFF);
-  out[1] = static_cast<char>((payload >> 8) & 0xFF);
-  out[2] = static_cast<char>((payload >> 16) & 0xFF);
-  out[3] = static_cast<char>((payload >> 24) & 0xFF);
+void patch_length_prefix(std::string& out) { patch_length_at(out, 0); }
+
+void sort_dedup(std::vector<std::string>& list) {
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+}
+
+/// Reads one length-prefixed name list of a SUBSCRIBE body, enforcing
+/// the filter limits.
+bool read_name_list(const char** cursor, const char* end,
+                    std::vector<std::string>& out) {
+  std::uint64_t count = 0;
+  if (!read_uvarint(cursor, end, count)) return false;
+  if (count > kMaxFilterEntries) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    if (!read_uvarint(cursor, end, len)) return false;
+    if (len > kMaxFilterNameBytes) return false;
+    if (len > static_cast<std::uint64_t>(end - *cursor)) return false;
+    out.emplace_back(*cursor, static_cast<std::size_t>(len));
+    *cursor += len;
+  }
+  return true;
 }
 
 void append_header(std::string& out, FrameKind kind, std::uint64_t sequence,
@@ -70,6 +99,13 @@ void append_uvarint(std::string& out, std::uint64_t value) {
   out.push_back(static_cast<char>(value));
 }
 
+std::uint32_t read_u32le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
 bool read_uvarint(const char** cursor, const char* end, std::uint64_t& value) {
   std::uint64_t result = 0;
   int shift = 0;
@@ -89,6 +125,18 @@ bool read_uvarint(const char** cursor, const char* end, std::uint64_t& value) {
   return false;  // overlong encoding
 }
 
+namespace {
+
+void append_sample(std::string& out, const shard::Sample& sample) {
+  append_uvarint(out, sample.name.size());
+  out.append(sample.name);
+  out.push_back(static_cast<char>(sample.model));
+  append_uvarint(out, sample.error_bound);
+  append_uvarint(out, sample.value);
+}
+
+}  // namespace
+
 void encode_full_frame(const shard::TelemetryFrame& frame,
                        std::uint64_t collect_ns, std::string& out) {
   out.clear();
@@ -97,11 +145,21 @@ void encode_full_frame(const shard::TelemetryFrame& frame,
                 collect_ns);
   append_uvarint(out, frame.samples.size());
   for (const shard::Sample& sample : frame.samples) {
-    append_uvarint(out, sample.name.size());
-    out.append(sample.name);
-    out.push_back(static_cast<char>(sample.model));
-    append_uvarint(out, sample.error_bound);
-    append_uvarint(out, sample.value);
+    append_sample(out, sample);
+  }
+  patch_length_prefix(out);
+}
+
+void encode_full_frame_filtered(const shard::TelemetryFrame& frame,
+                                const std::vector<std::uint64_t>& selection,
+                                std::uint64_t collect_ns, std::string& out) {
+  out.clear();
+  append_u32le(out, 0);  // length prefix, patched below
+  append_header(out, FrameKind::kFull, frame.sequence, frame.registry_version,
+                collect_ns);
+  append_uvarint(out, selection.size());
+  for (const std::uint64_t index : selection) {
+    append_sample(out, frame.samples[static_cast<std::size_t>(index)]);
   }
   patch_length_prefix(out);
 }
@@ -121,6 +179,120 @@ void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
     append_uvarint(out, entry.value);
   }
   patch_length_prefix(out);
+}
+
+bool SubscriptionFilter::matches(std::string_view name) const {
+  for (const std::string& candidate : exact) {
+    if (name == candidate) return true;
+  }
+  for (const std::string& prefix : prefixes) {
+    if (name.size() >= prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SubscriptionFilter::normalize() {
+  sort_dedup(exact);
+  sort_dedup(prefixes);
+}
+
+std::string SubscriptionFilter::canonical_key() const {
+  // Length-prefixed concatenation: injective over arbitrary name bytes.
+  // This IS the SUBSCRIBE cbody layout (see the header grammar) —
+  // encode_subscribe_record appends it verbatim, so group identity and
+  // wire encoding cannot drift apart.
+  std::string key;
+  append_uvarint(key, exact.size());
+  for (const std::string& name : exact) {
+    append_uvarint(key, name.size());
+    key.append(name);
+  }
+  append_uvarint(key, prefixes.size());
+  for (const std::string& prefix : prefixes) {
+    append_uvarint(key, prefix.size());
+    key.append(prefix);
+  }
+  return key;
+}
+
+bool SubscriptionFilter::within_limits() const noexcept {
+  if (exact.size() > kMaxFilterEntries ||
+      prefixes.size() > kMaxFilterEntries) {
+    return false;
+  }
+  for (const std::string& name : exact) {
+    if (name.size() > kMaxFilterNameBytes) return false;
+  }
+  for (const std::string& prefix : prefixes) {
+    if (prefix.size() > kMaxFilterNameBytes) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void append_control_header(std::string& out, FrameKind kind) {
+  out.push_back(static_cast<char>(kControlByte));
+  append_u32le(out, 0);  // payload length, patched by the caller
+  out.push_back(static_cast<char>(kWireMagic0));
+  out.push_back(static_cast<char>(kWireMagic1));
+  out.push_back(static_cast<char>(kControlVersion));
+  out.push_back(static_cast<char>(kind));
+}
+
+}  // namespace
+
+bool encode_subscribe_record(const SubscriptionFilter& filter,
+                             std::string& out) {
+  out.clear();
+  if (!filter.within_limits()) return false;
+  append_control_header(out, FrameKind::kSubscribe);
+  out.append(filter.canonical_key());  // == the cbody grammar, verbatim
+  patch_length_at(out, 1);
+  return true;
+}
+
+void encode_resync_record(std::string& out) {
+  out.clear();
+  append_control_header(out, FrameKind::kResync);
+  patch_length_at(out, 1);
+}
+
+bool decode_control_payload(std::string_view payload, ControlFrame& out) {
+  const char* cursor = payload.data();
+  const char* const end = cursor + payload.size();
+  std::uint8_t magic0 = 0;
+  std::uint8_t magic1 = 0;
+  std::uint8_t version = 0;
+  std::uint8_t kind = 0;
+  if (!read_u8(&cursor, end, magic0) || !read_u8(&cursor, end, magic1) ||
+      !read_u8(&cursor, end, version) || !read_u8(&cursor, end, kind)) {
+    return false;
+  }
+  if (magic0 != kWireMagic0 || magic1 != kWireMagic1 ||
+      version != kControlVersion) {
+    return false;
+  }
+  switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::kSubscribe:
+      out.kind = FrameKind::kSubscribe;
+      if (!read_name_list(&cursor, end, out.filter.exact) ||
+          !read_name_list(&cursor, end, out.filter.prefixes)) {
+        return false;
+      }
+      if (cursor != end) return false;  // trailing garbage
+      out.filter.normalize();
+      return true;
+    case FrameKind::kResync:
+      out.kind = FrameKind::kResync;
+      out.filter = SubscriptionFilter{};
+      return cursor == end;  // resync carries no body
+    default:
+      return false;
+  }
 }
 
 ApplyResult MaterializedView::apply(std::string_view payload) {
@@ -207,6 +379,7 @@ ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
   sequence_ = sequence;
   registry_version_ = registry_version;
   collect_ns_ = collect_ns;
+  rebase_pending_ = false;  // the awaited re-basing full, if one was due
   ++frames_applied_;
   ++full_frames_;
   entries_updated_ += samples_.size();

@@ -5,7 +5,7 @@
 // in-process TelemetryFrame already guarantees (every figure carries its
 // error model + bound):
 //
-//   stream   := { u32le payload_length, payload }*
+//   stream   := { u32le payload_length, payload }*        (server→client)
 //   payload  := header body
 //   header   := magic[2] version:u8 kind:u8
 //               sequence:uv registry_version:uv collect_ns:uv
@@ -13,6 +13,34 @@
 //   delta    := base_seq:uv count:uv { index:uv value:uv }*
 //
 // (uv = unsigned LEB128 varint; u32le = little-endian fixed 32-bit.)
+//
+// Protocol v2 adds a client→server control channel on the same socket.
+// Inbound records are type-byte discriminated (an 0xAC ack record is
+// unchanged from v1; v1 clients never send anything else, which is the
+// whole backward-compatibility story):
+//
+//   inbound  := { ack | control }*                        (client→server)
+//   ack      := 0xAC seq:uv                               (v1)
+//   control  := 0xC5 u32le payload_length cpayload        (v2)
+//   cpayload := magic[2] version:u8 kind:u8 cbody
+//   subscribe:= exact_count:uv { len:uv name }*
+//               prefix_count:uv { len:uv prefix }*        (kind 2)
+//   resync   := (empty)                                   (kind 3)
+//
+// The header version byte names the protocol revision that introduced
+// the frame's layout: FULL/DELTA are v1 layouts (frozen — a v2 server's
+// data frames still decode on a v1 client), SUBSCRIBE/RESYNC are v2. A
+// decoder accepts a frame iff it knows that (version, kind) pair.
+//
+// SUBSCRIBE installs a subscription filter: the client henceforth
+// receives only counters whose name is in `exact` or starts with one of
+// `prefixes` (both lists empty = everything, v1 behavior). The server
+// answers with a FULL frame of the matching subset — the subset of a
+// name-sorted table is itself name-sorted, so that frame simply *is*
+// the client's new name table and subsequent DELTA indices are subset
+// positions; MaterializedView needs no new decode path to track a
+// subset. RESYNC asks for an immediate fresh FULL frame (of the
+// client's current subset) without waiting for a table change.
 //
 // Name-table interning: a FULL frame carries each counter's name, model
 // and bound once, in the registry's name-sorted flat-table order — that
@@ -50,12 +78,20 @@ namespace approx::svc {
 
 inline constexpr unsigned char kWireMagic0 = 0xA5;
 inline constexpr unsigned char kWireMagic1 = 0xC7;
+/// Layout version of the DATA frames (FULL/DELTA). Frozen at 1: the v2
+/// protocol upgrade added control frames without touching the data
+/// layout, so v1 clients keep decoding a v2 server's stream.
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Layout version of the CONTROL frames (SUBSCRIBE/RESYNC) — the v2
+/// additions.
+inline constexpr std::uint8_t kControlVersion = 2;
 
 /// Frame kinds on the wire (header byte 3).
 enum class FrameKind : std::uint8_t {
-  kFull = 0,   // complete snapshot incl. the name table
-  kDelta = 1,  // changed (index, value) pairs since base_seq
+  kFull = 0,       // complete snapshot incl. the name table (v1)
+  kDelta = 1,      // changed (index, value) pairs since base_seq (v1)
+  kSubscribe = 2,  // client→server: install a subscription filter (v2)
+  kResync = 3,     // client→server: send a fresh full now (v2)
 };
 
 /// One changed counter in a delta frame: flat-table index + new value.
@@ -67,6 +103,68 @@ struct DeltaEntry {
 /// Bytes the stream framing adds in front of every payload (u32le
 /// length).
 inline constexpr std::size_t kFramePrefixBytes = 4;
+
+// --- v2 control channel (client→server) -------------------------------
+
+/// Type byte introducing an inbound control record (vs 0xAC for acks).
+inline constexpr unsigned char kControlByte = 0xC5;
+
+/// Bytes of inbound control framing: type byte + u32le payload length.
+inline constexpr std::size_t kControlPrefixBytes = 5;
+
+/// Decode-hardening limits: a SUBSCRIBE frame beyond any of these is
+/// malformed, full stop — the server closes the speaker rather than
+/// letting an untrusted count command a large allocation.
+inline constexpr std::size_t kMaxControlPayload = 128 * 1024;
+inline constexpr std::size_t kMaxFilterEntries = 128;    // per list
+inline constexpr std::size_t kMaxFilterNameBytes = 256;  // per name/prefix
+
+/// A subscription filter: which counters a subscriber wants. A name
+/// matches if it equals one of `exact` or starts with one of
+/// `prefixes`; both lists empty means "everything" (v1 behavior).
+struct SubscriptionFilter {
+  std::vector<std::string> exact;
+  std::vector<std::string> prefixes;
+
+  [[nodiscard]] bool pass_all() const noexcept {
+    return exact.empty() && prefixes.empty();
+  }
+  [[nodiscard]] bool matches(std::string_view name) const;
+
+  /// Sorts + dedupes both lists. Two filters selecting the same set the
+  /// same way normalize to equal lists — the basis of canonical_key().
+  void normalize();
+
+  /// Injective encoding of the (normalized) lists; the server keys its
+  /// per-filter-group encode cache on it, so identically-filtered
+  /// subscribers land in one group and share one encode per tick.
+  [[nodiscard]] std::string canonical_key() const;
+
+  /// True when every list/name is within the decode-hardening limits —
+  /// the only filters encode_subscribe_record will emit.
+  [[nodiscard]] bool within_limits() const noexcept;
+};
+
+/// Encodes a send-ready SUBSCRIBE record (control framing + payload)
+/// into `out`. False (out cleared) if `filter` exceeds the limits.
+bool encode_subscribe_record(const SubscriptionFilter& filter,
+                             std::string& out);
+
+/// Encodes a send-ready RESYNC record into `out`.
+void encode_resync_record(std::string& out);
+
+/// A decoded control payload (SUBSCRIBE carries its filter, normalized;
+/// RESYNC carries nothing).
+struct ControlFrame {
+  FrameKind kind = FrameKind::kResync;
+  SubscriptionFilter filter;
+};
+
+/// Decodes one control payload (the bytes AFTER the 0xC5 + u32le
+/// framing). False on anything malformed: bad magic/version/kind,
+/// truncation, a count or name length beyond the limits, or trailing
+/// garbage. `out` is unspecified on failure.
+bool decode_control_payload(std::string_view payload, ControlFrame& out);
 
 /// Steady-clock "now" in nanoseconds — the clock collect_ns stamps use
 /// (comparable across threads/processes on ONE host; see header).
@@ -81,6 +179,10 @@ void append_uvarint(std::string& out, std::uint64_t value);
 /// truncation or an overlong (> 10 byte / overflowing) encoding.
 bool read_uvarint(const char** cursor, const char* end, std::uint64_t& value);
 
+/// Reads the little-endian fixed 32-bit the stream/control framing uses
+/// (caller guarantees 4 readable bytes at `p`).
+std::uint32_t read_u32le(const char* p);
+
 // --- frame encoding ---------------------------------------------------
 
 /// Encodes `frame` as a stream-ready FULL frame: out is cleared and
@@ -88,6 +190,15 @@ bool read_uvarint(const char** cursor, const char* end, std::uint64_t& value);
 /// `collect_ns` stamps the header (0 = unknown).
 void encode_full_frame(const shard::TelemetryFrame& frame,
                        std::uint64_t collect_ns, std::string& out);
+
+/// Filtered form: encodes only frame.samples[i] for i in `selection`
+/// (ascending flat-table indices). The emitted subset keeps the
+/// name-sorted order, so it is the receiving view's complete name table
+/// and later delta frames for this subset index into it positionally
+/// (index j = selection[j]).
+void encode_full_frame_filtered(const shard::TelemetryFrame& frame,
+                                const std::vector<std::uint64_t>& selection,
+                                std::uint64_t collect_ns, std::string& out);
 
 /// Encodes a stream-ready DELTA frame carrying `entries` (flat-table
 /// index + value, any order) relative to `base_seq`: a view at sequence
@@ -114,10 +225,27 @@ enum class ApplyResult : std::uint8_t {
 /// view plus the staleness metadata a dashboard needs to caveat what it
 /// shows. Samples keep the server's name-sorted flat-table order, so
 /// delta indices apply positionally.
+///
+/// Subset tracking (wire v2): after a SUBSCRIBE, the server's next FULL
+/// frame carries only the matching counters — that frame re-bases the
+/// view, whose table then IS the subscription. Absent (unsubscribed)
+/// entries are simply not in the table, so nothing here can misread
+/// them as stale; per-entry ages stay meaningful because every entry
+/// the view holds is one the stream keeps updating. Between sending a
+/// SUBSCRIBE/RESYNC and the re-basing full, the view still shows the
+/// previous table — expect_rebase()/rebase_pending() let a consumer
+/// caveat that window.
 class MaterializedView {
  public:
   /// Applies one frame payload (WITHOUT the u32le stream prefix).
   ApplyResult apply(std::string_view payload);
+
+  /// Marks the view as awaiting a re-basing full frame (a filter change
+  /// or resync is in flight); cleared when the next full applies.
+  void expect_rebase() noexcept { rebase_pending_ = true; }
+  [[nodiscard]] bool rebase_pending() const noexcept {
+    return rebase_pending_;
+  }
 
   /// Decoded samples, name-sorted (server flat-table order). Values are
   /// as of each entry's last applied frame; entry_update_seq() tells
@@ -186,6 +314,7 @@ class MaterializedView {
   std::uint64_t delta_frames_ = 0;
   std::uint64_t entries_updated_ = 0;
   std::uint64_t stale_frames_skipped_ = 0;
+  bool rebase_pending_ = false;  // filter change / resync in flight
   std::vector<shard::Sample> scratch_;  // full-frame parse staging
   std::vector<DeltaEntry> delta_scratch_;
 };

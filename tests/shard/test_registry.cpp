@@ -244,6 +244,65 @@ TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
   EXPECT_EQ(visited, 0u);
 }
 
+TEST(Registry, FilteredChangedSinceWalkReportsSubsetPositions) {
+  // The service layer's per-subscription delta walk: restricted to a
+  // selection of flat-table rows, reporting positions WITHIN the
+  // selection (the index space of a filtered wire name table).
+  Registry registry(2);
+  AnyCounter& a = registry.create("a", {ErrorModel::kExact, 0, 1});
+  registry.create("b", {ErrorModel::kExact, 0, 1});
+  AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 1});
+  registry.create("d", {ErrorModel::kExact, 0, 1});
+
+  std::vector<Sample> frame;
+  std::uint64_t version = registry.snapshot_all_into_sequenced(0, frame, 0, 1);
+  a.increment(0);
+  c.increment(0);
+  version = registry.snapshot_all_into_sequenced(0, frame, version, 2);
+
+  // Selection {a, c, d} = flat rows {0, 2, 3}; since pass 1 only a and
+  // c moved, so subset positions 0 ("a") and 1 ("c") are visited — "d"
+  // (position 2) is not, and "b" is invisible to this subscription.
+  const std::vector<std::uint64_t> selection = {0, 2, 3};
+  std::vector<std::size_t> subset_positions;
+  std::vector<std::string> names;
+  auto upto = registry.for_each_changed_since_filtered(
+      1, version, selection,
+      [&](std::size_t subset_index, std::size_t flat_index,
+          const std::string& name, std::uint64_t value,
+          std::uint64_t changed_seq) {
+        subset_positions.push_back(subset_index);
+        names.push_back(name);
+        EXPECT_EQ(flat_index, selection[subset_index]);
+        EXPECT_EQ(value, 1u);
+        EXPECT_EQ(changed_seq, 2u);
+      });
+  ASSERT_TRUE(upto.has_value());
+  EXPECT_EQ(*upto, 2u);
+  ASSERT_EQ(subset_positions.size(), 2u);
+  EXPECT_EQ(subset_positions[0], 0u);
+  EXPECT_EQ(subset_positions[1], 1u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "c");
+
+  // Version guard: a stale expected_version refuses the walk.
+  EXPECT_FALSE(registry
+                   .for_each_changed_since_filtered(
+                       0, version + 1, selection,
+                       [&](std::size_t, std::size_t, const std::string&,
+                           std::uint64_t, std::uint64_t) { FAIL(); })
+                   .has_value());
+  // An out-of-range selection index (built against some other table)
+  // refuses too, rather than visiting a misaligned subset.
+  const std::vector<std::uint64_t> bogus = {0, 99};
+  EXPECT_FALSE(registry
+                   .for_each_changed_since_filtered(
+                       0, version, bogus,
+                       [&](std::size_t, std::size_t, const std::string&,
+                           std::uint64_t, std::uint64_t) { FAIL(); })
+                   .has_value());
+}
+
 TEST(Aggregator, SequencedCollectFeedsChangedSinceTracking) {
   // A sequenced aggregator's frames ARE the sequenced passes: a frame's
   // sequence is usable directly as the for_each_changed_since basis.

@@ -287,6 +287,391 @@ TEST(SnapshotServer, AcksFeedObservability) {
   server.stop();
 }
 
+TEST(SnapshotServer, FilteredSubscriberTracksSubsetLive) {
+  // Wire v2: SUBSCRIBE re-bases the stream onto the filter's subset —
+  // the view's table becomes exactly the matching counters and live
+  // increments keep flowing; switching filters (including back to
+  // pass-all) re-bases again.
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& hot_a =
+      registry.create("hot_a", {ErrorModel::kExact, 0, 1});
+  registry.create("hot_b", {ErrorModel::kExact, 0, 1});
+  registry.create("cold_x", {ErrorModel::kExact, 0, 1});
+  registry.create("cold_y", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      hot_a.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  TelemetryClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  SubscriptionFilter filter;
+  filter.prefixes = {"hot_"};
+  ASSERT_TRUE(client.subscribe(filter));
+  EXPECT_TRUE(client.view().rebase_pending());
+  // Pump until the re-basing filtered full lands: table = the subset.
+  bool rebased = false;
+  for (int i = 0; i < 400 && !rebased; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+    rebased = !client.view().rebase_pending() &&
+              client.view().samples().size() == 2;
+  }
+  ASSERT_TRUE(rebased);
+  EXPECT_EQ(client.view().samples()[0].name, "hot_a");
+  EXPECT_EQ(client.view().samples()[1].name, "hot_b");
+
+  // Live values keep flowing through subset deltas.
+  const std::uint64_t seen = client.view().samples()[0].value;
+  EXPECT_TRUE(await_value(client, "hot_a", seen + 5));
+  EXPECT_GE(client.view().delta_frames(), 1u);
+
+  // Back to pass-all: the next full restores the whole table.
+  ASSERT_TRUE(client.subscribe(SubscriptionFilter{}));
+  for (int i = 0; i < 400 && client.view().samples().size() != 4; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  }
+  EXPECT_EQ(client.view().samples().size(), 4u);
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.subscribes_received, 2u);
+  server.stop();
+}
+
+TEST(SnapshotServer, IdenticallyFilteredSubscribersShareOneEncodePerTick) {
+  // The per-filter-group encode cache: K subscribers with the same
+  // filter cost at most ONE filtered delta encode per collector tick
+  // (never one per subscriber), while each still receives its own copy.
+  constexpr unsigned kSubscribers = 4;
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& hot =
+      registry.create("grp_hot", {ErrorModel::kExact, 0, 1});
+  for (int i = 0; i < 16; ++i) {
+    registry.create("noise_" + std::to_string(10 + i),
+                    {ErrorModel::kExact, 0, 1});
+  }
+  ServerOptions options;
+  options.period = 10ms;
+  options.io_threads = 2;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      hot.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  std::atomic<unsigned> happy{0};
+  std::vector<std::thread> subscribers;
+  for (unsigned s = 0; s < kSubscribers; ++s) {
+    subscribers.emplace_back([&] {
+      TelemetryClient client;
+      if (!client.connect(server.port())) return;
+      SubscriptionFilter filter;
+      filter.prefixes = {"grp_"};
+      if (!client.subscribe(filter)) return;
+      // Pump until this subscriber has applied 10 subset deltas.
+      for (int i = 0; i < 600 && client.view().delta_frames() < 10; ++i) {
+        if (!client.poll_frame(kFrameTimeout)) return;
+      }
+      if (client.view().delta_frames() >= 10 &&
+          client.view().samples().size() == 1 &&
+          client.view().samples()[0].name == "grp_hot") {
+        happy.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : subscribers) t.join();
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+
+  EXPECT_EQ(happy.load(), kSubscribers);
+  const ServerStats stats = server.stats();
+  // The sharing pin: encodes are bounded by ticks (ONE per group per
+  // tick), not by subscriber count — while the frames actually handed
+  // out exceed the encodes (4 subscribers × ≥10 deltas each).
+  EXPECT_LE(stats.filtered_delta_encodes, stats.frames_collected);
+  EXPECT_GT(stats.delta_frames_sent, stats.filtered_delta_encodes)
+      << "every subscriber paid its own encode: the group cache is dead";
+  // Filtered fulls are cached per tick too: 4 identical subscribers
+  // re-basing cost well under one encode each... unless they joined on
+  // different ticks, which is why this bound is per-tick, not global.
+  EXPECT_LE(stats.filtered_full_encodes, stats.frames_collected);
+  server.stop();
+}
+
+TEST(SnapshotServer, ResyncProducesFreshFullWithinATick) {
+  // Client-initiated recovery: after a stall (server coalescing away
+  // missed ticks), request_resync() yields a fresh FULL frame promptly
+  // — no registry table change required, no reconnect.
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& churn =
+      registry.create("churn", {ErrorModel::kExact, 0, 1});
+  registry.create("steady", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      churn.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  TelemetryClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  const std::uint64_t version_before = client.view().registry_version();
+
+  // Stall: ~40 ticks pass unread, then drain the buffered backlog so
+  // the client is back in step (the resync latency bound below is
+  // frames-after-resync, not backlog replay).
+  std::this_thread::sleep_for(200ms);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t head = server.stats().frames_collected;
+    if (head > 0 && client.view().sequence() + 2 >= head) break;
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  }
+  const std::uint64_t fulls_before = client.view().full_frames();
+
+  ASSERT_TRUE(client.request_resync());
+  EXPECT_TRUE(client.view().rebase_pending());
+  // The fresh full must arrive within a few frames (deltas published
+  // before the server processes the resync may land first), NOT after a
+  // table change — the registry version never moved.
+  bool resynced = false;
+  int frames_until_full = 0;
+  while (frames_until_full < 5 && !resynced) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+    ++frames_until_full;
+    resynced = client.view().full_frames() > fulls_before;
+  }
+  EXPECT_TRUE(resynced) << "no full within " << frames_until_full
+                        << " frames of the resync";
+  EXPECT_FALSE(client.view().rebase_pending());
+  EXPECT_EQ(client.view().registry_version(), version_before)
+      << "test bug: the full must not come from a table change";
+  // And the full is FRESH: at the server's current head, not a replay.
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.resyncs_received, 1u);
+  EXPECT_GE(client.view().sequence() + 3, stats.frames_collected);
+
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+  server.stop();
+}
+
+TEST(SnapshotServer, OnePercentSubscriberGetsTenfoldFewerDeltaBytes) {
+  // The fan-out acceptance bar: on a 48-counter fleet, a 1%-selectivity
+  // subscriber (1 counter) must receive ≥ 10× fewer delta bytes than an
+  // unfiltered one. The win compounds two effects: subset deltas carry
+  // only the subscribed counter, and ticks on which the subset did not
+  // move ship nothing (bounded by the heartbeat).
+  constexpr int kBulkCounters = 47;  // + the target = the 48 fleet
+  shard::RegistryT<base::DirectBackend> registry(4);
+  std::vector<shard::AnyCounter*> bulk;
+  for (int i = 0; i < kBulkCounters; ++i) {
+    bulk.push_back(&registry.create("bulk_" + std::to_string(10 + i),
+                                    {ErrorModel::kExact, 0, 1}));
+  }
+  shard::AnyCounter& target =
+      registry.create("quiet_target", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  options.io_threads = 2;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  // Every bulk counter moves every tick; the target moves every ~25 ms
+  // (~1 tick in 5).
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    unsigned iteration = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (shard::AnyCounter* counter : bulk) counter->increment(0);
+      if (++iteration % 25 == 0) target.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  std::atomic<bool> done{false};
+  std::uint64_t unfiltered_bytes = 0;
+  std::uint64_t filtered_bytes = 0;
+  std::size_t filtered_table = 0;
+  std::thread unfiltered([&] {
+    TelemetryClient client;
+    if (!client.connect(server.port())) return;
+    while (!done.load(std::memory_order_acquire)) {
+      client.poll_frame(50ms);
+      if (!client.connected()) return;
+    }
+    unfiltered_bytes = client.delta_frame_bytes();
+  });
+  std::thread filtered([&] {
+    TelemetryClient client;
+    if (!client.connect(server.port())) return;
+    SubscriptionFilter filter;
+    filter.exact = {"quiet_target"};
+    if (!client.subscribe(filter)) return;
+    while (!done.load(std::memory_order_acquire)) {
+      client.poll_frame(50ms);
+      if (!client.connected()) return;
+    }
+    filtered_bytes = client.delta_frame_bytes();
+    filtered_table = client.view().samples().size();
+  });
+
+  std::this_thread::sleep_for(1500ms);
+  done.store(true, std::memory_order_release);
+  unfiltered.join();
+  filtered.join();
+  stop.store(true, std::memory_order_release);
+  churner.join();
+
+  EXPECT_EQ(filtered_table, 1u);  // the subscription IS the table
+  ASSERT_GT(unfiltered_bytes, 0u);
+  ASSERT_GT(filtered_bytes, 0u);  // target moved: deltas did flow
+  EXPECT_GE(unfiltered_bytes, 10 * filtered_bytes)
+      << "unfiltered " << unfiltered_bytes << " B vs filtered "
+      << filtered_bytes << " B";
+  EXPECT_GT(server.stats().group_deltas_suppressed, 0u)
+      << "quiet subset ticks should ship nothing";
+  server.stop();
+}
+
+TEST(SnapshotServer, ReconnectWhileSubscribedStartsAFreshView) {
+  // A reconnect resets the subscription server-side (new socket = new
+  // unfiltered client); the client's view must restart too. If the old
+  // subset table survived, the new stream's first full — possibly at
+  // the same (registry_version, sequence) the old stream reached —
+  // would be stale-skipped, and unfiltered delta indices would misapply
+  // against the 2-entry subset table.
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& hot_a =
+      registry.create("hot_a", {ErrorModel::kExact, 0, 1});
+  registry.create("hot_b", {ErrorModel::kExact, 0, 1});
+  registry.create("cold_x", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      hot_a.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  TelemetryClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  SubscriptionFilter filter;
+  filter.prefixes = {"hot_"};
+  ASSERT_TRUE(client.subscribe(filter));
+  for (int i = 0; i < 400 && (client.view().rebase_pending() ||
+                              client.view().samples().size() != 2);
+       ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  }
+  ASSERT_EQ(client.view().samples().size(), 2u);
+
+  // Reconnect immediately (same tick is the dangerous window).
+  ASSERT_TRUE(client.connect(server.port()));
+  EXPECT_EQ(client.view().sequence(), 0u);  // the view restarted
+  ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  // First frame of the new stream is the unfiltered full fleet.
+  EXPECT_EQ(client.view().samples().size(), 3u);
+  // And the unfiltered delta stream keeps applying cleanly.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  }
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.view().samples().size(), 3u);
+
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+  server.stop();
+}
+
+TEST(SnapshotServer, MalformedControlRecordsCloseTheOffender) {
+  shard::RegistryT<base::DirectBackend> registry(2);
+  registry.create("c", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  SnapshotServer server(registry, 1, options);
+  ASSERT_TRUE(server.start());
+  TelemetryClient wellbehaved;
+  ASSERT_TRUE(wellbehaved.connect(server.port()));
+  ASSERT_TRUE(wellbehaved.poll_frame(kFrameTimeout));
+
+  auto raw_connect = [&] {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  // A control record claiming an absurd payload length.
+  int liar = raw_connect();
+  ASSERT_GE(liar, 0);
+  std::string huge;
+  huge.push_back(static_cast<char>(kControlByte));
+  huge.push_back(static_cast<char>(0xFF));
+  huge.push_back(static_cast<char>(0xFF));
+  huge.push_back(static_cast<char>(0xFF));
+  huge.push_back(static_cast<char>(0x7F));
+  ASSERT_GT(::send(liar, huge.data(), huge.size(), 0), 0);
+  for (int i = 0; i < 200 && server.stats().clients_closed < 1; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.stats().clients_closed, 1u);
+
+  // A correctly-framed control record with a garbage payload.
+  int garbler = raw_connect();
+  ASSERT_GE(garbler, 0);
+  std::string garbage;
+  garbage.push_back(static_cast<char>(kControlByte));
+  garbage.push_back(4);
+  garbage.push_back(0);
+  garbage.push_back(0);
+  garbage.push_back(0);
+  garbage.append("junk");
+  ASSERT_GT(::send(garbler, garbage.data(), garbage.size(), 0), 0);
+  for (int i = 0; i < 200 && server.stats().clients_closed < 2; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.stats().clients_closed, 2u);
+
+  // The compliant subscriber lives on.
+  EXPECT_TRUE(wellbehaved.poll_frame(kFrameTimeout));
+  ::close(liar);
+  ::close(garbler);
+  server.stop();
+}
+
 TEST(SnapshotServer, GarbageInboundBytesCloseTheOffender) {
   shard::RegistryT<base::DirectBackend> registry(2);
   registry.create("c", {ErrorModel::kExact, 0, 1});

@@ -322,6 +322,242 @@ TEST(WireDelta, StaleAndDuplicateFramesAreSkipped) {
   EXPECT_EQ(view.samples()[0].value, frame.samples[0].value);  // untouched
 }
 
+// --- wire v2: subscription filters + control frames -------------------
+
+/// Payload view of a control record (skips the 0xC5 + u32le framing).
+std::string_view control_payload_of(const std::string& record) {
+  return std::string_view(record).substr(kControlPrefixBytes);
+}
+
+TEST(Filter, MatchSemanticsNormalizationAndCanonicalKey) {
+  SubscriptionFilter filter;
+  filter.exact = {"errors", "requests", "errors"};  // dup
+  filter.prefixes = {"svc_", "db_"};
+  filter.normalize();
+  EXPECT_EQ(filter.exact.size(), 2u);  // deduped
+  EXPECT_TRUE(filter.matches("requests"));
+  EXPECT_TRUE(filter.matches("errors"));
+  EXPECT_TRUE(filter.matches("svc_anything"));
+  EXPECT_TRUE(filter.matches("db_"));  // prefix matches itself
+  EXPECT_FALSE(filter.matches("request"));  // exact is not a prefix
+  EXPECT_FALSE(filter.matches("sv"));
+  EXPECT_FALSE(filter.matches(""));
+
+  SubscriptionFilter everything;
+  EXPECT_TRUE(everything.pass_all());
+  EXPECT_FALSE(filter.pass_all());
+
+  // Reordered lists normalize to the same canonical key (one server
+  // filter group), and different filters never collide.
+  SubscriptionFilter reordered;
+  reordered.exact = {"requests", "errors"};
+  reordered.prefixes = {"db_", "svc_"};
+  reordered.normalize();
+  EXPECT_EQ(filter.canonical_key(), reordered.canonical_key());
+  SubscriptionFilter other;
+  other.exact = {"requests"};
+  other.normalize();
+  EXPECT_NE(filter.canonical_key(), other.canonical_key());
+  // Exact names vs prefixes are distinct subscriptions.
+  SubscriptionFilter as_prefix;
+  as_prefix.prefixes = {"requests"};
+  EXPECT_NE(other.canonical_key(), as_prefix.canonical_key());
+}
+
+TEST(ControlFrame, SubscribeRoundTrip) {
+  SubscriptionFilter filter;
+  filter.exact = {"zeta", "alpha"};
+  filter.prefixes = {"svc_"};
+  std::string record;
+  ASSERT_TRUE(encode_subscribe_record(filter, record));
+  ASSERT_GT(record.size(), kControlPrefixBytes);
+  EXPECT_EQ(static_cast<unsigned char>(record[0]), kControlByte);
+
+  ControlFrame decoded;
+  ASSERT_TRUE(decode_control_payload(control_payload_of(record), decoded));
+  EXPECT_EQ(decoded.kind, FrameKind::kSubscribe);
+  ASSERT_EQ(decoded.filter.exact.size(), 2u);
+  EXPECT_EQ(decoded.filter.exact[0], "alpha");  // normalized on decode
+  EXPECT_EQ(decoded.filter.exact[1], "zeta");
+  ASSERT_EQ(decoded.filter.prefixes.size(), 1u);
+  EXPECT_EQ(decoded.filter.prefixes[0], "svc_");
+
+  // An empty filter (pass-all, "v1 mode again") round-trips too.
+  std::string empty_record;
+  ASSERT_TRUE(encode_subscribe_record(SubscriptionFilter{}, empty_record));
+  ControlFrame empty_decoded;
+  ASSERT_TRUE(
+      decode_control_payload(control_payload_of(empty_record), empty_decoded));
+  EXPECT_TRUE(empty_decoded.filter.pass_all());
+}
+
+TEST(ControlFrame, ResyncRoundTrip) {
+  std::string record;
+  encode_resync_record(record);
+  ControlFrame decoded;
+  ASSERT_TRUE(decode_control_payload(control_payload_of(record), decoded));
+  EXPECT_EQ(decoded.kind, FrameKind::kResync);
+  // A resync smuggling a body is malformed.
+  std::string padded(control_payload_of(record));
+  padded.push_back('\0');
+  EXPECT_FALSE(decode_control_payload(padded, decoded));
+}
+
+TEST(ControlFrame, TruncationRejectedAtEveryLength) {
+  SubscriptionFilter filter;
+  filter.exact = {"alpha", "beta"};
+  filter.prefixes = {"svc_", "db_"};
+  std::string record;
+  ASSERT_TRUE(encode_subscribe_record(filter, record));
+  const std::string payload(control_payload_of(record));
+  ControlFrame decoded;
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(decode_control_payload(payload.substr(0, len), decoded))
+        << "accepted a control payload truncated to " << len << " bytes";
+  }
+  // And the pristine payload still decodes.
+  EXPECT_TRUE(decode_control_payload(payload, decoded));
+}
+
+TEST(ControlFrame, ByteFlipFuzzNeverAcceptsOverLimitFilters) {
+  SubscriptionFilter filter;
+  filter.exact = {"alpha", "a_rather_longer_counter_name"};
+  filter.prefixes = {"svc_"};
+  std::string record;
+  ASSERT_TRUE(encode_subscribe_record(filter, record));
+  const std::string payload(control_payload_of(record));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    for (const unsigned char flip : {0x01, 0x80, 0xFF}) {
+      std::string mutated = payload;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      ControlFrame decoded;
+      // Any outcome but a crash/overflow is fine; whatever decodes must
+      // be a filter the limits admit (ASan/UBSan guard the memory side).
+      if (decode_control_payload(mutated, decoded)) {
+        EXPECT_TRUE(decoded.filter.within_limits());
+      }
+    }
+  }
+}
+
+TEST(ControlFrame, MalformedFilterListsRejected) {
+  // Hand-assembled SUBSCRIBE payloads around the hardening limits.
+  auto subscribe_header = [] {
+    std::string payload;
+    payload.push_back(static_cast<char>(kWireMagic0));
+    payload.push_back(static_cast<char>(kWireMagic1));
+    payload.push_back(static_cast<char>(kControlVersion));
+    payload.push_back(static_cast<char>(FrameKind::kSubscribe));
+    return payload;
+  };
+  ControlFrame decoded;
+
+  // Entry count beyond the limit: rejected before any allocation.
+  std::string too_many = subscribe_header();
+  append_uvarint(too_many, kMaxFilterEntries + 1);
+  EXPECT_FALSE(decode_control_payload(too_many, decoded));
+
+  // Oversized prefix length: rejected.
+  std::string oversized = subscribe_header();
+  append_uvarint(oversized, 0);  // no exact names
+  append_uvarint(oversized, 1);  // one prefix...
+  append_uvarint(oversized, kMaxFilterNameBytes + 1);  // ...too long
+  oversized.append(kMaxFilterNameBytes + 1, 'x');
+  EXPECT_FALSE(decode_control_payload(oversized, decoded));
+
+  // A name length claiming more bytes than the payload holds.
+  std::string lying = subscribe_header();
+  append_uvarint(lying, 1);
+  append_uvarint(lying, 200);
+  lying.append(3, 'x');  // only 3 bytes present
+  EXPECT_FALSE(decode_control_payload(lying, decoded));
+
+  // Trailing garbage after a well-formed filter.
+  SubscriptionFilter filter;
+  filter.exact = {"ok"};
+  std::string record;
+  ASSERT_TRUE(encode_subscribe_record(filter, record));
+  std::string trailing(control_payload_of(record));
+  trailing.push_back('\0');
+  EXPECT_FALSE(decode_control_payload(trailing, decoded));
+
+  // Wrong header version (control frames are v2) and a data kind in a
+  // control payload.
+  std::string v1_header = subscribe_header();
+  v1_header[2] = 0x01;
+  append_uvarint(v1_header, 0);
+  append_uvarint(v1_header, 0);
+  EXPECT_FALSE(decode_control_payload(v1_header, decoded));
+  std::string data_kind = subscribe_header();
+  data_kind[3] = static_cast<char>(FrameKind::kFull);
+  EXPECT_FALSE(decode_control_payload(data_kind, decoded));
+
+  // Encoding refuses an over-limit filter outright.
+  SubscriptionFilter huge;
+  huge.exact.assign(kMaxFilterEntries + 1, "name");
+  std::string refused;
+  EXPECT_FALSE(encode_subscribe_record(huge, refused));
+  SubscriptionFilter long_name;
+  long_name.prefixes = {std::string(kMaxFilterNameBytes + 1, 'p')};
+  EXPECT_FALSE(encode_subscribe_record(long_name, refused));
+}
+
+TEST(ControlFrame, DataStreamRejectsControlKinds) {
+  // A SUBSCRIBE/RESYNC payload arriving where data frames live (the
+  // server→client direction) must be kCorrupt, not misapplied — and a
+  // v2 version byte on a DATA frame is equally corrupt (the v1 data
+  // layout is frozen; see wire.hpp).
+  std::string record;
+  encode_resync_record(record);
+  MaterializedView view;
+  EXPECT_EQ(view.apply(control_payload_of(record)), ApplyResult::kCorrupt);
+
+  const TelemetryFrame frame = synthetic_frame(3, 9);
+  std::string wire;
+  encode_full_frame(frame, 0, wire);
+  std::string v2_data(payload_of(wire));
+  v2_data[2] = 0x02;  // version byte
+  EXPECT_EQ(view.apply(v2_data), ApplyResult::kCorrupt);
+}
+
+TEST(WireFiltered, FilteredFullDefinesSubsetTableAndSubsetDeltasApply) {
+  // A filtered full carries only the selection, in table order — the
+  // subscriber's whole name table. Deltas for the subset then index
+  // into it positionally.
+  const TelemetryFrame frame = synthetic_frame(5, 11);
+  const std::vector<std::uint64_t> selection = {1, 4, 7};
+  std::string wire;
+  encode_full_frame_filtered(frame, selection, 777, wire);
+  EXPECT_EQ(prefix_of(wire), wire.size() - kFramePrefixBytes);
+
+  MaterializedView view;
+  view.expect_rebase();
+  EXPECT_TRUE(view.rebase_pending());
+  ASSERT_EQ(view.apply(payload_of(wire)), ApplyResult::kApplied);
+  EXPECT_FALSE(view.rebase_pending());  // the re-basing full arrived
+  ASSERT_EQ(view.samples().size(), selection.size());
+  for (std::size_t j = 0; j < selection.size(); ++j) {
+    const Sample& expected = frame.samples[selection[j]];
+    EXPECT_EQ(view.samples()[j].name, expected.name) << j;
+    EXPECT_EQ(view.samples()[j].model, expected.model) << j;
+    EXPECT_EQ(view.samples()[j].error_bound, expected.error_bound) << j;
+    EXPECT_EQ(view.samples()[j].value, expected.value) << j;
+  }
+  EXPECT_EQ(view.last_collect_ns(), 777u);
+
+  // Subset delta: position 0 = flat 1, position 2 = flat 7.
+  std::string delta;
+  encode_delta_frame(6, 11, 0, 5, {{0, 1234}, {2, 4321}}, delta);
+  ASSERT_EQ(view.apply(payload_of(delta)), ApplyResult::kApplied);
+  EXPECT_EQ(view.samples()[0].value, 1234u);
+  EXPECT_EQ(view.samples()[1].value, frame.samples[4].value);  // untouched
+  EXPECT_EQ(view.samples()[2].value, 4321u);
+  // An index beyond the subset table is corrupt, exactly as unfiltered.
+  std::string beyond;
+  encode_delta_frame(7, 11, 0, 6, {{selection.size(), 1}}, beyond);
+  EXPECT_EQ(view.apply(payload_of(beyond)), ApplyResult::kCorrupt);
+}
+
 TEST(WireIntegration, DeltaOnTopOfFullEqualsSnapshotAll) {
   // The satellite contract: a view reconstructed from full + registry
   // for_each_changed_since deltas equals a direct snapshot_all of the

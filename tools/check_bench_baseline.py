@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""CI guard: bench-smoke throughput vs committed per-bench baselines.
+
+Reads a directory of bench ``--json`` documents (the bench-smoke
+artifacts) and compares their *throughput-like* metrics against
+committed baselines under ``bench/baselines/<arch>/<bench>.json``,
+failing (exit 1) on a regression. The goal is the same as
+check_e16_ratio.py's: turn a silent gross slowdown (an accidental
+seq_cst fence, a lock on the hot path, an encode-per-subscriber bug)
+into a red build — NOT to police single-digit noise across runner
+generations. Hence:
+
+  * only metrics whose column name looks rate-like (Mops/s, frames/s,
+    B/s, /sec) are compared — sizes, latencies and ratio columns have
+    their own guards or no stable direction;
+  * per bench, the GEOMETRIC MEAN of current/baseline across its
+    metrics must be >= --tolerance (default 0.40: runners differ in
+    core count and clocks; a uniform 2.5x collapse is a regression, a
+    30% wobble is a Tuesday);
+  * baselines are arch-keyed (uname -m): an arch with no committed
+    baselines (e.g. a brand-new arm64 runner) SKIPS with a notice
+    instead of failing — commit baselines from its first artifacts via
+    --update to arm the guard there.
+
+Usage:
+  check_bench_baseline.py <bench-json-dir> [--baselines=bench/baselines]
+      [--tolerance=0.40] [--arch=auto] [--update]
+
+--update (re)writes the baselines for this arch from the given JSON
+directory instead of checking — run it on the target machine at the
+same --scale CI uses, and commit the result.
+"""
+
+import json
+import math
+import os
+import platform
+import re
+import sys
+
+RATE_COLUMN = re.compile(r"(mops|ops/s|frames/s|/sec)", re.I)
+# Columns that look rate-like but are ratios, byte rates (smaller is an
+# improvement) or neutral tallies: never compared. Ratio columns like
+# "relaxed/seq_cst" never match RATE_COLUMN in the first place — do NOT
+# exclude broad words like "relaxed" here, or genuine throughput
+# columns ("relaxed Mops/s") silently fall out of the guard.
+EXCLUDE_COLUMN = re.compile(
+    r"(ratio|vs |coalesced|suppressed|b/s|bytes)", re.I)
+
+
+def parse_number(cell):
+    try:
+        return float(str(cell).replace(",", ""))
+    except ValueError:
+        return None
+
+
+def parameter_prefix(columns):
+    """Benches lay out parameter columns (impl, shards, threads, tick
+    ms, filter ...) before the measured ones: the row label must come
+    ONLY from that prefix. Including a measured cell in the key would
+    make every run's keys unique (the measurement wobbles), so nothing
+    would ever compare and the guard would silently pass."""
+    for index, column in enumerate(columns):
+        if RATE_COLUMN.search(column) or EXCLUDE_COLUMN.search(column):
+            return index
+    return len(columns)
+
+
+def extract_metrics(doc):
+    """Flattens a bench --json document into {key: value} for every
+    rate-like numeric cell. Keys are section|row-label|column, with the
+    label built from the row's parameter-column prefix (suffixed for
+    duplicates so reordering cannot silently remap)."""
+    metrics = {}
+    for section in doc.get("sections", []):
+        title = section.get("title", "")
+        columns = section.get("columns", [])
+        label_cells = parameter_prefix(columns)
+        seen = {}
+        for row in section.get("rows", []):
+            if not row:
+                continue
+            label = "/".join(str(c) for c in row[:label_cells])
+            seen[label] = seen.get(label, 0) + 1
+            if seen[label] > 1:
+                label = f"{label}#{seen[label]}"
+            for column, cell in zip(columns, row):
+                if not RATE_COLUMN.search(column):
+                    continue
+                if EXCLUDE_COLUMN.search(column):
+                    continue
+                value = parse_number(cell)
+                if value is None or value <= 0.0:
+                    continue
+                metrics[f"{title}|{label}|{column}"] = value
+    return metrics
+
+
+def load_json_dir(json_dir):
+    docs = {}
+    for name in sorted(os.listdir(json_dir)):
+        if not name.endswith(".json"):
+            continue
+        bench = name[: -len(".json")]
+        try:
+            with open(os.path.join(json_dir, name)) as handle:
+                docs[bench] = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"baseline-check: unreadable {name}: {error}")
+            return None
+    return docs
+
+
+def update(json_dir, baseline_dir, arch):
+    docs = load_json_dir(json_dir)
+    if docs is None:
+        return 1
+    arch_dir = os.path.join(baseline_dir, arch)
+    os.makedirs(arch_dir, exist_ok=True)
+    written = 0
+    for bench, doc in docs.items():
+        metrics = extract_metrics(doc)
+        if not metrics:
+            continue  # nothing rate-like to guard (e.g. accuracy benches)
+        path = os.path.join(arch_dir, f"{bench}.json")
+        with open(path, "w") as handle:
+            json.dump(
+                {"bench": bench, "arch": arch, "metrics": metrics},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        written += 1
+        print(f"baseline-check: wrote {path} ({len(metrics)} metrics)")
+    print(f"baseline-check: {written} baselines updated for {arch}")
+    return 0
+
+
+def check(json_dir, baseline_dir, arch, tolerance):
+    arch_dir = os.path.join(baseline_dir, arch)
+    if not os.path.isdir(arch_dir):
+        print(
+            f"baseline-check: no baselines for {arch} under {baseline_dir};"
+            " skipping (run with --update on this arch to arm the guard)"
+        )
+        return 0
+    docs = load_json_dir(json_dir)
+    if docs is None:
+        return 1
+    failures = []
+    checked = 0
+    for name in sorted(os.listdir(arch_dir)):
+        if not name.endswith(".json"):
+            continue
+        bench = name[: -len(".json")]
+        with open(os.path.join(arch_dir, name)) as handle:
+            baseline = json.load(handle)
+        if bench not in docs:
+            failures.append(f"{bench}: baseline exists but no JSON artifact")
+            continue
+        current = extract_metrics(docs[bench])
+        ratios = []
+        for key, base_value in baseline.get("metrics", {}).items():
+            cur_value = current.get(key)
+            if cur_value is None or base_value <= 0.0:
+                # A renamed/removed metric is a layout change, not a
+                # perf regression: refresh the baseline via --update.
+                continue
+            ratios.append(cur_value / base_value)
+        if not ratios:
+            print(f"  {bench:28s} no comparable metrics (refresh baseline?)")
+            continue
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        checked += 1
+        verdict = "ok" if geomean >= tolerance else "REGRESSION"
+        print(
+            f"  {bench:28s} geomean {geomean:5.2f}x over {len(ratios):3d}"
+            f" metrics (floor {tolerance:.2f})  {verdict}"
+        )
+        if geomean < tolerance:
+            worst = sorted(ratios)[:3]
+            failures.append(
+                f"{bench}: geomean {geomean:.2f} < {tolerance:.2f}"
+                f" (worst cells {', '.join(f'{r:.2f}' for r in worst)})"
+            )
+    if failures:
+        print("baseline-check: FAILED")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"baseline-check: {checked} benches within tolerance on {arch}")
+    return 0
+
+
+def main(argv):
+    json_dir = None
+    baseline_dir = "bench/baselines"
+    tolerance = 0.40
+    arch = platform.machine()
+    do_update = False
+    for arg in argv[1:]:
+        if arg.startswith("--baselines="):
+            baseline_dir = arg.split("=", 1)[1]
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--arch="):
+            value = arg.split("=", 1)[1]
+            if value != "auto":
+                arch = value
+        elif arg == "--update":
+            do_update = True
+        elif arg.startswith("--"):
+            print(__doc__)
+            return 2
+        else:
+            json_dir = arg
+    if json_dir is None or not os.path.isdir(json_dir):
+        print(__doc__)
+        return 2
+    if do_update:
+        return update(json_dir, baseline_dir, arch)
+    return check(json_dir, baseline_dir, arch, tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
