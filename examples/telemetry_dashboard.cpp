@@ -3,7 +3,7 @@
 // materialized view, and render it with its staleness metadata.
 //
 //   $ ./build/examples/telemetry_dashboard --port=N [--frames=K]
-//       [--prefix=P] [--stall-ms=M]
+//       [--prefix=P] [--stall-ms=M] [--shm]
 //
 // --prefix=P subscribes with a wire-v2 prefix filter: the server then
 // streams only counters named P*, and the view's table IS that subset.
@@ -11,12 +11,18 @@
 // frame the dashboard goes silent for M ms (the server coalesces the
 // missed ticks), then issues request_resync() and requires a fresh FULL
 // frame to arrive — printing "resync full OK" when it does.
+// --shm asks a same-host server for its wire-v3 shared-memory snapshot
+// ring and requires the data path to actually move onto it (at least
+// one frame applied off the ring) — printing "transport: shm" once it
+// has. The view and every assertion below are transport-agnostic;
+// that is the point.
 //
 // Exits 0 only if K frames were decoded, the "startup_marker" counter
 // decodes to exactly 42 whenever the subscription includes it (the
 // ground truth the server planted before serving), and — with
 // --stall-ms — the resync produced its full. This makes the binary
-// double as the CI service-smoke assertion over real sockets.
+// double as the CI smoke assertion over real sockets and (with --shm)
+// over the shared-memory ring.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
   int frames = 5;
   std::string prefix;
   std::uint64_t stall_ms = 0;
+  bool use_shm = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -56,9 +63,11 @@ int main(int argc, char** argv) {
       prefix = std::string(arg.substr(9));
     } else if (arg.rfind("--stall-ms=", 0) == 0) {
       stall_ms = std::strtoull(arg.data() + 11, nullptr, 10);
+    } else if (arg == "--shm") {
+      use_shm = true;
     } else {
       std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]"
-                   " [--prefix=P] [--stall-ms=M]\n";
+                   " [--prefix=P] [--stall-ms=M] [--shm]\n";
       return 2;
     }
   }
@@ -80,6 +89,10 @@ int main(int argc, char** argv) {
       std::cerr << "telemetry_dashboard: subscribe failed\n";
       return 1;
     }
+  }
+  if (use_shm && !client.request_shm()) {
+    std::cerr << "telemetry_dashboard: shm request send failed\n";
+    return 1;
   }
   bool resync_ok = stall_ms == 0;  // nothing to prove without a stall
   for (int f = 0; f < frames; ++f) {
@@ -122,6 +135,28 @@ int main(int argc, char** argv) {
                    " subscription re-base\n";
       return 1;
     }
+  }
+  if (use_shm) {
+    // The offer may trail the first frames; keep pumping until the
+    // data path is demonstrably the ring (mapped AND a frame applied
+    // off it), not just requested.
+    for (int attempt = 0;
+         attempt < 50 && !(client.shm_active() && client.shm_frames() >= 1);
+         ++attempt) {
+      if (!client.poll_frame(std::chrono::seconds(10))) {
+        std::cerr << "telemetry_dashboard: stream ended before a frame"
+                     " arrived off the shm ring\n";
+        return 1;
+      }
+    }
+    if (!(client.shm_active() && client.shm_frames() >= 1)) {
+      std::cerr << "telemetry_dashboard: --shm requested but the data"
+                   " path never moved onto the ring\n";
+      return 1;
+    }
+    std::cout << "transport: shm (" << client.shm_frames()
+              << " ring frames, " << client.shm_overruns()
+              << " overruns)\n";
   }
 
   const svc::MaterializedView& view = client.view();

@@ -114,5 +114,12 @@ int main(int argc, char** argv) {
             << " delta, " << stats.frames_coalesced << " coalesced, "
             << stats.bytes_sent << " bytes, " << stats.acks_received
             << " acks)\n";
+  if (stats.shm_accepts_received > 0) {
+    std::cout << "shm ring: " << stats.shm_frames_published
+              << " frames published to " << stats.shm_accepts_received
+              << " accepted readers (" << stats.shm_offers_sent
+              << " offers, " << stats.shm_publish_failures
+              << " publish failures)\n";
+  }
   return 0;
 }

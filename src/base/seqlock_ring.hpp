@@ -1,0 +1,429 @@
+// seqlock_ring.hpp — single-writer/many-reader seqlock frame ring over a
+// raw memory region (the shared-memory transport primitive).
+//
+// The service layer's same-host fan-out problem: one collector produces
+// a frame per tick, and N co-located subscribers each pay a socket write
+// on the server and a syscall round-trip on themselves to receive bytes
+// that never needed to leave the machine. This primitive removes both:
+// the writer publishes each frame into a fixed ring of slots inside one
+// shared memory region, and any number of reader *processes* consume
+// frames with zero syscalls and zero writer-side per-reader work — the
+// classic seqlock discipline (even/odd sequence word per slot, publish
+// with release, read with acquire + re-check) generalized to a ring so
+// readers that keep up see every frame and readers that park detect the
+// overrun instead of decoding torn bytes.
+//
+// Layout (all fields 8-byte aligned, little-endian host assumed — the
+// region never crosses a machine):
+//
+//   header   := magic:u64 layout:u32 slot_count:u32
+//               slot_payload_bytes:u64 generation:u64 doorbell:u64
+//               (pad to 64) head:u64 (pad to 128)
+//   slot[i]  := seq:u64 frame_index:u64 len:u64 payload[cap] (pad to 64)
+//
+// `doorbell` mirrors head after every publish. It exists for WAITING,
+// not ordering: a transport can park readers on it (e.g. a futex on its
+// low 32 bits — svc/shm.cpp does) and the writer rings it once per
+// frame, so readers wake at interrupt speed instead of polling the ring
+// on a timer. The protocol is the standard futex one: read the
+// doorbell, poll the ring, and only sleep if the ring was empty AND the
+// doorbell still holds the value read before polling.
+//
+// `generation` is the writer instance's nonzero nonce: a writer restart
+// re-formats the region under a fresh generation, and a reader that
+// observes a generation other than the one it attached to reports kDead
+// (it must not decode old-generation slots as live frames). `head` is
+// the count of frames ever published; frame f lives in slot f %
+// slot_count until frame f + slot_count overwrites it.
+//
+// Slot sequence discipline: slot seq is 0 when never written; writing
+// frame f sets it to 2·(f/slot_count + 1) − 1 (odd: in progress), then
+// 2·(f/slot_count + 1) (even: stable). A reader expecting frame f
+// therefore knows the exact stable value; anything newer means the slot
+// was lapped (overrun), odd means a write is in flight, and a changed
+// value across the read means the copy may be torn — all map to
+// "discard the copy", never to decoding garbage.
+//
+// Memory-order audit (RelaxedDirectBackend). The ring is single-writer:
+// head and every slot word have exactly one writing thread, so all
+// ordering needs are publish/observe pairs, per Boehm's seqlock recipe
+// ("Can seqlocks get along with programming language memory models?"):
+//   * writer: seq odd store is kStoreRelaxed, followed by a release
+//     FENCE — the fence (not the store) orders the odd mark before the
+//     payload stores, so a reader can never see stable-seq bytes from
+//     two different frames without the seq word changing;
+//   * payload words are kStoreRelaxed / kLoadRelaxed atomic accesses
+//     (word-wise std::atomic_ref): they may race with a concurrent
+//     writer by design — the seq re-check discards such copies — but
+//     as *atomic* accesses the race is defined behavior (and
+//     TSan-clean), unlike a plain memcpy;
+//   * writer: seq even store is kStoreRelease — it publishes the
+//     payload to the acquire side of the reader's initial seq load;
+//   * reader: first seq load is kLoadAcquire (pairs with the even
+//     store: payload reads that follow see that frame's bytes), the
+//     payload copy is relaxed, then an acquire FENCE orders the copy
+//     before the second seq load (kLoadRelaxed) — if both loads agree
+//     on the expected even value, no writer touched the slot during
+//     the copy, so the copy is that frame's bytes;
+//   * head: kStoreRelease after the slot's even store / kLoadAcquire in
+//     the reader — observing head > f guarantees frame f's slot write
+//     (seq, frame_index, len, payload) is visible;
+//   * doorbell: kStoreRelease after the head store / kLoadAcquire in
+//     the reader. It carries no payload-visibility duty of its own (the
+//     pump re-reads head with acquire anyway); the release/acquire pair
+//     merely guarantees a reader that observed doorbell value d also
+//     observes head ≥ d, so "ring empty at doorbell d" is a coherent
+//     predicate to sleep on;
+//   * header identity fields (magic/layout/generation/...) are written
+//     once at format time, before the region is ever advertised to
+//     readers, and re-read with kLoadRelaxed only to detect writer
+//     restart — the kDead path needs no ordering, just coherence.
+// The seq_cst backends map every role to seq_cst as usual and remain
+// the formal model; the TSan stress test (tests/base/test_seqlock_ring)
+// race-checks both mappings.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "base/backend.hpp"
+
+namespace approx::base {
+
+/// Outcome of one reader poll.
+enum class RingPoll : std::uint8_t {
+  kFrame,    // out holds the next frame; cursor advanced
+  kEmpty,    // nothing published past the cursor yet
+  kOverrun,  // the writer lapped the cursor (or the copy tore / the
+             // slot bytes are inconsistent): frames were lost; call
+             // skip_to_head() and re-anchor out of band (TCP resync)
+  kDead,     // the region's generation changed (writer restarted) or
+             // its identity words no longer validate: detach
+};
+
+namespace ring_detail {
+
+inline constexpr std::uint64_t kRingMagic = 0x52474E49584F5250ull;  // arbitrary
+inline constexpr std::uint32_t kRingLayoutVersion = 1;
+inline constexpr std::size_t kRingHeaderBytes = 128;
+inline constexpr std::size_t kRingSlotHeaderBytes = 24;  // seq, index, len
+
+// Header word offsets (bytes).
+inline constexpr std::size_t kOffMagic = 0;
+inline constexpr std::size_t kOffLayout = 8;       // u32 layout | u32 count
+inline constexpr std::size_t kOffPayloadBytes = 16;
+inline constexpr std::size_t kOffGeneration = 24;
+inline constexpr std::size_t kOffDoorbell = 32;  // wake word (futex-able)
+inline constexpr std::size_t kOffHead = 64;      // own cache line
+
+inline constexpr std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+/// Word-wise atomic access to an arbitrary region offset. The region is
+/// 8-aligned by contract (region_bytes sizes everything in 64-byte
+/// units) so every u64 word is suitably aligned for atomic_ref.
+inline std::atomic_ref<std::uint64_t> word(void* base, std::size_t offset) {
+  return std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(static_cast<char*>(base) + offset));
+}
+
+}  // namespace ring_detail
+
+/// Bytes a ring region needs for `slot_count` slots of `payload_capacity`
+/// payload bytes each. Callers allocate (or ftruncate) at least this.
+constexpr std::size_t seqlock_ring_region_bytes(
+    std::uint32_t slot_count, std::uint64_t payload_capacity) {
+  const std::size_t stride = ring_detail::align_up(
+      ring_detail::kRingSlotHeaderBytes +
+          ring_detail::align_up(static_cast<std::size_t>(payload_capacity), 8),
+      64);
+  return ring_detail::kRingHeaderBytes + slot_count * stride;
+}
+
+/// The single writer's end. Formats a caller-provided region (heap for
+/// tests, mmap'ed POSIX shm for the transport) and publishes frames
+/// into it. Exactly ONE live writer per region; the Backend policy maps
+/// the OrderRole each access requests (see the audit block above).
+template <typename Backend>
+class SeqlockRingWriterT {
+ public:
+  /// Formats `region` (≥ seqlock_ring_region_bytes(...), 8-aligned) as
+  /// an empty ring under `generation` (nonzero). False on a bad
+  /// geometry. Re-formatting in place is the writer-restart story: the
+  /// fresh generation flips existing readers to kDead.
+  bool format(void* region, std::size_t region_size, std::uint32_t slot_count,
+              std::uint64_t payload_capacity, std::uint64_t generation) {
+    namespace rd = ring_detail;
+    if (region == nullptr || slot_count == 0 || payload_capacity == 0 ||
+        generation == 0 ||
+        region_size < seqlock_ring_region_bytes(slot_count, payload_capacity)) {
+      return false;
+    }
+    region_ = region;
+    slot_count_ = slot_count;
+    payload_capacity_ = payload_capacity;
+    stride_ = rd::align_up(
+        rd::kRingSlotHeaderBytes +
+            rd::align_up(static_cast<std::size_t>(payload_capacity), 8),
+        64);
+    generation_ = generation;
+    head_ = 0;
+    // A re-format must kill live readers BEFORE any slot is reused:
+    // publish the new generation first (their per-poll generation check
+    // reports kDead), then zero the slots and head.
+    rd::word(region_, rd::kOffGeneration)
+        .store(generation, Backend::order(OrderRole::kStoreRelease));
+    std::atomic_thread_fence(Backend::order(OrderRole::kStoreRelease));
+    for (std::uint32_t i = 0; i < slot_count_; ++i) {
+      rd::word(region_, slot_off(i))
+          .store(0, Backend::order(OrderRole::kStoreRelaxed));
+    }
+    rd::word(region_, rd::kOffMagic)
+        .store(rd::kRingMagic, Backend::order(OrderRole::kStoreRelaxed));
+    rd::word(region_, rd::kOffLayout)
+        .store(static_cast<std::uint64_t>(rd::kRingLayoutVersion) |
+                   (static_cast<std::uint64_t>(slot_count) << 32),
+               Backend::order(OrderRole::kStoreRelaxed));
+    rd::word(region_, rd::kOffPayloadBytes)
+        .store(payload_capacity, Backend::order(OrderRole::kStoreRelaxed));
+    rd::word(region_, rd::kOffDoorbell)
+        .store(0, Backend::order(OrderRole::kStoreRelaxed));
+    rd::word(region_, rd::kOffHead)
+        .store(0, Backend::order(OrderRole::kStoreRelease));
+    return true;
+  }
+
+  /// Publishes one frame. False (ring untouched) when `len` exceeds the
+  /// slot payload capacity — the caller falls back to its other path.
+  bool publish(const void* data, std::size_t len) {
+    namespace rd = ring_detail;
+    if (region_ == nullptr || len > payload_capacity_) return false;
+    const std::uint64_t frame = head_;
+    const std::size_t base = slot_off(frame % slot_count_);
+    const std::uint64_t stable = 2 * (frame / slot_count_ + 1);
+    auto seq = rd::word(region_, base);
+    seq.store(stable - 1, Backend::order(OrderRole::kStoreRelaxed));
+    // Release fence: the odd mark is ordered before the payload stores
+    // (see the audit block — the store alone would not order them).
+    std::atomic_thread_fence(Backend::order(OrderRole::kStoreRelease));
+    rd::word(region_, base + 8)
+        .store(frame, Backend::order(OrderRole::kStoreRelaxed));
+    rd::word(region_, base + 16)
+        .store(len, Backend::order(OrderRole::kStoreRelaxed));
+    const char* src = static_cast<const char*>(data);
+    const std::size_t payload_at = base + rd::kRingSlotHeaderBytes;
+    std::size_t off = 0;
+    for (; off + 8 <= len; off += 8) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, src + off, 8);
+      rd::word(region_, payload_at + off)
+          .store(w, Backend::order(OrderRole::kStoreRelaxed));
+    }
+    if (off < len) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, src + off, len - off);  // zero-padded tail word
+      rd::word(region_, payload_at + off)
+          .store(w, Backend::order(OrderRole::kStoreRelaxed));
+    }
+    seq.store(stable, Backend::order(OrderRole::kStoreRelease));
+    head_ = frame + 1;
+    rd::word(region_, rd::kOffHead)
+        .store(head_, Backend::order(OrderRole::kStoreRelease));
+    rd::word(region_, rd::kOffDoorbell)
+        .store(head_, Backend::order(OrderRole::kStoreRelease));
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t frames_published() const noexcept {
+    return head_;
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  [[nodiscard]] std::uint32_t slot_count() const noexcept {
+    return slot_count_;
+  }
+  [[nodiscard]] std::uint64_t payload_capacity() const noexcept {
+    return payload_capacity_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_off(std::uint64_t slot) const noexcept {
+    return ring_detail::kRingHeaderBytes +
+           static_cast<std::size_t>(slot) * stride_;
+  }
+
+  void* region_ = nullptr;
+  std::uint32_t slot_count_ = 0;
+  std::uint64_t payload_capacity_ = 0;
+  std::size_t stride_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t head_ = 0;  // writer-private mirror of the shared word
+};
+
+/// A reader's end: attach to a formatted region, then poll frames in
+/// publication order. Readers are fully passive — no writer-visible
+/// state, so any number may attach, detach and crash freely.
+template <typename Backend>
+class SeqlockRingReaderT {
+ public:
+  /// Validates the region's identity words and adopts its geometry and
+  /// current generation. The region may be mapped read-only: the reader
+  /// only ever loads. False when the header does not validate against
+  /// `region_size`.
+  bool attach(const void* region, std::size_t region_size) {
+    namespace rd = ring_detail;
+    region_ = nullptr;
+    if (region == nullptr || region_size < rd::kRingHeaderBytes) return false;
+    // Loads only — the const_cast exists because atomic_ref requires a
+    // non-const object even for pure loads (until C++26's const form).
+    void* base = const_cast<void*>(region);
+    if (rd::word(base, rd::kOffMagic)
+            .load(Backend::order(OrderRole::kLoadRelaxed)) != rd::kRingMagic) {
+      return false;
+    }
+    const std::uint64_t layout =
+        rd::word(base, rd::kOffLayout)
+            .load(Backend::order(OrderRole::kLoadRelaxed));
+    if (static_cast<std::uint32_t>(layout) != rd::kRingLayoutVersion) {
+      return false;
+    }
+    const std::uint32_t slot_count = static_cast<std::uint32_t>(layout >> 32);
+    const std::uint64_t payload_capacity =
+        rd::word(base, rd::kOffPayloadBytes)
+            .load(Backend::order(OrderRole::kLoadRelaxed));
+    const std::uint64_t generation =
+        rd::word(base, rd::kOffGeneration)
+            .load(Backend::order(OrderRole::kLoadAcquire));
+    if (slot_count == 0 || payload_capacity == 0 || generation == 0 ||
+        region_size < seqlock_ring_region_bytes(slot_count, payload_capacity)) {
+      return false;
+    }
+    region_ = base;
+    slot_count_ = slot_count;
+    payload_capacity_ = payload_capacity;
+    stride_ = rd::align_up(
+        rd::kRingSlotHeaderBytes +
+            rd::align_up(static_cast<std::size_t>(payload_capacity), 8),
+        64);
+    generation_ = generation;
+    cursor_ = 0;
+    return true;
+  }
+
+  void detach() noexcept { region_ = nullptr; }
+  [[nodiscard]] bool attached() const noexcept { return region_ != nullptr; }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  [[nodiscard]] std::uint64_t cursor() const noexcept { return cursor_; }
+
+  /// The shared head (frames published so far); 0 if detached.
+  [[nodiscard]] std::uint64_t head() const noexcept {
+    if (region_ == nullptr) return 0;
+    return ring_detail::word(region_, ring_detail::kOffHead)
+        .load(Backend::order(OrderRole::kLoadAcquire));
+  }
+
+  /// The shared doorbell word (mirrors head after every publish); 0 if
+  /// detached. Read it BEFORE poll()ing, and only sleep on it if the
+  /// ring was empty and it still holds the value you read — the futex
+  /// protocol (the transport owns the actual wait syscall).
+  [[nodiscard]] std::uint64_t doorbell() const noexcept {
+    if (region_ == nullptr) return 0;
+    return ring_detail::word(region_, ring_detail::kOffDoorbell)
+        .load(Backend::order(OrderRole::kLoadAcquire));
+  }
+
+  /// Skips frames the cursor will never read intact: resume at the
+  /// newest published frame. The overrun-recovery half of the protocol;
+  /// the caller re-anchors its decoded state out of band.
+  void skip_to_head() noexcept { cursor_ = head(); }
+
+  /// Polls the frame at the cursor. kFrame fills `out` and advances the
+  /// cursor; see RingPoll for the other outcomes. Any inconsistent slot
+  /// bytes (lengths beyond capacity, wrong frame index, seq mismatch)
+  /// map to kOverrun — a reader never decodes bytes the seq discipline
+  /// did not certify.
+  RingPoll poll(std::string& out) {
+    namespace rd = ring_detail;
+    if (region_ == nullptr) return RingPoll::kDead;
+    if (rd::word(region_, rd::kOffGeneration)
+            .load(Backend::order(OrderRole::kLoadRelaxed)) != generation_) {
+      return RingPoll::kDead;
+    }
+    const std::uint64_t h = head();
+    if (h <= cursor_) {
+      // Also catches a head that went backwards mid-re-format before
+      // the generation store landed in our cache: we simply see empty
+      // now and kDead on a later poll.
+      return RingPoll::kEmpty;
+    }
+    const std::uint64_t frame = cursor_;
+    const std::size_t base = slot_off(frame % slot_count_);
+    const std::uint64_t expected = 2 * (frame / slot_count_ + 1);
+    auto seq = rd::word(region_, base);
+    const std::uint64_t s1 =
+        seq.load(Backend::order(OrderRole::kLoadAcquire));
+    if (s1 != expected) {
+      // Newer (or odd: being overwritten by a lapping writer) = the
+      // slot has moved past our frame. Older cannot happen after the
+      // head acquire above except under corruption — same verdict.
+      return RingPoll::kOverrun;
+    }
+    const std::uint64_t idx =
+        rd::word(region_, base + 8)
+            .load(Backend::order(OrderRole::kLoadRelaxed));
+    const std::uint64_t len =
+        rd::word(region_, base + 16)
+            .load(Backend::order(OrderRole::kLoadRelaxed));
+    if (idx != frame || len > payload_capacity_) return RingPoll::kOverrun;
+    out.resize(static_cast<std::size_t>(len));
+    const std::size_t payload_at = base + rd::kRingSlotHeaderBytes;
+    std::size_t off = 0;
+    for (; off + 8 <= len; off += 8) {
+      const std::uint64_t w =
+          rd::word(region_, payload_at + off)
+              .load(Backend::order(OrderRole::kLoadRelaxed));
+      std::memcpy(out.data() + off, &w, 8);
+    }
+    if (off < len) {
+      const std::uint64_t w =
+          rd::word(region_, payload_at + off)
+              .load(Backend::order(OrderRole::kLoadRelaxed));
+      std::memcpy(out.data() + off, &w, static_cast<std::size_t>(len) - off);
+    }
+    // Acquire fence: the payload loads are ordered before the re-check
+    // load — an unchanged seq certifies an untorn copy.
+    std::atomic_thread_fence(Backend::order(OrderRole::kLoadAcquire));
+    if (seq.load(Backend::order(OrderRole::kLoadRelaxed)) != s1) {
+      return RingPoll::kOverrun;  // torn: a writer lapped us mid-copy
+    }
+    ++cursor_;
+    return RingPoll::kFrame;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_off(std::uint64_t slot) const noexcept {
+    return ring_detail::kRingHeaderBytes +
+           static_cast<std::size_t>(slot) * stride_;
+  }
+
+  void* region_ = nullptr;
+  std::uint32_t slot_count_ = 0;
+  std::uint64_t payload_capacity_ = 0;
+  std::size_t stride_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t cursor_ = 0;  // next frame index to read
+};
+
+using SeqlockRingWriter = SeqlockRingWriterT<DirectBackend>;
+using SeqlockRingReader = SeqlockRingReaderT<DirectBackend>;
+using RelaxedSeqlockRingWriter = SeqlockRingWriterT<RelaxedDirectBackend>;
+using RelaxedSeqlockRingReader = SeqlockRingReaderT<RelaxedDirectBackend>;
+
+}  // namespace approx::base

@@ -27,6 +27,24 @@
 // server's next tick at the latest). Control records ride the same
 // socket as acks; a record is never split (whole records or nothing),
 // so the outbound stream cannot desync.
+//
+// Wire v3 shm transport: request_shm() asks a same-host server for its
+// shared-memory snapshot ring. When the SHM_OFFER arrives, poll_frame
+// maps the segment read-only, confirms with SHM_ACCEPT, and from then
+// on pulls data frames out of the ring: no socket round-trip, no data
+// bytes through the kernel, no acks, zero per-reader work on the
+// server. Waiting rides the ring's futex doorbell (one shared wake per
+// tick), so ring frames arrive at scheduler speed; the TCP connection
+// stays up for control, liveness and recovery, checked without
+// blocking on every doorbell wake. A reader that loses the seqlock
+// race or falls a full ring behind (overrun) skips to the ring's head
+// and RESYNCs; the server demotes it to TCP (recovery full, then live
+// deltas) until a ring frame applies cleanly again, at which point the
+// client re-ACCEPTs and the data path moves back off the socket —
+// mirroring the initial adoption handoff. A dead ring (server
+// restart, broken segment) drops the client back to plain TCP frames.
+// subscribe() always detaches the ring first: a filtered stream
+// cannot ride the unfiltered ring.
 #pragma once
 
 #include <chrono>
@@ -34,6 +52,7 @@
 #include <string>
 #include <string_view>
 
+#include "svc/shm.hpp"
 #include "svc/wire.hpp"
 
 namespace approx::svc {
@@ -84,6 +103,18 @@ class TelemetryClient {
   /// stall, silent proxy) to re-anchor the view. False if disconnected.
   bool request_resync();
 
+  /// Sends an SHM_REQUEST control record: a same-host server with a
+  /// live snapshot ring answers with an SHM_OFFER, which poll_frame
+  /// adopts (maps the segment, confirms with SHM_ACCEPT) — from then
+  /// on shm_active() and data frames come off the ring. A server
+  /// without a ring (disabled, remote, broken) never answers and the
+  /// stream simply stays on TCP; request again later if desired.
+  /// False if disconnected.
+  bool request_shm();
+
+  /// True while a mapped shm ring is this client's data path.
+  [[nodiscard]] bool shm_active() const noexcept { return ring_.mapped(); }
+
   [[nodiscard]] const MaterializedView& view() const noexcept {
     return view_;
   }
@@ -108,11 +139,34 @@ class TelemetryClient {
   [[nodiscard]] std::uint64_t last_latency_ns() const noexcept {
     return last_latency_ns_;
   }
+  /// Frames / payload bytes applied off the shm ring (no TCP bytes or
+  /// syscalls behind these — the shm-vs-TCP split E19 reports).
+  [[nodiscard]] std::uint64_t shm_frames() const noexcept {
+    return shm_frames_;
+  }
+  [[nodiscard]] std::uint64_t shm_frame_bytes() const noexcept {
+    return shm_frame_bytes_;
+  }
+  /// Ring overruns survived (each cost one skip-to-head + TCP resync).
+  [[nodiscard]] std::uint64_t shm_overruns() const noexcept {
+    return shm_overruns_;
+  }
 
  private:
   void send_ack(std::uint64_t sequence);
   bool queue_record(std::string_view record);
   void flush_outbox();
+  /// Post-apply bookkeeping shared by the TCP and ring pumps: byte/kind
+  /// counters, the rebase guard, the latency sample and (TCP only) the
+  /// ack. True when the frame advanced the view — poll_frame's "one
+  /// frame" is delivered.
+  bool record_applied(std::uint64_t frames_before,
+                      std::uint64_t fulls_before, std::size_t wire_bytes,
+                      bool via_ring);
+  /// Polls the socket for up to `wait_ms` (0 = probe) and drains
+  /// readable bytes into buf_ / flushes the outbox when writable.
+  /// False when the connection died (already close()d).
+  bool drain_socket(int wait_ms);
 
   int fd_ = -1;
   MaterializedView view_;
@@ -131,6 +185,21 @@ class TelemetryClient {
   std::uint64_t full_frame_bytes_ = 0;
   std::uint64_t delta_frame_bytes_ = 0;
   std::uint64_t last_latency_ns_ = 0;
+  // Shm ring state (wire v3). shm_requested_ gates offer adoption —
+  // offers are solicited-only, an unrequested one is just skipped.
+  ShmRingReader ring_;
+  bool shm_requested_ = false;
+  // SHM_ACCEPT is deferred until a ring frame APPLIES: at adoption, and
+  // again after an overrun's RESYNC (which demotes us to TCP
+  // server-side), the live TCP stream is what walks the view up to the
+  // ring's delta chain — accepting earlier would freeze TCP while every
+  // ring delta is still a future gap, stranding both paths.
+  bool ring_accept_pending_ = false;
+  std::uint64_t shm_frames_ = 0;
+  std::uint64_t shm_frame_bytes_ = 0;
+  std::uint64_t shm_overruns_ = 0;
+  std::string ring_scratch_;   // reused poll() payload buffer
+  std::uint32_t ring_wait_count_ = 0;  // schedules periodic socket probes
 };
 
 }  // namespace approx::svc

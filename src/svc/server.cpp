@@ -20,6 +20,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <functional>
 #include <limits>
 #include <mutex>
@@ -29,12 +30,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include "svc/shm.hpp"
+
 namespace approx::svc {
 namespace detail {
 namespace {
 
 /// Longest ack record: type byte + 10-byte varint.
 constexpr std::size_t kMaxAckBytes = 11;
+
+/// CPU time this thread has burned so far (ns) — the per-thread clock,
+/// so sleeping out the tick costs nothing. Feeds the collector/io CPU
+/// stats E19 uses to show shm fan-out keeps server CPU flat.
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
 
 }  // namespace
 
@@ -72,6 +85,8 @@ class ServerCore {
     if (options_.group_heartbeat_ticks == 0) {
       options_.group_heartbeat_ticks = 1;
     }
+    if (options_.shm_slots == 0) options_.shm_slots = 1;
+    if (options_.shm_slot_bytes == 0) options_.shm_slot_bytes = 4096;
   }
 
   ~ServerCore() { stop(); }
@@ -106,11 +121,33 @@ class ServerCore {
     }
     port_ = ntohs(addr.sin_port);
 
+    // The shm ring (wire v3). Creation failure (no /dev/shm, rlimits)
+    // is not an error — the server just never offers and everyone
+    // stays on TCP.
+    ring_broken_.store(false, std::memory_order_relaxed);
+    shm_offer_frame_.reset();
+    if (options_.shm_enable &&
+        shm_.create(options_.shm_slots, options_.shm_slot_bytes)) {
+      ShmOffer offer;
+      offer.name = shm_.name();
+      offer.generation = shm_.generation();
+      offer.slot_count = shm_.slot_count();
+      offer.slot_payload_bytes = shm_.slot_payload_bytes();
+      auto frame = std::make_shared<std::string>();
+      if (encode_shm_offer_frame(offer, *frame)) {
+        shm_offer_frame_ = std::move(frame);  // shared by every offer
+      } else {
+        shm_.destroy();
+      }
+    }
+
     workers_.clear();
     for (unsigned i = 0; i < options_.io_threads; ++i) {
       auto worker = std::make_unique<Worker>();
       if (::pipe2(worker->wake_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
         close_pipes_and_listener();
+        shm_.destroy();
+        shm_offer_frame_.reset();
         return false;
       }
       workers_.push_back(std::move(worker));
@@ -135,6 +172,11 @@ class ServerCore {
     }
     close_pipes_and_listener();
     workers_.clear();
+    // After the joins: no thread can touch the ring now. Unlinking only
+    // removes the name — a still-attached reader keeps its mapping (and
+    // will see no new frames, then EOF on its TCP side).
+    shm_.destroy();
+    shm_offer_frame_.reset();
     {
       std::lock_guard glock(groups_mutex_);
       groups_.clear();  // worker-held refs died with workers_
@@ -170,6 +212,20 @@ class ServerCore {
         filtered_delta_encodes_.load(std::memory_order_relaxed);
     out.group_deltas_suppressed =
         group_deltas_suppressed_.load(std::memory_order_relaxed);
+    out.shm_requests_received =
+        shm_requests_received_.load(std::memory_order_relaxed);
+    out.shm_offers_sent = shm_offers_sent_.load(std::memory_order_relaxed);
+    out.shm_accepts_received =
+        shm_accepts_received_.load(std::memory_order_relaxed);
+    out.shm_frames_published =
+        shm_frames_published_.load(std::memory_order_relaxed);
+    out.shm_publish_failures =
+        shm_publish_failures_.load(std::memory_order_relaxed);
+    out.collector_cpu_ns = collector_cpu_ns_.load(std::memory_order_relaxed);
+    out.io_cpu_ns = retired_io_cpu_ns_.load(std::memory_order_relaxed);
+    for (const auto& worker : workers_) {
+      out.io_cpu_ns += worker->cpu_ns.load(std::memory_order_relaxed);
+    }
     std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
     for (const auto& worker : workers_) {
       floor = std::min(floor,
@@ -194,6 +250,16 @@ class ServerCore {
     /// registry version moves.
     std::vector<std::uint64_t> selection;
     std::uint64_t sel_regver = 0;
+    /// The registry version the group's WIRE STREAM is labeled with.
+    /// The registry is append-only and the name table name-sorted, so a
+    /// fixed filter's subset can only grow — a version bump that leaves
+    /// the selection SIZE unchanged left the subset (names and order)
+    /// unchanged too, merely shifting its flat indices. The group then
+    /// keeps streaming deltas under this pinned older label (its
+    /// subscribers' tables are untouched) instead of re-encoding a full
+    /// per group on every disjoint create; only a create that actually
+    /// lands in the subset bumps wire_regver and re-bases everyone.
+    std::uint64_t wire_regver = 0;
     /// The group's delta basis: sequence of the last frame shipped to
     /// the group (deltas cover (sent_seq, label]). Suppressed ticks do
     /// not advance it, so the next delta still covers them.
@@ -234,6 +300,11 @@ class ServerCore {
     std::string inbuf;  // partial ack/control bytes
     std::shared_ptr<FilterGroup> group;  // null: unfiltered (v1)
     bool force_full = false;  // RESYNC or filter change pending
+    bool shm_offer_pending = false;  // SHM_REQUEST seen; offer next
+    /// SHM_ACCEPT seen: the ring carries this client's data frames; we
+    /// send nothing per tick (force_full still goes over TCP — that is
+    /// the overrun-recovery path).
+    bool shm_consuming = false;
   };
 
   struct Worker {
@@ -244,6 +315,7 @@ class ServerCore {
     std::vector<Client> clients;  // worker-thread-owned
     std::atomic<std::uint64_t> min_acked{
         std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> cpu_ns{0};  // this thread's CPU so far
   };
 
   void close_pipes_and_listener() {
@@ -292,24 +364,33 @@ class ServerCore {
         encode_full_frame(frame, collect_ns, *full);
         pub.full = std::move(full);
       }
-      bool changed_valid = false;
+      bool groups_changed_valid = false;  // changed list usable for groups
       bool version_raced = false;
-      if (prev_seq != 0 && prev_regver == frame.registry_version) {
+      if (prev_seq != 0) {
         changed.clear();
         // A create racing in since our pass shifts flat-table indices;
-        // the walk then reports nullopt and this tick ships no shared
-        // delta — subscribers get the (old-table) full frame, and the
+        // the walk then reports nullopt and this tick ships no deltas
+        // at all — subscribers get the (old-table) full frame, and the
         // next tick re-collects under the new version. The collector is
         // the registry's only sequencer, so on success the walk's label
         // is exactly this frame's sequence.
         if (hooks_.changed_since(prev_seq, frame.registry_version, changed)
                 .has_value()) {
-          auto delta = std::make_shared<std::string>();
-          encode_delta_frame(frame.sequence, frame.registry_version,
-                             collect_ns, prev_seq, changed, *delta);
-          pub.base_seq = prev_seq;
-          pub.delta = std::move(delta);
-          changed_valid = true;
+          groups_changed_valid = true;
+          if (prev_regver == frame.registry_version) {
+            auto delta = std::make_shared<std::string>();
+            encode_delta_frame(frame.sequence, frame.registry_version,
+                               collect_ns, prev_seq, changed, *delta);
+            pub.base_seq = prev_seq;
+            pub.delta = std::move(delta);
+          }
+          // else: the table changed cleanly between ticks. Unfiltered
+          // clients re-base via fulls (their indices shifted), but the
+          // changed list indexes the NEW table — exactly what the group
+          // pass consumes, so filter groups whose subset the create did
+          // not touch keep their delta stream flowing under a pinned
+          // wire label instead of re-encoding a full each (see
+          // FilterGroup::wire_regver).
         } else {
           version_raced = true;
         }
@@ -341,7 +422,7 @@ class ServerCore {
           }
           pub.snapshot = std::move(snapshot);
           for (auto& [key, group] : groups_) {
-            if (changed_valid) {
+            if (groups_changed_valid) {
               build_group_delta(*group, frame, collect_ns, changed,
                                 group_subset);
             } else if (version_raced) {
@@ -350,13 +431,26 @@ class ServerCore {
               // once the new version publishes next tick.
               group->delta.reset();
             } else {
-              // First tick, or the table changed cleanly between
-              // ticks: re-base (subscribers re-sync via fulls).
+              // First tick: establish the basis.
               group->delta.reset();
               group->sent_seq = frame.sequence;
               group->ticks_suppressed = 0;
             }
           }
+        }
+      }
+      // The shm ring gets the same bytes the unfiltered TCP stream
+      // carries this tick (the shared delta when one exists, else the
+      // full), minus the u32le stream prefix — ring slots carry their
+      // own length, and readers hand the payload straight to the view.
+      if (shm_.active() && !ring_broken_.load(std::memory_order_relaxed)) {
+        const std::string& bytes = pub.delta ? *pub.delta : *pub.full;
+        if (shm_.publish(
+                std::string_view(bytes).substr(kFramePrefixBytes))) {
+          shm_frames_published_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shm_publish_failures_.fetch_add(1, std::memory_order_relaxed);
+          ring_broken_.store(true, std::memory_order_relaxed);
         }
       }
       {
@@ -367,6 +461,7 @@ class ServerCore {
       for (auto& worker : workers_) wake(*worker);
       prev_seq = frame.sequence;
       prev_regver = frame.registry_version;
+      collector_cpu_ns_.store(thread_cpu_ns(), std::memory_order_relaxed);
       // Sleep out the tick in 1 ms slices so stop() stays responsive.
       const auto deadline = tick_start + options_.period;
       while (running_.load(std::memory_order_acquire) &&
@@ -374,6 +469,7 @@ class ServerCore {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
+    collector_cpu_ns_.store(thread_cpu_ns(), std::memory_order_relaxed);
   }
 
   void worker_loop(unsigned index) {
@@ -432,11 +528,17 @@ class ServerCore {
       std::erase_if(worker.clients,
                     [](const Client& client) { return client.fd < 0; });
       publish_min_acked(worker);
+      worker.cpu_ns.store(thread_cpu_ns(), std::memory_order_relaxed);
     }
     for (Client& client : worker.clients) {
       if (client.fd >= 0) ::close(client.fd);
     }
     worker.clients.clear();
+    // Retire this thread's CPU into the durable sum (stats() adds live
+    // workers' cpu_ns on top; zero ours first so it never double
+    // counts).
+    worker.cpu_ns.store(0, std::memory_order_relaxed);
+    retired_io_cpu_ns_.fetch_add(thread_cpu_ns(), std::memory_order_relaxed);
   }
 
   void adopt_inbox(Worker& worker) {
@@ -581,9 +683,39 @@ class ServerCore {
         }
         if (control.kind == FrameKind::kSubscribe) {
           apply_subscription(client, std::move(control.filter));
+          // A subscription moves the client's data path back to TCP
+          // entirely: filtered frames cannot come off the (unfiltered)
+          // ring, and the client detached before sending SUBSCRIBE.
+          client.shm_consuming = false;
           subscribes_received_.fetch_add(1, std::memory_order_relaxed);
+        } else if (control.kind == FrameKind::kShmRequest) {
+          shm_requests_received_.fetch_add(1, std::memory_order_relaxed);
+          // No ring (disabled, create failed, broken): silently ignore
+          // — the requester simply stays on TCP.
+          if (shm_offer_frame_ &&
+              !ring_broken_.load(std::memory_order_relaxed)) {
+            client.shm_offer_pending = true;
+          }
+        } else if (control.kind == FrameKind::kShmAccept) {
+          // Generation must match OUR ring: a stale accept (e.g. raced
+          // with a ring break) keeps the client on TCP.
+          if (shm_.active() &&
+              !ring_broken_.load(std::memory_order_relaxed) &&
+              control.shm_generation == shm_.generation()) {
+            client.shm_consuming = true;
+            shm_accepts_received_.fetch_add(1, std::memory_order_relaxed);
+          }
         } else {
           client.force_full = true;  // RESYNC: full at the next service
+          // A RESYNC from a ring consumer means it lost the ring's
+          // delta chain (overrun, corrupt slot): demote it to TCP so
+          // deltas flow again after the recovery full. While the view
+          // trails the ring, every ring delta is a future-gap skip —
+          // only a live TCP stream can walk the view forward to where
+          // the ring's chain picks it up. The client re-ACCEPTs once a
+          // ring frame applies cleanly again, which re-freezes this
+          // stream (sent_seq stays stale-low for the next demotion).
+          client.shm_consuming = false;
           resyncs_received_.fetch_add(1, std::memory_order_relaxed);
         }
         client.inbuf.erase(0, kControlPrefixBytes +
@@ -627,7 +759,34 @@ class ServerCore {
                       std::vector<std::uint64_t>& selection_scratch) {
     if (client.fd < 0) return;
     if (!flush(client)) return;  // blocked mid-frame (or just closed)
-    if (client.fd < 0 || pub.seq == 0) return;
+    if (client.fd < 0) return;
+    if (client.shm_offer_pending) {
+      // The offer rides the data channel — framed like a data frame, it
+      // lands between frames, never splitting one.
+      client.shm_offer_pending = false;
+      if (shm_offer_frame_ &&
+          !ring_broken_.load(std::memory_order_relaxed)) {
+        client.out = shm_offer_frame_;
+        client.off = 0;
+        shm_offers_sent_.fetch_add(1, std::memory_order_relaxed);
+        flush(client);
+        return;
+      }
+    }
+    if (pub.seq == 0) return;
+    if (client.shm_consuming) {
+      if (ring_broken_.load(std::memory_order_relaxed)) {
+        // Demote back to TCP. Safe mid-stream: sent_seq was frozen at
+        // the last TCP-sent frame (stale-low), so the catch-up below
+        // re-covers ticks the ring already delivered — deltas carry
+        // absolute values and apply idempotently. (An overrun RESYNC
+        // demotes in read_inbound for the same reason; by the time
+        // force_full is set this flag is already down.)
+        client.shm_consuming = false;
+      } else {
+        return;  // data rides the ring: zero per-tick work here
+      }
+    }
     if (client.group) {
       service_filtered(client, pub, changed_scratch, selection_scratch);
       return;
@@ -668,9 +827,11 @@ class ServerCore {
         // pub.collect_ns belongs to pass pub.seq; when the walk ran
         // ahead to a newer completed pass, stamping it would date newer
         // values with an older clock (inflating consumer latency), so
-        // the stamp is dropped (0 = not recorded) for that rare race.
+        // that rare race stamps the encode-time clock instead — the
+        // values are at least that fresh, so the consumer's latency
+        // reads a tight upper bound rather than losing the sample.
         const std::uint64_t stamp_ns =
-            *upto == pub.seq ? pub.collect_ns : 0;
+            *upto == pub.seq ? pub.collect_ns : steady_now_ns();
         encode_delta_frame(*upto, pub.registry_version, stamp_ns,
                            client.sent_seq, changed_scratch, *buf);
         client.out = std::move(buf);
@@ -705,6 +866,7 @@ class ServerCore {
     std::uint64_t delta_base = 0;
     std::uint64_t delta_regver = 0;
     std::uint64_t group_sent = 0;
+    std::uint64_t group_wire = 0;
     {
       std::lock_guard glock(groups_mutex_);
       const FilterGroup& group = *client.group;
@@ -713,16 +875,23 @@ class ServerCore {
       delta_base = group.delta_base;
       delta_regver = group.delta_regver;
       group_sent = group.sent_seq;
+      group_wire = group.wire_regver;
     }
+    // Re-base against the group's WIRE label, not the raw registry
+    // version: a create outside the subset bumps the registry but not
+    // wire_regver, so in-step subscribers keep streaming deltas instead
+    // of all taking a filtered full (the satellite-1 pin).
     if (client.force_full || client.sent_seq == 0 ||
-        client.sent_regver != pub.registry_version) {
+        client.sent_regver != group_wire) {
       if (pub.seq <= client.sent_seq) return;  // re-base next tick
-      std::shared_ptr<const std::string> full = group_full(client, pub);
+      std::uint64_t full_wire = pub.registry_version;
+      std::shared_ptr<const std::string> full =
+          group_full(client, pub, full_wire);
       if (!full) return;  // no snapshot this tick (group just born)
       client.out = std::move(full);
       client.off = 0;
       client.sent_seq = pub.seq;
-      client.sent_regver = pub.registry_version;
+      client.sent_regver = full_wire;
       client.force_full = false;
       full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
       flush(client);
@@ -747,9 +916,17 @@ class ServerCore {
       std::lock_guard glock(groups_mutex_);
       if (client.group->sel_regver != pub.registry_version) {
         if (!pub.snapshot) return;  // selection rebuild next tick
-        ensure_selection_locked(*client.group, *pub.snapshot);
+        if (ensure_selection_locked(*client.group, *pub.snapshot)) {
+          // The rebuild changed the subset itself: a delta in the new
+          // subset-index space would misapply onto this client's old
+          // table. Re-base instead (the wire_regver bump makes the
+          // next service call take the full path).
+          client.force_full = true;
+          return;
+        }
       }
       selection_scratch = client.group->selection;
+      group_wire = client.group->wire_regver;
     }
     changed_scratch.clear();
     const std::optional<std::uint64_t> upto = hooks_.changed_since_filtered(
@@ -763,9 +940,12 @@ class ServerCore {
     }
     auto buf = std::make_shared<std::string>();
     // Same stamp rule as the unfiltered catch-up: pub.collect_ns dates
-    // pass pub.seq only.
-    const std::uint64_t stamp_ns = *upto == pub.seq ? pub.collect_ns : 0;
-    encode_delta_frame(*upto, pub.registry_version, stamp_ns,
+    // pass pub.seq only; a walk that ran ahead stamps the encode-time
+    // clock. Labeled with the group's pinned wire version — the index
+    // space of the client's filtered table.
+    const std::uint64_t stamp_ns =
+        *upto == pub.seq ? pub.collect_ns : steady_now_ns();
+    encode_delta_frame(*upto, group_wire, stamp_ns,
                        client.sent_seq, changed_scratch, *buf);
     client.out = std::move(buf);
     client.off = 0;
@@ -778,27 +958,44 @@ class ServerCore {
   /// (lazily, cached per group+tick) no matter how many subscribers
   /// need it. Null when the tick published no snapshot (the group was
   /// born after the collector's pass — next tick has one).
-  std::shared_ptr<const std::string> group_full(Client& client,
-                                                const PublishedFrame& pub) {
+  /// `wire_regver_out` receives the registry label the full carries —
+  /// the group's pinned wire version, which the caller records as the
+  /// client's sent_regver.
+  std::shared_ptr<const std::string> group_full(
+      Client& client, const PublishedFrame& pub,
+      std::uint64_t& wire_regver_out) {
     std::lock_guard glock(groups_mutex_);
     FilterGroup& group = *client.group;
-    if (group.full && group.full_seq == pub.seq) return group.full;
+    if (group.full && group.full_seq == pub.seq) {
+      wire_regver_out = group.wire_regver;
+      return group.full;
+    }
     if (!pub.snapshot) return nullptr;
     ensure_selection_locked(group, *pub.snapshot);
     auto buf = std::make_shared<std::string>();
     encode_full_frame_filtered(*pub.snapshot, group.selection,
-                               pub.collect_ns, *buf);
+                               pub.collect_ns, group.wire_regver, *buf);
     group.full = std::move(buf);
     group.full_seq = pub.seq;
+    wire_regver_out = group.wire_regver;
     filtered_full_encodes_.fetch_add(1, std::memory_order_relaxed);
     return group.full;
   }
 
   /// Rebuilds the group's flat-index selection when the registry's
-  /// name table moved. Caller holds groups_mutex_.
-  void ensure_selection_locked(FilterGroup& group,
+  /// name table moved. Returns true when the SUBSET itself changed —
+  /// and then bumps the group's pinned wire_regver, which re-bases its
+  /// subscribers. The registry is append-only and its name table
+  /// name-sorted, so a fixed filter's subset can only grow: an
+  /// unchanged selection SIZE across a version bump means an unchanged
+  /// subset (names and order), merely shifted flat indices — the pin
+  /// that lets disjoint creates leave the group's stream untouched.
+  /// Caller holds groups_mutex_.
+  bool ensure_selection_locked(FilterGroup& group,
                                const shard::TelemetryFrame& frame) {
-    if (group.sel_regver == frame.registry_version) return;
+    if (group.sel_regver == frame.registry_version) return false;
+    const bool had = group.sel_regver != 0;
+    const std::size_t prev_size = group.selection.size();
     group.selection.clear();
     for (std::size_t i = 0; i < frame.samples.size(); ++i) {
       if (group.filter.matches(frame.samples[i].name)) {
@@ -806,6 +1003,10 @@ class ServerCore {
       }
     }
     group.sel_regver = frame.registry_version;
+    const bool subset_changed =
+        !had || group.selection.size() != prev_size;
+    if (subset_changed) group.wire_regver = frame.registry_version;
+    return subset_changed;
   }
 
   /// The collector's per-tick group encode: intersects the tick's
@@ -817,7 +1018,15 @@ class ServerCore {
                          std::uint64_t collect_ns,
                          const std::vector<DeltaEntry>& changed,
                          std::vector<DeltaEntry>& subset) {
-    ensure_selection_locked(group, frame);
+    if (ensure_selection_locked(group, frame)) {
+      // A create landed IN the subset (or this is the first build):
+      // wire_regver just bumped, so every subscriber re-bases via a
+      // filtered full. No delta this tick; reset the basis to it.
+      group.delta.reset();
+      group.sent_seq = frame.sequence;
+      group.ticks_suppressed = 0;
+      return;
+    }
     subset.clear();
     // Both sides ascend by flat index: one two-pointer pass. Entries
     // are emitted with SUBSET positions — the filtered table's index
@@ -842,12 +1051,16 @@ class ServerCore {
       return;
     }
     auto buf = std::make_shared<std::string>();
-    encode_delta_frame(frame.sequence, frame.registry_version, collect_ns,
+    // Labeled with the group's pinned wire version (== the registry
+    // version of its subscribers' tables), NOT the raw registry
+    // version: across disjoint creates the stream keeps flowing under
+    // the old label and nobody re-bases.
+    encode_delta_frame(frame.sequence, group.wire_regver, collect_ns,
                        group.sent_seq, subset, *buf);
     group.delta = std::move(buf);
     group.delta_seq = frame.sequence;
     group.delta_base = group.sent_seq;
-    group.delta_regver = frame.registry_version;
+    group.delta_regver = group.wire_regver;
     group.sent_seq = frame.sequence;
     group.ticks_suppressed = 0;
     filtered_delta_encodes_.fetch_add(1, std::memory_order_relaxed);
@@ -895,6 +1108,23 @@ class ServerCore {
   std::atomic<std::uint64_t> filtered_full_encodes_{0};
   std::atomic<std::uint64_t> filtered_delta_encodes_{0};
   std::atomic<std::uint64_t> group_deltas_suppressed_{0};
+  std::atomic<std::uint64_t> shm_requests_received_{0};
+  std::atomic<std::uint64_t> shm_offers_sent_{0};
+  std::atomic<std::uint64_t> shm_accepts_received_{0};
+  std::atomic<std::uint64_t> shm_frames_published_{0};
+  std::atomic<std::uint64_t> shm_publish_failures_{0};
+  std::atomic<std::uint64_t> collector_cpu_ns_{0};
+  std::atomic<std::uint64_t> retired_io_cpu_ns_{0};  // exited workers' sum
+  /// The shm snapshot ring (wire v3). shm_ and shm_offer_frame_ are
+  /// (re)built in start() before any thread spawns and torn down in
+  /// stop() after every join, so the collector publishes through shm_
+  /// and workers read shm_offer_frame_ without locks.
+  ShmRingWriter shm_;
+  std::shared_ptr<const std::string> shm_offer_frame_;
+  /// Latched when a frame outgrows its slot: a ring reader could never
+  /// decode past the gap, so the ring is done for this run — offers
+  /// stop and accepted clients are demoted back to TCP.
+  std::atomic<bool> ring_broken_{false};
 };
 
 }  // namespace detail

@@ -56,6 +56,20 @@
 //     the latest. A v1 client simply never sends control records and
 //     sees the unchanged v1 stream.
 //
+//   * shared-memory ring (wire v3) — when ServerOptions::shm_enable,
+//     the collector also publishes each tick's unfiltered frame (the
+//     shared delta, else the full) into a seqlock shm ring
+//     (base/seqlock_ring.hpp via svc/shm.hpp). A same-host client
+//     sends SHM_REQUEST, receives SHM_OFFER (segment name, generation,
+//     geometry) on its data stream, maps the segment read-only and
+//     confirms with SHM_ACCEPT — from then on the server sends it no
+//     per-tick data frames (zero per-reader syscalls AND zero
+//     per-reader server work; the swarm's cost no longer scales with
+//     its size), while its TCP connection stays up for control,
+//     liveness and recovery: an overrun reader RESYNCs and the full
+//     goes over TCP; a SUBSCRIBE moves the client back to (filtered)
+//     TCP frames entirely. Remote and declining clients never notice.
+//
 // Catch-up deltas are encoded from the registry's tracking columns via
 // the version-guarded for_each_changed_since walk: if a create shifted
 // the name-table indices since the frame was published, the walk
@@ -96,6 +110,19 @@ struct ServerOptions {
   /// ticks (liveness + sequence advance for its subscribers). Minimum 1
   /// (1 = heartbeat every tick, v1 cadence).
   unsigned group_heartbeat_ticks = 16;
+  /// Shared-memory snapshot ring (wire v3, see shm.hpp): when enabled
+  /// the collector also publishes each tick's unfiltered frame into a
+  /// POSIX shm ring, and same-host clients that SHM_REQUEST it consume
+  /// frames with zero syscalls and zero server-side per-reader work.
+  /// Disabling (or a host without /dev/shm — create failure is
+  /// tolerated) simply leaves everyone on TCP. The ring is
+  /// shm_slots × (shm_slot_bytes + 88) bytes of /dev/shm; a frame that
+  /// outgrows a slot permanently breaks the ring for this run (offers
+  /// stop, accepted clients are demoted to TCP) — size slots for the
+  /// fleet's full frame.
+  bool shm_enable = true;
+  std::uint32_t shm_slots = 64;
+  std::uint64_t shm_slot_bytes = 64 * 1024;
 };
 
 /// Monotonic counters describing a server's life so far. stats() may be
@@ -125,6 +152,20 @@ struct ServerStats {
   /// frame was shipped to it (not coalescing — there was nothing to
   /// say; a heartbeat bounds the silence).
   std::uint64_t group_deltas_suppressed = 0;
+  // Shared-memory ring transport (wire v3).
+  std::uint64_t shm_requests_received = 0;
+  std::uint64_t shm_offers_sent = 0;
+  std::uint64_t shm_accepts_received = 0;  // clients moved off TCP data
+  std::uint64_t shm_frames_published = 0;  // ring writes by the collector
+  /// Frames that did not fit a ring slot; any > 0 means the ring broke
+  /// and shm clients were demoted back to TCP.
+  std::uint64_t shm_publish_failures = 0;
+  /// CPU time (CLOCK_THREAD_CPUTIME_ID, ns) burned by the collector
+  /// thread / summed over the I/O workers so far. The shm scaling
+  /// evidence: per-subscriber work lives in io_cpu_ns, and a ring
+  /// consumer adds none (E19 pins server CPU flat in shm-swarm size).
+  std::uint64_t collector_cpu_ns = 0;
+  std::uint64_t io_cpu_ns = 0;
 };
 
 namespace detail {

@@ -1,0 +1,156 @@
+// shm.cpp — POSIX shm segment lifecycle for the snapshot ring.
+#include "svc/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+
+#include <climits>  // INT_MAX
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "svc/wire.hpp"  // steady_now_ns
+
+namespace approx::svc {
+namespace {
+
+/// The futex word: the doorbell's low 32 bits (little-endian region).
+std::uint32_t* doorbell_word(void* region) {
+  return reinterpret_cast<std::uint32_t*>(static_cast<char*>(region) +
+                                          base::ring_detail::kOffDoorbell);
+}
+
+}  // namespace
+
+bool ShmRingWriter::create(std::uint32_t slot_count,
+                           std::uint64_t slot_payload_bytes) {
+  if (active() || slot_count == 0 || slot_payload_bytes == 0) return false;
+  // The nonce is both the segment-name suffix (no collision with a
+  // previous incarnation's segment, even after a crash left one behind)
+  // and the ring generation (readers holding a stale offer cannot
+  // attach, and ones attached to a dead ring detect it).
+  std::uint64_t nonce =
+      steady_now_ns() ^ (static_cast<std::uint64_t>(::getpid()) << 32);
+  if (nonce == 0) nonce = 1;
+  char name[kMaxShmNameBytes];
+  std::snprintf(name, sizeof(name), "/approx-ring-%d-%016" PRIx64,
+                static_cast<int>(::getpid()), nonce);
+  const std::size_t size =
+      base::seqlock_ring_region_bytes(slot_count, slot_payload_bytes);
+  const int fd = ::shm_open(name, O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return false;
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name);
+    return false;
+  }
+  void* region =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the segment alive
+  if (region == MAP_FAILED) {
+    ::shm_unlink(name);
+    return false;
+  }
+  if (!writer_.format(region, size, slot_count, slot_payload_bytes, nonce)) {
+    ::munmap(region, size);
+    ::shm_unlink(name);
+    return false;
+  }
+  name_ = name;
+  region_ = region;
+  region_size_ = size;
+  return true;
+}
+
+bool ShmRingWriter::publish(std::string_view payload) {
+  if (!active() || !writer_.publish(payload.data(), payload.size())) {
+    return false;
+  }
+#ifdef __linux__
+  // Plain (non-PRIVATE) futex: readers are other processes sharing the
+  // mapping. One syscall wakes every parked reader — the server-side
+  // cost of a tick stays O(1) in the subscriber count (the kernel's
+  // wake walk is O(waiters), but that is ~1 µs each, not a socket
+  // write each).
+  ::syscall(SYS_futex, doorbell_word(region_), FUTEX_WAKE, INT_MAX, nullptr,
+            nullptr, 0);
+#endif
+  return true;
+}
+
+void ShmRingWriter::destroy() {
+  if (!active()) return;
+  ::munmap(region_, region_size_);
+  ::shm_unlink(name_.c_str());
+  region_ = nullptr;
+  region_size_ = 0;
+  name_.clear();
+}
+
+bool ShmRingReader::open(const std::string& name, std::uint64_t generation) {
+  if (mapped() || name.empty() || name.size() >= kMaxShmNameBytes ||
+      name[0] != '/' || generation == 0) {
+    return false;
+  }
+  const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* region = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (region == MAP_FAILED) return false;
+  if (!reader_.attach(region, size) || reader_.generation() != generation) {
+    ::munmap(region, size);
+    return false;
+  }
+  region_ = region;
+  region_size_ = size;
+  return true;
+}
+
+bool ShmRingReader::wait(std::uint32_t seen,
+                         std::chrono::milliseconds timeout) {
+  if (!mapped() || timeout.count() <= 0) return true;
+#ifdef __linux__
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1000) * 1'000'000;
+  const long rc = ::syscall(SYS_futex, doorbell_word(region_), FUTEX_WAIT,
+                            seen, &ts, nullptr, 0);
+  if (rc == 0 || errno == EAGAIN || errno == EINTR) {
+    return true;  // woken, already-rung, or signalled
+  }
+  if (errno == ETIMEDOUT) return false;
+  // EFAULT/ENOSYS etc. (e.g. a kernel refusing futex on the read-only
+  // mapping): fall through to the sleep fallback so the caller still
+  // makes progress at tick-ish granularity. Report "quiet" so callers
+  // keep probing their out-of-band channels.
+#endif
+  std::this_thread::sleep_for(std::min(timeout, std::chrono::milliseconds(1)));
+  return false;
+}
+
+void ShmRingReader::close() {
+  if (!mapped()) return;
+  reader_.detach();
+  ::munmap(region_, region_size_);
+  region_ = nullptr;
+  region_size_ = 0;
+}
+
+}  // namespace approx::svc

@@ -1,0 +1,142 @@
+// shm.hpp — POSIX shared-memory bindings for the seqlock snapshot ring.
+//
+// The transport halves of base/seqlock_ring.hpp: ShmRingWriter owns a
+// POSIX shm segment (shm_open + ftruncate + mmap; unlinked on destroy)
+// and publishes encoded frame payloads into the ring formatted inside
+// it; ShmRingReader maps an offered segment read-only and polls frames
+// out. The server creates one writer at start(); clients learn the
+// segment's name/generation/geometry from an SHM_OFFER record
+// (wire.hpp) and attach a reader.
+//
+// Both ends instantiate the ring primitive with RelaxedDirectBackend:
+// the ring is service plumbing, not one of the paper's algorithms, and
+// its seqlock protocol is audited site-by-site in seqlock_ring.hpp
+// (the seq_cst instantiations remain the formal model and are stressed
+// by the same TSan test).
+// Wake-ups ride the ring header's doorbell word: the writer rings it
+// (one futex FUTEX_WAKE, shared, per published frame — per TICK, not
+// per reader) and readers park on it with FUTEX_WAIT, so a frame
+// reaches every parked reader at scheduler speed instead of a polling
+// timer's. On non-Linux hosts the wait degrades to a short sleep; the
+// data path is identical either way.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/seqlock_ring.hpp"
+#include "svc/wire.hpp"  // kMaxShmNameBytes
+
+namespace approx::svc {
+
+/// Server side: creates, formats, publishes into and finally unlinks
+/// one shm ring segment. Single-owner, single-writer.
+class ShmRingWriter {
+ public:
+  ShmRingWriter() = default;
+  ~ShmRingWriter() { destroy(); }
+  ShmRingWriter(const ShmRingWriter&) = delete;
+  ShmRingWriter& operator=(const ShmRingWriter&) = delete;
+
+  /// Creates a fresh segment (name derived from pid + a nonce, which
+  /// doubles as the ring generation) sized for `slot_count` slots of
+  /// `slot_payload_bytes`. False (state unchanged) when shm is
+  /// unavailable — the caller serves TCP-only.
+  bool create(std::uint32_t slot_count, std::uint64_t slot_payload_bytes);
+
+  /// Unmaps and unlinks the segment. Live readers keep their mapping
+  /// (POSIX keeps the pages until the last unmap) but a later writer
+  /// restart under the same name cannot collide: the name carries the
+  /// nonce. Idempotent.
+  void destroy();
+
+  /// Publishes one encoded frame payload and rings the doorbell (one
+  /// FUTEX_WAKE for however many readers are parked). False when it
+  /// does not fit a slot (the caller's cue to stop offering the ring)
+  /// or no segment exists.
+  bool publish(std::string_view payload);
+
+  [[nodiscard]] bool active() const noexcept { return region_ != nullptr; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return writer_.generation();
+  }
+  [[nodiscard]] std::uint32_t slot_count() const noexcept {
+    return writer_.slot_count();
+  }
+  [[nodiscard]] std::uint64_t slot_payload_bytes() const noexcept {
+    return writer_.payload_capacity();
+  }
+  [[nodiscard]] std::uint64_t frames_published() const noexcept {
+    return writer_.frames_published();
+  }
+
+ private:
+  base::RelaxedSeqlockRingWriter writer_;
+  std::string name_;
+  void* region_ = nullptr;
+  std::size_t region_size_ = 0;
+};
+
+/// Client side: maps an offered segment read-only and polls frames.
+class ShmRingReader {
+ public:
+  ShmRingReader() = default;
+  ~ShmRingReader() { close(); }
+  ShmRingReader(const ShmRingReader&) = delete;
+  ShmRingReader& operator=(const ShmRingReader&) = delete;
+
+  /// Maps `name` (PROT_READ) and attaches to the ring inside, verifying
+  /// it carries exactly the offered `generation`. False (state
+  /// unchanged) on any mismatch — a stale offer must not attach to a
+  /// restarted writer's ring.
+  bool open(const std::string& name, std::uint64_t generation);
+
+  /// Unmaps. Idempotent.
+  void close();
+
+  [[nodiscard]] bool mapped() const noexcept { return region_ != nullptr; }
+
+  /// See base::SeqlockRingReaderT::poll. kDead additionally covers a
+  /// closed/never-opened reader.
+  base::RingPoll poll(std::string& out) {
+    return mapped() ? reader_.poll(out) : base::RingPoll::kDead;
+  }
+
+  void skip_to_head() noexcept {
+    if (mapped()) reader_.skip_to_head();
+  }
+
+  /// The attached ring's generation (0 when unmapped) — what a client
+  /// echoes in SHM_ACCEPT, including the re-accept after an overrun.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return mapped() ? reader_.generation() : 0;
+  }
+
+  /// The futex half of the doorbell word (its low 32 bits — the region
+  /// is little-endian by the ring's contract). Read BEFORE poll()ing;
+  /// pass to wait() only if the ring came up empty.
+  [[nodiscard]] std::uint32_t doorbell() const noexcept {
+    return static_cast<std::uint32_t>(reader_.doorbell());
+  }
+
+  /// Parks on the doorbell until the writer rings it, `timeout`
+  /// expires, or the doorbell no longer holds `seen` (a frame landed
+  /// between the caller's doorbell read and this call — returns
+  /// immediately; the standard futex race close). Readers mapped
+  /// read-only can wait: FUTEX_WAIT only loads. Where futex is
+  /// unavailable (non-Linux, or a kernel refusing the read-only
+  /// mapping) this degrades to a ~1 ms sleep — correct, just slower.
+  /// False when the wait ran the full timeout with no ring (the
+  /// caller's cue that the writer has gone quiet); true otherwise.
+  bool wait(std::uint32_t seen, std::chrono::milliseconds timeout);
+
+ private:
+  base::RelaxedSeqlockRingReader reader_;
+  void* region_ = nullptr;
+  std::size_t region_size_ = 0;
+};
+
+}  // namespace approx::svc

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 namespace approx::svc {
@@ -152,10 +153,12 @@ void encode_full_frame(const shard::TelemetryFrame& frame,
 
 void encode_full_frame_filtered(const shard::TelemetryFrame& frame,
                                 const std::vector<std::uint64_t>& selection,
-                                std::uint64_t collect_ns, std::string& out) {
+                                std::uint64_t collect_ns,
+                                std::uint64_t registry_version,
+                                std::string& out) {
   out.clear();
   append_u32le(out, 0);  // length prefix, patched below
-  append_header(out, FrameKind::kFull, frame.sequence, frame.registry_version,
+  append_header(out, FrameKind::kFull, frame.sequence, registry_version,
                 collect_ns);
   append_uvarint(out, selection.size());
   for (const std::uint64_t index : selection) {
@@ -234,12 +237,13 @@ bool SubscriptionFilter::within_limits() const noexcept {
 
 namespace {
 
-void append_control_header(std::string& out, FrameKind kind) {
+void append_control_header(std::string& out, FrameKind kind,
+                           std::uint8_t version = kControlVersion) {
   out.push_back(static_cast<char>(kControlByte));
   append_u32le(out, 0);  // payload length, patched by the caller
   out.push_back(static_cast<char>(kWireMagic0));
   out.push_back(static_cast<char>(kWireMagic1));
-  out.push_back(static_cast<char>(kControlVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(kind));
 }
 
@@ -261,7 +265,37 @@ void encode_resync_record(std::string& out) {
   patch_length_at(out, 1);
 }
 
-bool decode_control_payload(std::string_view payload, ControlFrame& out) {
+void encode_shm_request_record(std::string& out) {
+  out.clear();
+  append_control_header(out, FrameKind::kShmRequest, kShmVersion);
+  patch_length_at(out, 1);
+}
+
+void encode_shm_accept_record(std::uint64_t generation, std::string& out) {
+  out.clear();
+  append_control_header(out, FrameKind::kShmAccept, kShmVersion);
+  append_uvarint(out, generation);
+  patch_length_at(out, 1);
+}
+
+bool encode_shm_offer_frame(const ShmOffer& offer, std::string& out) {
+  out.clear();
+  if (offer.name.empty() || offer.name.size() > kMaxShmNameBytes) return false;
+  append_u32le(out, 0);  // stream length prefix, patched below
+  out.push_back(static_cast<char>(kWireMagic0));
+  out.push_back(static_cast<char>(kWireMagic1));
+  out.push_back(static_cast<char>(kShmVersion));
+  out.push_back(static_cast<char>(FrameKind::kShmOffer));
+  append_uvarint(out, offer.name.size());
+  out.append(offer.name);
+  append_uvarint(out, offer.generation);
+  append_uvarint(out, offer.slot_count);
+  append_uvarint(out, offer.slot_payload_bytes);
+  patch_length_prefix(out);
+  return true;
+}
+
+bool decode_shm_offer(std::string_view payload, ShmOffer& out) {
   const char* cursor = payload.data();
   const char* const end = cursor + payload.size();
   std::uint8_t magic0 = 0;
@@ -273,11 +307,52 @@ bool decode_control_payload(std::string_view payload, ControlFrame& out) {
     return false;
   }
   if (magic0 != kWireMagic0 || magic1 != kWireMagic1 ||
-      version != kControlVersion) {
+      version != kShmVersion ||
+      static_cast<FrameKind>(kind) != FrameKind::kShmOffer) {
     return false;
   }
+  std::uint64_t name_len = 0;
+  if (!read_uvarint(&cursor, end, name_len) ||
+      name_len == 0 || name_len > kMaxShmNameBytes ||
+      name_len > static_cast<std::uint64_t>(end - cursor)) {
+    return false;
+  }
+  out.name.assign(cursor, static_cast<std::size_t>(name_len));
+  cursor += name_len;
+  std::uint64_t slot_count = 0;
+  if (!read_uvarint(&cursor, end, out.generation) ||
+      !read_uvarint(&cursor, end, slot_count) ||
+      !read_uvarint(&cursor, end, out.slot_payload_bytes)) {
+    return false;
+  }
+  if (out.generation == 0 || slot_count == 0 ||
+      slot_count > std::numeric_limits<std::uint32_t>::max() ||
+      out.slot_payload_bytes == 0) {
+    return false;
+  }
+  out.slot_count = static_cast<std::uint32_t>(slot_count);
+  return cursor == end;  // trailing garbage = not our frame
+}
+
+bool decode_control_payload(std::string_view payload, ControlFrame& out) {
+  const char* cursor = payload.data();
+  const char* const end = cursor + payload.size();
+  std::uint8_t magic0 = 0;
+  std::uint8_t magic1 = 0;
+  std::uint8_t version = 0;
+  std::uint8_t kind = 0;
+  if (!read_u8(&cursor, end, magic0) || !read_u8(&cursor, end, magic1) ||
+      !read_u8(&cursor, end, version) || !read_u8(&cursor, end, kind)) {
+    return false;
+  }
+  if (magic0 != kWireMagic0 || magic1 != kWireMagic1) return false;
+  out.filter = SubscriptionFilter{};
+  out.shm_generation = 0;
+  // Each control kind is checked against the version that introduced
+  // it: SUBSCRIBE/RESYNC are v2, SHM_REQUEST/SHM_ACCEPT are v3.
   switch (static_cast<FrameKind>(kind)) {
     case FrameKind::kSubscribe:
+      if (version != kControlVersion) return false;
       out.kind = FrameKind::kSubscribe;
       if (!read_name_list(&cursor, end, out.filter.exact) ||
           !read_name_list(&cursor, end, out.filter.prefixes)) {
@@ -287,9 +362,21 @@ bool decode_control_payload(std::string_view payload, ControlFrame& out) {
       out.filter.normalize();
       return true;
     case FrameKind::kResync:
+      if (version != kControlVersion) return false;
       out.kind = FrameKind::kResync;
-      out.filter = SubscriptionFilter{};
       return cursor == end;  // resync carries no body
+    case FrameKind::kShmRequest:
+      if (version != kShmVersion) return false;
+      out.kind = FrameKind::kShmRequest;
+      return cursor == end;  // request carries no body
+    case FrameKind::kShmAccept:
+      if (version != kShmVersion) return false;
+      out.kind = FrameKind::kShmAccept;
+      if (!read_uvarint(&cursor, end, out.shm_generation) ||
+          out.shm_generation == 0) {
+        return false;
+      }
+      return cursor == end;
     default:
       return false;
   }
@@ -379,6 +466,8 @@ ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
   sequence_ = sequence;
   registry_version_ = registry_version;
   collect_ns_ = collect_ns;
+  last_data_sequence_ = sequence;  // a (re)based table is fresh data
+  last_data_collect_ns_ = collect_ns;
   rebase_pending_ = false;  // the awaited re-basing full, if one was due
   ++frames_applied_;
   ++full_frames_;
@@ -437,6 +526,12 @@ ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
   entries_updated_ += delta_scratch_.size();
   sequence_ = sequence;
   collect_ns_ = collect_ns;
+  if (delta_scratch_.empty()) {
+    ++heartbeat_frames_;  // stream freshness only; the data did not move
+  } else {
+    last_data_sequence_ = sequence;
+    last_data_collect_ns_ = collect_ns;
+  }
   ++frames_applied_;
   ++delta_frames_;
   return ApplyResult::kApplied;

@@ -27,10 +27,25 @@
 //               prefix_count:uv { len:uv prefix }*        (kind 2)
 //   resync   := (empty)                                   (kind 3)
 //
+// Protocol v3 adds the same-host shared-memory ring negotiation. A
+// client that wants the zero-syscall read path sends SHM_REQUEST; the
+// server — iff it has a healthy ring — answers on the DATA channel with
+// SHM_OFFER (stream framing, v3 header; solicited only, so a v1/v2
+// client that never asks never sees an unknown frame); the client maps
+// the segment and confirms with SHM_ACCEPT, after which the server
+// stops sending it per-tick data frames (the ring carries them) while
+// the TCP connection stays up for control, liveness and resync fulls:
+//
+//   shm_req  := (empty)                                   (kind 4, c→s)
+//   shm_offer:= name_len:uv name generation:uv
+//               slot_count:uv slot_payload_bytes:uv       (kind 5, s→c)
+//   shm_acc  := generation:uv                             (kind 6, c→s)
+//
 // The header version byte names the protocol revision that introduced
 // the frame's layout: FULL/DELTA are v1 layouts (frozen — a v2 server's
-// data frames still decode on a v1 client), SUBSCRIBE/RESYNC are v2. A
-// decoder accepts a frame iff it knows that (version, kind) pair.
+// data frames still decode on a v1 client), SUBSCRIBE/RESYNC are v2,
+// the SHM records are v3. A decoder accepts a frame iff it knows that
+// (version, kind) pair.
 //
 // SUBSCRIBE installs a subscription filter: the client henceforth
 // receives only counters whose name is in `exact` or starts with one of
@@ -53,12 +68,14 @@
 // otherwise — the server falls back to a full frame, and a decoder must
 // reject the mismatch with kNeedFull).
 //
-// collect_ns is the steady-clock timestamp (nanoseconds) taken when the
-// frame's samples were collected; same-host consumers (E17's load
+// collect_ns is the server's steady-clock timestamp (nanoseconds) taken
+// when the frame was ENCODED — for the shared per-tick frames that is
+// the moment their samples were collected; a per-client catch-up delta
+// is stamped at its own encode. Same-host consumers (E17's load
 // generator) subtract it from their own steady clock for end-to-end
-// latency. 0 = not recorded. Steady-clock values are process-portable on
-// one host but NOT across hosts; cross-host consumers should treat it as
-// opaque.
+// latency, and every frame (heartbeats included) refreshes it. 0 = not
+// recorded. Steady-clock values are process-portable on one host but
+// NOT across hosts; cross-host consumers should treat it as opaque.
 //
 // Decode safety: every read is bounds-checked; a truncated buffer, bad
 // magic/version/kind/model byte, overlong varint or out-of-range delta
@@ -85,13 +102,18 @@ inline constexpr std::uint8_t kWireVersion = 1;
 /// Layout version of the CONTROL frames (SUBSCRIBE/RESYNC) — the v2
 /// additions.
 inline constexpr std::uint8_t kControlVersion = 2;
+/// Layout version of the shared-memory negotiation records (v3).
+inline constexpr std::uint8_t kShmVersion = 3;
 
 /// Frame kinds on the wire (header byte 3).
 enum class FrameKind : std::uint8_t {
-  kFull = 0,       // complete snapshot incl. the name table (v1)
-  kDelta = 1,      // changed (index, value) pairs since base_seq (v1)
-  kSubscribe = 2,  // client→server: install a subscription filter (v2)
-  kResync = 3,     // client→server: send a fresh full now (v2)
+  kFull = 0,        // complete snapshot incl. the name table (v1)
+  kDelta = 1,       // changed (index, value) pairs since base_seq (v1)
+  kSubscribe = 2,   // client→server: install a subscription filter (v2)
+  kResync = 3,      // client→server: send a fresh full now (v2)
+  kShmRequest = 4,  // client→server: offer me your shm ring (v3)
+  kShmOffer = 5,    // server→client data channel: ring coordinates (v3)
+  kShmAccept = 6,   // client→server: ring mapped, stop TCP data (v3)
 };
 
 /// One changed counter in a delta frame: flat-table index + new value.
@@ -118,6 +140,9 @@ inline constexpr std::size_t kControlPrefixBytes = 5;
 inline constexpr std::size_t kMaxControlPayload = 128 * 1024;
 inline constexpr std::size_t kMaxFilterEntries = 128;    // per list
 inline constexpr std::size_t kMaxFilterNameBytes = 256;  // per name/prefix
+/// Longest shm segment name an SHM_OFFER may carry (ours are ~40
+/// bytes; POSIX portable shm names are NAME_MAX-ish).
+inline constexpr std::size_t kMaxShmNameBytes = 128;
 
 /// A subscription filter: which counters a subscriber wants. A name
 /// matches if it equals one of `exact` or starts with one of
@@ -153,11 +178,42 @@ bool encode_subscribe_record(const SubscriptionFilter& filter,
 /// Encodes a send-ready RESYNC record into `out`.
 void encode_resync_record(std::string& out);
 
+// --- v3 shared-memory ring negotiation --------------------------------
+
+/// The coordinates an SHM_OFFER carries: everything a same-host client
+/// needs to map the server's snapshot ring and verify it attached to
+/// the offering incarnation (the generation doubles as the ring's
+/// writer-restart detector — see base/seqlock_ring.hpp).
+struct ShmOffer {
+  std::string name;  // POSIX shm segment name ("/approx-ring-...")
+  std::uint64_t generation = 0;
+  std::uint32_t slot_count = 0;
+  std::uint64_t slot_payload_bytes = 0;
+};
+
+/// Encodes a send-ready SHM_REQUEST control record into `out`.
+void encode_shm_request_record(std::string& out);
+
+/// Encodes a send-ready SHM_ACCEPT control record into `out`.
+void encode_shm_accept_record(std::uint64_t generation, std::string& out);
+
+/// Encodes `offer` as a stream-ready DATA-channel frame (u32le prefix +
+/// v3 header + body). False (out cleared) on an over-long name.
+bool encode_shm_offer_frame(const ShmOffer& offer, std::string& out);
+
+/// Strictly decodes a data-channel payload as an SHM_OFFER. False when
+/// the payload is not a (well-formed) v3 offer — the caller then hands
+/// it to MaterializedView::apply as usual. Clients MUST try this before
+/// apply(): the view rejects the v3 version byte as corrupt.
+bool decode_shm_offer(std::string_view payload, ShmOffer& out);
+
 /// A decoded control payload (SUBSCRIBE carries its filter, normalized;
-/// RESYNC carries nothing).
+/// SHM_ACCEPT carries the accepted ring generation; the rest carry
+/// nothing).
 struct ControlFrame {
   FrameKind kind = FrameKind::kResync;
   SubscriptionFilter filter;
+  std::uint64_t shm_generation = 0;  // kShmAccept only
 };
 
 /// Decodes one control payload (the bytes AFTER the 0xC5 + u32le
@@ -195,10 +251,24 @@ void encode_full_frame(const shard::TelemetryFrame& frame,
 /// (ascending flat-table indices). The emitted subset keeps the
 /// name-sorted order, so it is the receiving view's complete name table
 /// and later delta frames for this subset index into it positionally
-/// (index j = selection[j]).
+/// (index j = selection[j]). `registry_version` labels the header: a
+/// filter group whose SUBSET survived a registry create unchanged keeps
+/// streaming under its pinned older label (see server.hpp), so the
+/// label is the group's wire version, not necessarily the frame's.
 void encode_full_frame_filtered(const shard::TelemetryFrame& frame,
                                 const std::vector<std::uint64_t>& selection,
-                                std::uint64_t collect_ns, std::string& out);
+                                std::uint64_t collect_ns,
+                                std::uint64_t registry_version,
+                                std::string& out);
+
+/// Convenience form labeling with the frame's own registry version.
+inline void encode_full_frame_filtered(
+    const shard::TelemetryFrame& frame,
+    const std::vector<std::uint64_t>& selection, std::uint64_t collect_ns,
+    std::string& out) {
+  encode_full_frame_filtered(frame, selection, collect_ns,
+                             frame.registry_version, out);
+}
 
 /// Encodes a stream-ready DELTA frame carrying `entries` (flat-table
 /// index + value, any order) relative to `base_seq`: a view at sequence
@@ -270,10 +340,23 @@ class MaterializedView {
     return registry_version_;
   }
 
-  /// collect_ns stamp of the newest applied frame (steady-clock ns on
-  /// the serving host; 0 = server did not stamp).
+  /// collect_ns stamp of the newest applied frame (the server's steady
+  /// clock when the frame was encoded; 0 = server did not stamp).
+  /// Advances on heartbeats too — this is STREAM freshness ("how stale
+  /// is my connection"), as opposed to the data-freshness pair below.
   [[nodiscard]] std::uint64_t last_collect_ns() const noexcept {
     return collect_ns_;
+  }
+
+  /// DATA freshness: sequence/stamp of the newest frame that actually
+  /// changed the table (wrote ≥ 1 entry or re-based it) — heartbeats
+  /// advance sequence()/last_collect_ns() but not these. sequence() −
+  /// last_data_sequence() is "frames since anything I watch moved".
+  [[nodiscard]] std::uint64_t last_data_sequence() const noexcept {
+    return last_data_sequence_;
+  }
+  [[nodiscard]] std::uint64_t last_data_collect_ns() const noexcept {
+    return last_data_collect_ns_;
   }
 
   // Stream statistics (staleness / health metadata).
@@ -285,6 +368,10 @@ class MaterializedView {
   }
   [[nodiscard]] std::uint64_t delta_frames() const noexcept {
     return delta_frames_;
+  }
+  /// Applied deltas that carried no entries (liveness heartbeats).
+  [[nodiscard]] std::uint64_t heartbeat_frames() const noexcept {
+    return heartbeat_frames_;
   }
   [[nodiscard]] std::uint64_t entries_updated() const noexcept {
     return entries_updated_;
@@ -309,9 +396,12 @@ class MaterializedView {
   std::uint64_t sequence_ = 0;
   std::uint64_t registry_version_ = 0;
   std::uint64_t collect_ns_ = 0;
+  std::uint64_t last_data_sequence_ = 0;
+  std::uint64_t last_data_collect_ns_ = 0;
   std::uint64_t frames_applied_ = 0;
   std::uint64_t full_frames_ = 0;
   std::uint64_t delta_frames_ = 0;
+  std::uint64_t heartbeat_frames_ = 0;
   std::uint64_t entries_updated_ = 0;
   std::uint64_t stale_frames_skipped_ = 0;
   bool rebase_pending_ = false;  // filter change / resync in flight

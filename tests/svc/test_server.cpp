@@ -703,5 +703,148 @@ TEST(SnapshotServer, GarbageInboundBytesCloseTheOffender) {
   server.stop();
 }
 
+TEST(SnapshotServer, DisjointCreateLeavesFilterGroupStreamUntouched) {
+  // Satellite regression: a registry create OUTSIDE a filter group's
+  // subset must not interrupt the group — the append-only name-sorted
+  // table means an unchanged selection size is an unchanged subset, so
+  // the group keeps streaming deltas under its pinned wire version.
+  // No re-basing filtered full, no full re-encode, no client rebase.
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& hot =
+      registry.create("grp_hot", {ErrorModel::kExact, 0, 1});
+  registry.create("noise_0", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      hot.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  TelemetryClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  SubscriptionFilter filter;
+  filter.prefixes = {"grp_"};
+  ASSERT_TRUE(client.subscribe(filter));
+  bool rebased = false;
+  for (int i = 0; i < 400 && !rebased; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+    rebased = !client.view().rebase_pending() &&
+              client.view().samples().size() == 1;
+  }
+  ASSERT_TRUE(rebased);
+  ASSERT_TRUE(await_value(client, "grp_hot",
+                          client.view().samples()[0].value + 5));
+
+  const std::uint64_t fulls_before = client.view().full_frames();
+  const std::uint64_t ffe_before = server.stats().filtered_full_encodes;
+
+  // Disjoint creates that sort BEFORE the subset: every flat index in
+  // the selection shifts, the registry version bumps — the strongest
+  // "nothing visible should happen" case.
+  for (int i = 0; i < 3; ++i) {
+    registry.create("aaa_disjoint_" + std::to_string(i),
+                    {ErrorModel::kExact, 0, 1});
+    ASSERT_TRUE(await_value(client, "grp_hot",
+                            client.view().samples()[0].value + 3));
+  }
+  EXPECT_EQ(client.view().full_frames(), fulls_before)
+      << "a disjoint create re-based the filter group";
+  EXPECT_EQ(client.view().samples().size(), 1u);
+  EXPECT_EQ(client.view().samples()[0].name, "grp_hot");
+  EXPECT_EQ(server.stats().filtered_full_encodes, ffe_before)
+      << "a disjoint create forced a filtered full re-encode";
+
+  // A create INSIDE the subset is the real table change: the group
+  // re-bases via a fresh filtered full carrying both names.
+  registry.create("grp_new", {ErrorModel::kExact, 0, 1});
+  for (int i = 0; i < 400 && client.view().samples().size() != 2; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  }
+  ASSERT_EQ(client.view().samples().size(), 2u);
+  EXPECT_EQ(client.view().samples()[0].name, "grp_hot");
+  EXPECT_EQ(client.view().samples()[1].name, "grp_new");
+  EXPECT_GT(client.view().full_frames(), fulls_before);
+  EXPECT_GT(server.stats().filtered_full_encodes, ffe_before);
+
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+  server.stop();
+}
+
+TEST(SnapshotServer, IdleSubsetHeartbeatsCarryClockAndStalenessSplit) {
+  // Satellite regression: heartbeat deltas carry the server's clock
+  // stamp (an idle-subset subscriber's latency stays measured), and the
+  // view splits stream freshness (sequence/collect) from data freshness
+  // (last_data_*): heartbeats advance the former, only payload frames
+  // the latter.
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& quiet =
+      registry.create("quiet_q", {ErrorModel::kExact, 0, 1});
+  shard::AnyCounter& busy =
+      registry.create("busy_b", {ErrorModel::kExact, 0, 1});
+  quiet.increment(0);
+  ServerOptions options;
+  options.period = 5ms;
+  options.group_heartbeat_ticks = 2;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      busy.increment(0);  // fleet-wide churn the subset never sees
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  TelemetryClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  SubscriptionFilter filter;
+  filter.prefixes = {"quiet_"};
+  ASSERT_TRUE(client.subscribe(filter));
+  bool rebased = false;
+  for (int i = 0; i < 400 && !rebased; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+    rebased = !client.view().rebase_pending() &&
+              client.view().samples().size() == 1;
+  }
+  ASSERT_TRUE(rebased);
+  const std::uint64_t data_seq_after_full = client.view().last_data_sequence();
+  EXPECT_EQ(data_seq_after_full, client.view().sequence());
+
+  // The subset stays untouched: everything from here is heartbeats.
+  const std::uint64_t heartbeats_before = client.view().heartbeat_frames();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+    // The stamp satellite: a heartbeat is still a measured frame — the
+    // subscriber's latency reflects the server's clock, not 0 (and not
+    // a stale reading parked since the last payload frame).
+    EXPECT_GT(client.last_latency_ns(), 0u);
+    EXPECT_LT(client.last_latency_ns(), 2'000'000'000u);
+  }
+  EXPECT_GE(client.view().heartbeat_frames(), heartbeats_before + 3);
+  // Stream freshness advanced; data freshness stayed at the full.
+  EXPECT_GT(client.view().sequence(), data_seq_after_full);
+  EXPECT_EQ(client.view().last_data_sequence(), data_seq_after_full);
+  EXPECT_LE(client.view().last_data_collect_ns(),
+            client.view().last_collect_ns());
+
+  // One touch in the subset: the next payload delta moves data
+  // freshness forward again.
+  quiet.increment(1);
+  ASSERT_TRUE(await_value(client, "quiet_q", 2));
+  EXPECT_GT(client.view().last_data_sequence(), data_seq_after_full);
+
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+  server.stop();
+}
+
 }  // namespace
 }  // namespace approx::svc

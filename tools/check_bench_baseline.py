@@ -25,10 +25,31 @@ generations. Hence:
 Usage:
   check_bench_baseline.py <bench-json-dir> [--baselines=bench/baselines]
       [--tolerance=0.40] [--arch=auto] [--update]
+      [--dry-run-from-artifact]
 
 --update (re)writes the baselines for this arch from the given JSON
 directory instead of checking — run it on the target machine at the
 same --scale CI uses, and commit the result.
+
+--dry-run-from-artifact previews an --update without writing anything:
+for each JSON document it prints the baseline path it would (re)write,
+the metric count, and — where a committed baseline already exists — an
+advisory geomean drift. Exit 0 whenever the input directory is
+readable; use it to sanity-check a downloaded CI artifact before
+committing baselines from a machine you cannot rerun on.
+
+Arming a new arch (e.g. the arm64 runner) from its CI artifacts is one
+download plus one update — run from the repo root:
+
+  gh run download --name bench-json-arm64 --dir /tmp/bench-json-arm64
+  python3 tools/check_bench_baseline.py /tmp/bench-json-arm64 \
+      --dry-run-from-artifact --arch=aarch64       # preview first
+  python3 tools/check_bench_baseline.py /tmp/bench-json-arm64 \
+      --arch=aarch64 --update                      # then write + commit
+
+(the arm64 job uploads its artifacts under that name on every run, so
+no arm64 hardware is needed locally; until the baselines land, the
+arm64 guard step prints the skip notice below and passes).
 """
 
 import json
@@ -138,12 +159,51 @@ def update(json_dir, baseline_dir, arch):
     return 0
 
 
+def dry_run(json_dir, baseline_dir, arch):
+    """Preview --update: what would be written, and advisory drift vs
+    any committed baseline. Never writes; exit 0 on readable input."""
+    docs = load_json_dir(json_dir)
+    if docs is None:
+        return 1
+    arch_dir = os.path.join(baseline_dir, arch)
+    for bench, doc in sorted(docs.items()):
+        metrics = extract_metrics(doc)
+        if not metrics:
+            print(f"  {bench:28s} no rate-like metrics — would not write")
+            continue
+        path = os.path.join(arch_dir, f"{bench}.json")
+        if not os.path.exists(path):
+            print(f"  {bench:28s} would write {path}"
+                  f" ({len(metrics)} metrics, new)")
+            continue
+        with open(path) as handle:
+            baseline = json.load(handle)
+        ratios = [
+            metrics[key] / base_value
+            for key, base_value in baseline.get("metrics", {}).items()
+            if key in metrics and base_value > 0.0
+        ]
+        drift = (
+            "no comparable metrics"
+            if not ratios
+            else "geomean drift {:.2f}x over {} metrics".format(
+                math.exp(sum(math.log(r) for r in ratios) / len(ratios)),
+                len(ratios),
+            )
+        )
+        print(f"  {bench:28s} would replace {path}"
+              f" ({len(metrics)} metrics, {drift})")
+    print(f"baseline-check: dry run for {arch} — nothing written")
+    return 0
+
+
 def check(json_dir, baseline_dir, arch, tolerance):
     arch_dir = os.path.join(baseline_dir, arch)
     if not os.path.isdir(arch_dir):
         print(
             f"baseline-check: no baselines for {arch} under {baseline_dir};"
-            " skipping (run with --update on this arch to arm the guard)"
+            " skipping — arm the guard from this arch's CI artifacts"
+            " (one-command recipe in this script's docstring)"
         )
         return 0
     docs = load_json_dir(json_dir)
@@ -200,6 +260,7 @@ def main(argv):
     tolerance = 0.40
     arch = platform.machine()
     do_update = False
+    do_dry_run = False
     for arg in argv[1:]:
         if arg.startswith("--baselines="):
             baseline_dir = arg.split("=", 1)[1]
@@ -211,6 +272,8 @@ def main(argv):
                 arch = value
         elif arg == "--update":
             do_update = True
+        elif arg == "--dry-run-from-artifact":
+            do_dry_run = True
         elif arg.startswith("--"):
             print(__doc__)
             return 2
@@ -219,6 +282,8 @@ def main(argv):
     if json_dir is None or not os.path.isdir(json_dir):
         print(__doc__)
         return 2
+    if do_dry_run:
+        return dry_run(json_dir, baseline_dir, arch)
     if do_update:
         return update(json_dir, baseline_dir, arch)
     return check(json_dir, baseline_dir, arch, tolerance)
