@@ -135,6 +135,9 @@ int main() {
         in_band = sample.value == v;
         band = "exact";
         break;
+      case approx::shard::ErrorModel::kHistogram:
+        band = "hist";  // this fleet registers no histograms
+        break;
     }
     all_in_band = all_in_band && in_band;
     std::cout << "  " << std::setw(12) << sample.name << "  exact="

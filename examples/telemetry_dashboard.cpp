@@ -19,7 +19,9 @@
 //
 // Exits 0 only if K frames were decoded, the "startup_marker" counter
 // decodes to exactly 42 whenever the subscription includes it (the
-// ground truth the server planted before serving), and — with
+// ground truth the server planted before serving), the
+// "startup_latency_hist" vector entry decodes to its known p50/p99
+// buckets whenever included (printing "hist_p99 OK"), and — with
 // --stall-ms — the resync produced its full. This makes the binary
 // double as the CI smoke assertion over real sockets and (with --shm)
 // over the shared-memory ring.
@@ -33,6 +35,7 @@
 #include <thread>
 
 #include "shard/registry.hpp"
+#include "stats/quantile.hpp"
 #include "svc/client.hpp"
 
 namespace {
@@ -41,6 +44,11 @@ constexpr std::uint64_t kExpectedMarker = 42;
 
 const char* model_tag(approx::shard::ErrorModel model) {
   return approx::shard::error_model_name(model);
+}
+
+// True when the subscription prefix covers `name` (empty = everything).
+bool covered(const std::string& prefix, std::string_view name) {
+  return prefix.empty() || name.substr(0, prefix.size()) == prefix;
 }
 
 }  // namespace
@@ -175,6 +183,8 @@ int main(int argc, char** argv) {
             << std::setw(12) << "bound" << std::setw(10) << "age\n";
   bool marker_seen = false;
   bool marker_ok = false;
+  bool hist_seen = false;
+  bool hist_ok = false;
   for (std::size_t i = 0; i < view.samples().size(); ++i) {
     const shard::Sample& sample = view.samples()[i];
     // Frames are self-describing; staleness is per counter: "age" is
@@ -184,6 +194,34 @@ int main(int argc, char** argv) {
               << model_tag(sample.model) << std::setw(12)
               << sample.error_bound << std::setw(9)
               << view.sequence() - view.entry_update_seq()[i] << "\n";
+    if (sample.model == shard::ErrorModel::kHistogram) {
+      // Vector entry: derive rank-error-bounded quantiles straight from
+      // the decoded bucket counts — same math, other side of the wire.
+      const stats::QuantileView quantiles(sample);
+      if (quantiles.valid()) {
+        const stats::QuantileEstimate p50 = quantiles.p50();
+        const stats::QuantileEstimate p99 = quantiles.p99();
+        std::cout << "    p50 in (" << p50.lower_edge << ", "
+                  << p50.upper_edge << "]  p99 in (" << p99.lower_edge
+                  << ", " << p99.upper_edge << "]  (N=" << quantiles.total()
+                  << ", rank err <= " << quantiles.rank_error_bound()
+                  << ", " << quantiles.num_buckets() << " buckets)\n";
+      } else {
+        std::cout << "    (histogram entry with no decodable buckets)\n";
+      }
+      if (sample.name == "startup_latency_hist") {
+        hist_seen = true;
+        // Planted by the server: values 1..1000, flushed, quiescent —
+        // counts {10,90,400,500,0}, so p50 in (100,500], p99 in
+        // (500,1000], with per-bucket slack 16 (k=16, one shard).
+        hist_ok = quantiles.valid() && sample.value == 1000 &&
+                  quantiles.p50().lower_edge == 100 &&
+                  quantiles.p50().upper_edge == 500 &&
+                  quantiles.p99().lower_edge == 500 &&
+                  quantiles.p99().upper_edge == 1000 &&
+                  sample.error_bound == 16;
+      }
+    }
     if (sample.name == "startup_marker") {
       marker_seen = true;
       marker_ok = sample.value == kExpectedMarker &&
@@ -192,9 +230,7 @@ int main(int argc, char** argv) {
   }
   // The marker must decode correctly whenever the subscription covers
   // it; a filtered view that excludes it has nothing to assert.
-  const bool marker_expected =
-      prefix.empty() ||
-      std::string_view("startup_marker").substr(0, prefix.size()) == prefix;
+  const bool marker_expected = covered(prefix, "startup_marker");
   if (marker_expected && !(marker_seen && marker_ok)) {
     std::cerr << "\nstartup_marker != " << kExpectedMarker
               << ": decoded state disagrees with the server\n";
@@ -205,6 +241,20 @@ int main(int argc, char** argv) {
               << prefix << " but was streamed anyway\n";
     return 1;
   }
+  // Same contract for the planted histogram: whenever the subscription
+  // covers it, its decoded quantiles must match the known plant.
+  const bool hist_expected = covered(prefix, "startup_latency_hist");
+  if (hist_expected && !(hist_seen && hist_ok)) {
+    std::cerr << "\nstartup_latency_hist quantiles disagree with the"
+                 " planted distribution\n";
+    return 1;
+  }
+  if (!hist_expected && hist_seen) {
+    std::cerr << "\nfilter leak: startup_latency_hist is outside --prefix="
+              << prefix << " but was streamed anyway\n";
+    return 1;
+  }
+  if (hist_expected) std::cout << "hist_p99 OK\n";
   if (marker_expected) {
     std::cout << "\nstartup_marker=" << kExpectedMarker << " OK\n";
   } else {

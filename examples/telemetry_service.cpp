@@ -13,7 +13,9 @@
 // dashboard asserts on: "startup_marker" is an exact counter bumped to
 // exactly 42 BEFORE serving starts, so any subscriber on any frame can
 // check a decoded value against a known ground truth — the CI smoke's
-// correctness probe.
+// correctness probe. "startup_latency_hist" plays the same role for
+// vector entries: a flushed, quiescent histogram whose decoded p99
+// bucket is known in advance, plus a live one the workers keep hot.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -27,6 +29,7 @@
 #include "base/backend.hpp"
 #include "shard/registry.hpp"
 #include "sim/workload.hpp"
+#include "stats/histogram.hpp"
 #include "svc/server.hpp"
 
 namespace {
@@ -35,6 +38,12 @@ constexpr unsigned kWorkers = 3;
 // Pid space: workers 0..2, server aggregator 3 (one thread per pid).
 constexpr unsigned kServerPid = kWorkers;
 constexpr std::uint64_t kStartupMarkerValue = 42;
+// The planted histogram mirrors the marker trick for vector entries:
+// values 1..1000 recorded at pid 0 and flushed before serving, never
+// touched again. With bounds {10,100,500,1000} the exact bucket counts
+// are {10,90,400,500,0}, so any decoded view must put p50 in (100,500]
+// and p99 in (500,1000] — the dashboard's "hist_p99 OK" probe.
+constexpr std::uint64_t kPlantedValues = 1000;
 
 struct Stat {
   const char* name;
@@ -77,6 +86,26 @@ int main(int argc, char** argv) {
     counters.push_back(&registry.create(stat.name, stat.spec));
   }
 
+  // Planted vector-entry ground truth (see kPlantedValues above).
+  stats::HistogramSpec planted_spec;
+  planted_spec.bounds = {10, 100, 500, 1000};
+  planted_spec.k = 16;
+  planted_spec.shards = 1;
+  shard::AnyHistogram* planted = stats::create_histogram<base::DirectBackend>(
+      registry, "startup_latency_hist", planted_spec);
+  for (std::uint64_t v = 1; v <= kPlantedValues; ++v) planted->record(0, v);
+  planted->flush(0);  // quiescent + flushed: decoded counts are exact
+
+  // A live histogram the workers hammer while frames stream: exercises
+  // the vector delta path under real concurrency (no exact assertion —
+  // the planted one covers correctness).
+  stats::HistogramSpec live_spec;
+  live_spec.bounds = stats::exponential_bounds(32, 2.0, 8);  // 32..4096
+  live_spec.k = 256;
+  live_spec.shards = 2;
+  shard::AnyHistogram* live = stats::create_histogram<base::DirectBackend>(
+      registry, "request_latency_hist", live_spec);
+
   svc::ServerOptions options;
   options.port = port;
   options.period = std::chrono::milliseconds(20);
@@ -96,6 +125,7 @@ int main(int argc, char** argv) {
         for (std::size_t s = 0; s < counters.size(); ++s) {
           if (rng.chance(kStats[s].rate)) counters[s]->increment(pid);
         }
+        live->record(pid, 1 + rng.next() % 4096);
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     });

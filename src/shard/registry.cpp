@@ -9,6 +9,8 @@ const char* error_model_name(ErrorModel model) noexcept {
       return "mult";
     case ErrorModel::kAdditive:
       return "add";
+    case ErrorModel::kHistogram:
+      return "hist";
     case ErrorModel::kExact:
     default:
       return "exact";

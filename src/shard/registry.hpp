@@ -41,6 +41,16 @@
 // negligible against the shared-memory operations behind it (same
 // argument as sim/adapters.hpp).
 //
+// Vector-valued entries: a fleet row may instead be a histogram — a
+// fixed vector of bucket counters behind the `AnyHistogram` interface
+// (implemented by the stats layer; the dependency stays stats → shard).
+// Histogram rows live in the same name-sorted flat table, carry model
+// kHistogram with error_bound = the composed per-bucket slack, and a
+// collect pass snapshots their bucket vector into Sample::bucket_counts
+// (bounds are constant and copied only on version change). Change
+// tracking compares whole bucket vectors, so an idle histogram
+// contributes nothing to a delta walk.
+//
 // Locking note: the shared_mutex serializes only create/lookup/
 // snapshot-all against each other. increment()/read() on a handle never
 // touch the registry — the hot path stays wait-free.
@@ -48,6 +58,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -57,6 +68,7 @@
 #include <string>
 #include <vector>
 
+#include "base/kmath.hpp"
 #include "shard/sharded_counter.hpp"
 
 namespace approx::shard {
@@ -72,12 +84,32 @@ struct CounterSpec {
   ShardPolicy policy = ShardPolicy::kHashPinned;
 };
 
-/// One counter's reading in a snapshot-all pass.
+/// One entry's reading in a snapshot-all pass. Scalar entries leave the
+/// bucket vectors empty; histogram entries (model kHistogram) carry the
+/// B−1 finite upper edges + B bucket counts, with `value` the saturated
+/// sum of the counts and `error_bound` the per-BUCKET one-sided slack.
 struct Sample {
   std::string name;
   std::uint64_t value = 0;
   ErrorModel model = ErrorModel::kExact;
   std::uint64_t error_bound = 0;
+  std::vector<std::uint64_t> bucket_bounds;  // constant per entry
+  std::vector<std::uint64_t> bucket_counts;  // refreshed every pass
+};
+
+/// Type-erased vector-valued instrument (histogram) held by the
+/// registry. Implemented by src/stats (see stats/histogram.hpp); the
+/// registry only needs enough surface to collect and describe it.
+class AnyHistogram {
+ public:
+  virtual ~AnyHistogram() = default;
+  virtual void record(unsigned pid, std::uint64_t value) = 0;
+  virtual void snapshot_into(unsigned pid,
+                             std::vector<std::uint64_t>& counts) = 0;
+  virtual void flush(unsigned pid) = 0;
+  [[nodiscard]] virtual const std::vector<std::uint64_t>& bucket_bounds()
+      const = 0;
+  [[nodiscard]] virtual std::uint64_t per_bucket_bound() const = 0;
 };
 
 /// Type-erased sharded counter held by the registry.
@@ -143,6 +175,8 @@ class RegistryT {
   /// wins). The reference stays valid for the registry's lifetime.
   AnyCounter& create(const std::string& name, const CounterSpec& spec) {
     std::unique_lock lock(mutex_);
+    assert(histograms_.find(name) == histograms_.end() &&
+           "registry names are unique across instrument kinds");
     auto it = counters_.find(name);
     if (it == counters_.end()) {
       it = counters_.emplace(name, make_counter(spec)).first;
@@ -155,8 +189,12 @@ class RegistryT {
           [](const Entry& entry, const std::string& key) {
             return entry.name < key;
           });
-      flat_.insert(pos, Entry{name, &counter, counter.error_model(),
-                              counter.error_bound()});
+      Entry entry;
+      entry.name = name;
+      entry.counter = &counter;
+      entry.model = counter.error_model();
+      entry.error_bound = counter.error_bound();
+      flat_.insert(pos, std::move(entry));
       ++version_;
     }
     return *it->second;
@@ -167,6 +205,43 @@ class RegistryT {
     std::shared_lock lock(mutex_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : it->second.get();
+  }
+
+  /// Get-or-create the vector-valued entry `name`. `make` is invoked
+  /// (under the exclusive lock) only when the name is new and must
+  /// return a std::unique_ptr<AnyHistogram>; like create(), a second
+  /// call with the same name returns the existing instrument and the
+  /// first spec wins. Returns nullptr iff the name is already taken by
+  /// a scalar counter — names are unique across instrument kinds.
+  template <typename Factory>
+  AnyHistogram* add_histogram(const std::string& name, Factory&& make) {
+    std::unique_lock lock(mutex_);
+    if (counters_.find(name) != counters_.end()) return nullptr;
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, make()).first;
+      AnyHistogram& hist = *it->second;
+      const auto pos = std::lower_bound(
+          flat_.begin(), flat_.end(), name,
+          [](const Entry& entry, const std::string& key) {
+            return entry.name < key;
+          });
+      Entry entry;
+      entry.name = name;
+      entry.model = ErrorModel::kHistogram;
+      entry.error_bound = hist.per_bucket_bound();
+      entry.hist = &hist;
+      flat_.insert(pos, std::move(entry));
+      ++version_;
+    }
+    return it->second.get();
+  }
+
+  /// The histogram registered under `name`, or nullptr.
+  [[nodiscard]] AnyHistogram* lookup_histogram(const std::string& name) const {
+    std::shared_lock lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
   }
 
   /// Reads every registered counter (as process `pid`) into one
@@ -210,11 +285,13 @@ class RegistryT {
     return refresh_locked(pid, out, cached_version, &pass_seq);
   }
 
-  /// Invokes `fn(index, name, value, changed_seq)` for every flat-table
-  /// entry whose value changed in a sequenced pass with sequence > `seq`
-  /// (index = position in the name-sorted table, i.e. the wire name-table
-  /// index; value = the one the latest completed pass collected, NOT a
-  /// fresh read). An unchanged fleet yields no calls: the empty delta.
+  /// Invokes `fn(index, name, value, changed_seq, counts)` for every
+  /// flat-table entry whose value changed in a sequenced pass with
+  /// sequence > `seq` (index = position in the name-sorted table, i.e.
+  /// the wire name-table index; value = the one the latest completed
+  /// pass collected, NOT a fresh read; counts = pointer to that pass's
+  /// bucket vector for a histogram entry, nullptr for a scalar). An
+  /// unchanged fleet yields no calls: the empty delta.
   ///
   /// The walk is only meaningful against the name table the caller
   /// believes in: if the registry's version no longer equals
@@ -233,7 +310,8 @@ class RegistryT {
     for (std::size_t i = 0; i < flat_.size(); ++i) {
       const Entry& entry = flat_[i];
       if (entry.changed_seq > seq) {
-        fn(i, entry.name, entry.last_value, entry.changed_seq);
+        fn(i, entry.name, entry.last_value, entry.changed_seq,
+           entry.hist != nullptr ? &entry.last_counts : nullptr);
       }
     }
     return last_pass_seq_;
@@ -243,7 +321,7 @@ class RegistryT {
   /// per-subscription delta walk: visits only the flat-table indices in
   /// `selection` (ascending positions, e.g. the rows matching a
   /// subscription filter), invoking
-  /// `fn(subset_index, flat_index, name, value, changed_seq)` —
+  /// `fn(subset_index, flat_index, name, value, changed_seq, counts)` —
   /// subset_index is the position within `selection`, i.e. the wire
   /// index of a *filtered* name table. Same version guard and sequence
   /// label as the unfiltered walk; additionally refuses (nullopt) a
@@ -262,7 +340,8 @@ class RegistryT {
       const Entry& entry = flat_[static_cast<std::size_t>(selection[j])];
       if (entry.changed_seq > seq) {
         fn(j, static_cast<std::size_t>(selection[j]), entry.name,
-           entry.last_value, entry.changed_seq);
+           entry.last_value, entry.changed_seq,
+           entry.hist != nullptr ? &entry.last_counts : nullptr);
       }
     }
     return last_pass_seq_;
@@ -279,9 +358,10 @@ class RegistryT {
     return version_;
   }
 
+  /// Total registered entries (scalar counters + histograms).
   [[nodiscard]] std::size_t size() const {
     std::shared_lock lock(mutex_);
-    return counters_.size();
+    return flat_.size();
   }
 
   [[nodiscard]] unsigned num_processes() const noexcept { return n_; }
@@ -300,14 +380,38 @@ class RegistryT {
         out[i].name = flat_[i].name;
         out[i].model = flat_[i].model;
         out[i].error_bound = flat_[i].error_bound;
+        if (flat_[i].hist != nullptr) {
+          out[i].bucket_bounds = flat_[i].hist->bucket_bounds();
+        } else {
+          out[i].bucket_bounds.clear();
+          out[i].bucket_counts.clear();
+        }
       }
     }
     for (std::size_t i = 0; i < flat_.size(); ++i) {
-      const std::uint64_t value = flat_[i].counter->read(pid);
+      const Entry& entry = flat_[i];
+      if (entry.hist != nullptr) {
+        // Vector entry: snapshot straight into the caller's storage (a
+        // plain shared-lock pass must not touch the flat table), then
+        // derive the scalar value as the saturated count sum.
+        entry.hist->snapshot_into(pid, out[i].bucket_counts);
+        std::uint64_t total = 0;
+        for (const std::uint64_t count : out[i].bucket_counts) {
+          total = base::sat_add(total, count);
+        }
+        out[i].value = total;
+        if (pass_seq != nullptr && out[i].bucket_counts != entry.last_counts) {
+          entry.last_counts = out[i].bucket_counts;
+          entry.last_value = total;
+          entry.changed_seq = *pass_seq;
+        }
+        continue;
+      }
+      const std::uint64_t value = entry.counter->read(pid);
       out[i].value = value;
-      if (pass_seq != nullptr && value != flat_[i].last_value) {
-        flat_[i].last_value = value;
-        flat_[i].changed_seq = *pass_seq;
+      if (pass_seq != nullptr && value != entry.last_value) {
+        entry.last_value = value;
+        entry.changed_seq = *pass_seq;
       }
     }
     if (pass_seq != nullptr) last_pass_seq_ = *pass_seq;
@@ -337,15 +441,19 @@ class RegistryT {
   /// destroyed or reconfigured before the registry).
   struct Entry {
     std::string name;
-    AnyCounter* counter;
-    ErrorModel model;
-    std::uint64_t error_bound;
+    AnyCounter* counter = nullptr;  // scalar entries; else nullptr
+    ErrorModel model = ErrorModel::kExact;
+    std::uint64_t error_bound = 0;
+    AnyHistogram* hist = nullptr;  // vector entries; else nullptr
     // Change-tracking columns, written only by sequenced collects under
     // the exclusive lock (mutable: those collects are const like every
     // snapshot pass). last_value starts at an impossible counter value
-    // so a new entry's first sequenced pass always registers a change.
+    // so a new entry's first sequenced pass always registers a change
+    // (a histogram's empty last_counts plays the same role: a real
+    // snapshot always has ≥ 2 buckets).
     mutable std::uint64_t last_value = kNeverCollected;
     mutable std::uint64_t changed_seq = 0;
+    mutable std::vector<std::uint64_t> last_counts;  // histogram only
   };
 
   /// Counters count up from 0; ~0 marks "no sequenced pass yet".
@@ -361,6 +469,7 @@ class RegistryT {
   unsigned n_;
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<AnyCounter>> counters_;
+  std::map<std::string, std::unique_ptr<AnyHistogram>> histograms_;
   std::vector<Entry> flat_;  // name-sorted mirror of counters_
   std::uint64_t version_;    // nonce-seeded, bumped per create (never 0)
   mutable std::uint64_t last_pass_seq_ = 0;  // newest completed sequenced pass

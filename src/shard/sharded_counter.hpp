@@ -87,6 +87,7 @@ enum class ErrorModel : std::uint8_t {
   kExact,           // error_bound() == 0, reads are exact
   kMultiplicative,  // v/b ≤ x ≤ v·b for b = error_bound()
   kAdditive,        // v−b ≤ x ≤ v+b for b = error_bound()
+  kHistogram,       // vector entry: per-bucket v−b ≤ c ≤ v (one-sided)
 };
 
 /// Increment routing policy.

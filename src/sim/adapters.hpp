@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/backend.hpp"
 #include "core/kadditive_counter.hpp"
@@ -37,6 +38,7 @@
 #include "exact/snapshot_counter.hpp"
 #include "exact/unbounded_max_register.hpp"
 #include "shard/sharded_counter.hpp"
+#include "stats/histogram.hpp"
 
 namespace approx::sim {
 
@@ -51,6 +53,22 @@ class ICounter {
   [[nodiscard]] virtual std::string name() const = 0;
   /// True iff primitives charge steps (InstrumentedBackend). Step-model
   /// measurement code asserts this; wall-clock code accepts either.
+  [[nodiscard]] virtual bool instrumented() const = 0;
+};
+
+/// A histogram under measurement (stats layer). `per_bucket_bound`
+/// reports the composed one-sided additive slack each bucket count may
+/// trail the truth by (0 would mean exact buckets).
+class IHistogram {
+ public:
+  virtual ~IHistogram() = default;
+  virtual void record(unsigned pid, std::uint64_t value) = 0;
+  virtual void snapshot_into(unsigned pid,
+                             std::vector<std::uint64_t>& counts) = 0;
+  virtual void flush(unsigned pid) = 0;
+  [[nodiscard]] virtual const std::vector<std::uint64_t>& bounds() const = 0;
+  [[nodiscard]] virtual std::uint64_t per_bucket_bound() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual bool instrumented() const = 0;
 };
 
@@ -367,6 +385,50 @@ class ShardedFetchAddCounterAdapterT final : public ICounter {
 };
 
 using ShardedFetchAddCounterAdapter = ShardedFetchAddCounterAdapterT<>;
+
+// ---------------------------------------------------------------------
+// Histogram adapter (src/stats layer)
+// ---------------------------------------------------------------------
+
+/// Wait-free fixed-bucket histogram over sharded k-additive counters.
+/// per_bucket_bound() reports the composed S·k each bucket inherits.
+template <typename Backend = base::InstrumentedBackend>
+class HistogramAdapterT final : public IHistogram {
+ public:
+  HistogramAdapterT(unsigned n, const stats::HistogramSpec& spec)
+      : histogram_(n, spec) {}
+  void record(unsigned pid, std::uint64_t value) override {
+    histogram_.record(pid, value);
+  }
+  void snapshot_into(unsigned pid,
+                     std::vector<std::uint64_t>& counts) override {
+    histogram_.snapshot_into(pid, counts);
+  }
+  void flush(unsigned pid) override { histogram_.flush(pid); }
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const override {
+    return histogram_.bounds();
+  }
+  [[nodiscard]] std::uint64_t per_bucket_bound() const override {
+    return histogram_.per_bucket_bound();
+  }
+  [[nodiscard]] std::string name() const override {
+    return detail::tag_name<Backend>(
+        "histogram(k=" + std::to_string(histogram_.k()) +
+        ",S=" + std::to_string(histogram_.num_shards()) +
+        ",B=" + std::to_string(histogram_.num_buckets()) + ")");
+  }
+  [[nodiscard]] bool instrumented() const override {
+    return Backend::kInstrumented;
+  }
+  [[nodiscard]] stats::HistogramT<Backend>& impl() noexcept {
+    return histogram_;
+  }
+
+ private:
+  stats::HistogramT<Backend> histogram_;
+};
+
+using HistogramAdapter = HistogramAdapterT<>;
 
 // ---------------------------------------------------------------------
 // Max-register adapters

@@ -1,0 +1,96 @@
+// quantile.hpp — rank-error-bounded quantiles over a histogram bucket
+// snapshot.
+//
+// A fixed-bucket histogram cannot name the exact p99 — it can only say
+// which bucket the rank-r element falls in, and with approximate bucket
+// counters it cannot even name the rank exactly. `QuantileView` makes
+// both error sources explicit instead of hiding them:
+//
+//   * Value resolution: a quantile is reported as its bucket's
+//     (lower_edge, upper_edge] interval — the bucket width IS the value
+//     uncertainty, chosen up front by the bucket layout.
+//   * Rank error: each decoded bucket count c_i relates to the true
+//     tally v_i by  v_i − s ≤ c_i ≤ v_i  (one-sided slack s =
+//     per-bucket bound S·k; k-additive counters never overcount), so
+//     every cumulative count — and the total N the target rank
+//     r = ⌈q·N⌉ is computed from — is within B·s of the truth for B
+//     buckets. rank_error_bound() reports that B·s; the element the
+//     view points at is guaranteed to hold rank r within ± that bound
+//     against the true value multiset.
+//
+// The view is plain math over any bucket snapshot: a local
+// HistogramT::snapshot_into read, or a shard::Sample decoded out of a
+// MaterializedView on the other end of the wire — the constructor
+// overloads cover both. Like the histogram itself it answers with the
+// snapshot's moment-in-time semantics; staleness is the caller's
+// (dashboard's) concern via the view's per-entry ages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/registry.hpp"
+
+namespace approx::stats {
+
+/// One derived quantile: the bucket interval holding the target rank,
+/// plus the explicit error terms.
+struct QuantileEstimate {
+  double q = 0.0;                 // requested quantile in [0, 1]
+  std::uint64_t lower_edge = 0;   // exclusive bucket lower edge
+  std::uint64_t upper_edge = 0;   // inclusive upper edge (saturated ∞)
+  std::uint64_t rank = 0;         // target rank ⌈q·N⌉ in the snapshot
+  std::uint64_t rank_error = 0;   // ± rank slack vs the true multiset
+  bool overflow = false;          // landed in the +∞ overflow bucket
+  bool valid = false;             // false on an empty/non-histogram view
+};
+
+/// Quantile reader over one bucket snapshot (see header).
+class QuantileView {
+ public:
+  /// From a local snapshot: `bounds` are the B−1 finite upper edges,
+  /// `counts` the B bucket counts, `per_bucket_bound` the composed
+  /// one-sided slack per bucket (S·k; 0 for exact buckets).
+  QuantileView(const std::vector<std::uint64_t>& bounds,
+               const std::vector<std::uint64_t>& counts,
+               std::uint64_t per_bucket_bound);
+
+  /// From a decoded wire sample. valid() is false unless the sample is
+  /// a histogram entry (model kHistogram with a consistent layout) —
+  /// callers render scalars as scalars.
+  explicit QuantileView(const shard::Sample& sample);
+
+  /// True when this view holds a decodable bucket snapshot.
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+
+  /// Total observations in the snapshot (within rank_error_bound()
+  /// below the true total).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// B·s — the one-sided slack of every rank/total statement here.
+  [[nodiscard]] std::uint64_t rank_error_bound() const noexcept {
+    return rank_error_;
+  }
+
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_ == nullptr ? 0 : counts_->size();
+  }
+
+  /// The bucket interval holding rank ⌈q·N⌉ (q clamped to [0, 1]).
+  /// estimate.valid is false when the view is invalid or empty.
+  [[nodiscard]] QuantileEstimate quantile(double q) const;
+
+  [[nodiscard]] QuantileEstimate p50() const { return quantile(0.50); }
+  [[nodiscard]] QuantileEstimate p90() const { return quantile(0.90); }
+  [[nodiscard]] QuantileEstimate p99() const { return quantile(0.99); }
+
+ private:
+  const std::vector<std::uint64_t>* bounds_ = nullptr;  // B−1 finite edges
+  const std::vector<std::uint64_t>* counts_ = nullptr;  // B counts
+  std::uint64_t per_bucket_bound_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t rank_error_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace approx::stats

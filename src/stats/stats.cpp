@@ -1,0 +1,99 @@
+// stats.cpp — out-of-line pieces of the statistics layer: QuantileView
+// math, bucket-edge generators, and the per-backend template
+// instantiations (same single-compile pattern as shard/registry.cpp).
+#include <cmath>
+
+#include "base/kmath.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantile.hpp"
+#include "stats/topk.hpp"
+#include "svc/wire.hpp"  // header-only use: the shared bucket ceiling
+
+namespace approx::stats {
+
+// A histogram the stats layer can build must fit the wire's decode
+// limit, or the server would emit frames every honest client rejects.
+static_assert(kMaxHistogramBuckets == svc::kMaxWireBuckets,
+              "stats bucket ceiling must match the wire decode limit");
+
+std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
+                                              double factor,
+                                              std::size_t count) {
+  if (first == 0) first = 1;
+  if (factor < 1.0) factor = 1.0;
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(count);
+  double edge = static_cast<double>(first);
+  std::uint64_t last = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t rounded =
+        edge >= 1.8e19 ? ~std::uint64_t{0}
+                       : static_cast<std::uint64_t>(std::llround(edge));
+    if (rounded <= last) rounded = base::sat_add(last, 1);  // keep ascending
+    bounds.push_back(rounded);
+    last = rounded;
+    edge *= factor;
+  }
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+QuantileView::QuantileView(const std::vector<std::uint64_t>& bounds,
+                           const std::vector<std::uint64_t>& counts,
+                           std::uint64_t per_bucket_bound)
+    : bounds_(&bounds), counts_(&counts), per_bucket_bound_(per_bucket_bound) {
+  // A consistent layout has exactly one more count than finite edges
+  // (the overflow bucket). Anything else is not a histogram snapshot.
+  valid_ = counts.size() >= 2 && counts.size() == bounds.size() + 1;
+  if (!valid_) return;
+  for (const std::uint64_t count : counts) {
+    total_ = base::sat_add(total_, count);
+  }
+  rank_error_ = base::sat_mul(per_bucket_bound_,
+                              static_cast<std::uint64_t>(counts.size()));
+}
+
+QuantileView::QuantileView(const shard::Sample& sample)
+    : QuantileView(sample.bucket_bounds, sample.bucket_counts,
+                   sample.error_bound) {
+  if (sample.model != shard::ErrorModel::kHistogram) valid_ = false;
+}
+
+QuantileEstimate QuantileView::quantile(double q) const {
+  QuantileEstimate estimate;
+  estimate.q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  estimate.rank_error = rank_error_;
+  if (!valid_ || total_ == 0) return estimate;
+  // Target rank r = ⌈q·N⌉, clamped to [1, N]. The estimate names the
+  // first bucket whose cumulative count reaches r.
+  const double scaled = estimate.q * static_cast<double>(total_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  if (rank < 1) rank = 1;
+  if (rank > total_) rank = total_;
+  estimate.rank = rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_->size(); ++b) {
+    cumulative = base::sat_add(cumulative, (*counts_)[b]);
+    if (cumulative >= rank) {
+      estimate.lower_edge = b == 0 ? 0 : (*bounds_)[b - 1];
+      estimate.overflow = b == bounds_->size();
+      estimate.upper_edge =
+          estimate.overflow ? ~std::uint64_t{0} : (*bounds_)[b];
+      estimate.valid = true;
+      return estimate;
+    }
+  }
+  return estimate;  // unreachable: cumulative == total_ ≥ rank
+}
+
+// Compile the stats templates once per backend; every user links
+// against these (mirrors shard/registry.cpp).
+template class HistogramT<base::DirectBackend>;
+template class HistogramT<base::RelaxedDirectBackend>;
+template class HistogramT<base::InstrumentedBackend>;
+
+template class TopKT<base::DirectBackend>;
+template class TopKT<base::RelaxedDirectBackend>;
+template class TopKT<base::InstrumentedBackend>;
+
+}  // namespace approx::stats

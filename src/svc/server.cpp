@@ -691,15 +691,21 @@ class ServerCore {
         } else if (control.kind == FrameKind::kShmRequest) {
           shm_requests_received_.fetch_add(1, std::memory_order_relaxed);
           // No ring (disabled, create failed, broken): silently ignore
-          // — the requester simply stays on TCP.
-          if (shm_offer_frame_ &&
+          // — the requester simply stays on TCP. A FILTERED subscriber
+          // is likewise never offered the ring: the ring carries only
+          // unfiltered frames, whose indices would misdecode against
+          // the client's subset name table (see README's transport
+          // section for the per-group-ring upgrade path).
+          if (shm_offer_frame_ && client.group == nullptr &&
               !ring_broken_.load(std::memory_order_relaxed)) {
             client.shm_offer_pending = true;
           }
         } else if (control.kind == FrameKind::kShmAccept) {
           // Generation must match OUR ring: a stale accept (e.g. raced
-          // with a ring break) keeps the client on TCP.
-          if (shm_.active() &&
+          // with a ring break) keeps the client on TCP. Same filtered-
+          // subscriber guard as the offer: an accept that raced with a
+          // SUBSCRIBE must not move a filtered client onto the ring.
+          if (shm_.active() && client.group == nullptr &&
               !ring_broken_.load(std::memory_order_relaxed) &&
               control.shm_generation == shm_.generation()) {
             client.shm_consuming = true;
@@ -764,7 +770,7 @@ class ServerCore {
       // The offer rides the data channel — framed like a data frame, it
       // lands between frames, never splitting one.
       client.shm_offer_pending = false;
-      if (shm_offer_frame_ &&
+      if (shm_offer_frame_ && client.group == nullptr &&
           !ring_broken_.load(std::memory_order_relaxed)) {
         client.out = shm_offer_frame_;
         client.off = 0;
@@ -1145,8 +1151,11 @@ SnapshotServerT<Backend>::SnapshotServerT(
     return registry_.for_each_changed_since(
         since, expected_version,
         [&](std::size_t index, const std::string& /*name*/,
-            std::uint64_t value, std::uint64_t /*changed_seq*/) {
-          out.push_back({index, value});
+            std::uint64_t value, std::uint64_t /*changed_seq*/,
+            const std::vector<std::uint64_t>* counts) {
+          out.push_back({index, value,
+                         counts != nullptr ? *counts
+                                           : std::vector<std::uint64_t>{}});
         });
   };
   hooks.changed_since_filtered =
@@ -1157,8 +1166,12 @@ SnapshotServerT<Backend>::SnapshotServerT(
             since, expected_version, selection,
             [&](std::size_t subset_index, std::size_t /*flat_index*/,
                 const std::string& /*name*/, std::uint64_t value,
-                std::uint64_t /*changed_seq*/) {
-              out.push_back({subset_index, value});
+                std::uint64_t /*changed_seq*/,
+                const std::vector<std::uint64_t>* counts) {
+              out.push_back({subset_index, value,
+                             counts != nullptr
+                                 ? *counts
+                                 : std::vector<std::uint64_t>{}});
             });
       };
   core_ = std::make_unique<detail::ServerCore>(options, std::move(hooks));

@@ -66,10 +66,11 @@ bool read_name_list(const char** cursor, const char* end,
 }
 
 void append_header(std::string& out, FrameKind kind, std::uint64_t sequence,
-                   std::uint64_t registry_version, std::uint64_t collect_ns) {
+                   std::uint64_t registry_version, std::uint64_t collect_ns,
+                   std::uint8_t version = kWireVersion) {
   out.push_back(static_cast<char>(kWireMagic0));
   out.push_back(static_cast<char>(kWireMagic1));
-  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(kind));
   append_uvarint(out, sequence);
   append_uvarint(out, registry_version);
@@ -133,7 +134,42 @@ void append_sample(std::string& out, const shard::Sample& sample) {
   out.append(sample.name);
   out.push_back(static_cast<char>(sample.model));
   append_uvarint(out, sample.error_bound);
-  append_uvarint(out, sample.value);
+  if (sample.model != shard::ErrorModel::kHistogram) {
+    append_uvarint(out, sample.value);
+    return;
+  }
+  // Vector entry (v4 grammar): bucket count, edge0 + ascending diffs,
+  // then the counts. The sum is NOT shipped — decoders derive it.
+  const std::size_t nbuckets = sample.bucket_counts.size();
+  append_uvarint(out, nbuckets);
+  for (std::size_t i = 0; i < sample.bucket_bounds.size(); ++i) {
+    append_uvarint(out, i == 0 ? sample.bucket_bounds[0]
+                               : sample.bucket_bounds[i] -
+                                     sample.bucket_bounds[i - 1]);
+  }
+  for (const std::uint64_t count : sample.bucket_counts) {
+    append_uvarint(out, count);
+  }
+}
+
+/// The data-frame version byte: 4 iff a vector entry rides this frame,
+/// else the frozen v1 (scalar-only frames stay byte-identical to a v1
+/// server's — the compatibility contract).
+std::uint8_t full_frame_version(const shard::TelemetryFrame& frame,
+                                const std::vector<std::uint64_t>* selection) {
+  if (selection != nullptr) {
+    for (const std::uint64_t index : *selection) {
+      if (frame.samples[static_cast<std::size_t>(index)].model ==
+          shard::ErrorModel::kHistogram) {
+        return kVectorVersion;
+      }
+    }
+    return kWireVersion;
+  }
+  for (const shard::Sample& sample : frame.samples) {
+    if (sample.model == shard::ErrorModel::kHistogram) return kVectorVersion;
+  }
+  return kWireVersion;
 }
 
 }  // namespace
@@ -143,7 +179,7 @@ void encode_full_frame(const shard::TelemetryFrame& frame,
   out.clear();
   append_u32le(out, 0);  // length prefix, patched below
   append_header(out, FrameKind::kFull, frame.sequence, frame.registry_version,
-                collect_ns);
+                collect_ns, full_frame_version(frame, nullptr));
   append_uvarint(out, frame.samples.size());
   for (const shard::Sample& sample : frame.samples) {
     append_sample(out, sample);
@@ -159,7 +195,7 @@ void encode_full_frame_filtered(const shard::TelemetryFrame& frame,
   out.clear();
   append_u32le(out, 0);  // length prefix, patched below
   append_header(out, FrameKind::kFull, frame.sequence, registry_version,
-                collect_ns);
+                collect_ns, full_frame_version(frame, &selection));
   append_uvarint(out, selection.size());
   for (const std::uint64_t index : selection) {
     append_sample(out, frame.samples[static_cast<std::size_t>(index)]);
@@ -173,13 +209,32 @@ void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
                         std::string& out) {
   out.clear();
   append_u32le(out, 0);  // length prefix, patched below
+  std::uint8_t version = kWireVersion;
+  for (const DeltaEntry& entry : entries) {
+    if (!entry.buckets.empty()) {
+      version = kVectorVersion;
+      break;
+    }
+  }
   append_header(out, FrameKind::kDelta, sequence, registry_version,
-                collect_ns);
+                collect_ns, version);
   append_uvarint(out, base_seq);
   append_uvarint(out, entries.size());
   for (const DeltaEntry& entry : entries) {
     append_uvarint(out, entry.index);
-    append_uvarint(out, entry.value);
+    if (version == kWireVersion) {
+      append_uvarint(out, entry.value);
+      continue;
+    }
+    // v4 delta entries are self-describing: nbuckets = 0 marks a scalar.
+    append_uvarint(out, entry.buckets.size());
+    if (entry.buckets.empty()) {
+      append_uvarint(out, entry.value);
+    } else {
+      for (const std::uint64_t count : entry.buckets) {
+        append_uvarint(out, count);
+      }
+    }
   }
   patch_length_prefix(out);
 }
@@ -394,9 +449,10 @@ ApplyResult MaterializedView::apply(std::string_view payload) {
     return ApplyResult::kCorrupt;
   }
   if (magic0 != kWireMagic0 || magic1 != kWireMagic1 ||
-      version != kWireVersion) {
+      (version != kWireVersion && version != kVectorVersion)) {
     return ApplyResult::kCorrupt;
   }
+  const bool vectors = version == kVectorVersion;
   std::uint64_t sequence = 0;
   std::uint64_t registry_version = 0;
   std::uint64_t collect_ns = 0;
@@ -407,18 +463,61 @@ ApplyResult MaterializedView::apply(std::string_view payload) {
   }
   switch (static_cast<FrameKind>(kind)) {
     case FrameKind::kFull:
-      return apply_full(cursor, end, sequence, registry_version, collect_ns);
+      return apply_full(cursor, end, sequence, registry_version, collect_ns,
+                        vectors);
     case FrameKind::kDelta:
-      return apply_delta(cursor, end, sequence, registry_version, collect_ns);
+      return apply_delta(cursor, end, sequence, registry_version, collect_ns,
+                         vectors);
     default:
       return ApplyResult::kCorrupt;
   }
 }
 
+namespace {
+
+/// Parses a v4 vector body (nbuckets already read) into the sample's
+/// bucket vectors and derives the scalar value as the saturated count
+/// sum. False on any malformed byte: a bucket count beyond the limit or
+/// the remaining bytes, a zero/overflowing edge diff, truncation.
+bool read_vector_body(const char** cursor, const char* end,
+                      std::uint64_t nbuckets, shard::Sample& sample) {
+  if (nbuckets < 2 || nbuckets > kMaxWireBuckets) return false;
+  // Plausibility before any allocation: nbuckets−1 edges + nbuckets
+  // counts, each at least one byte.
+  if (2 * nbuckets - 1 > static_cast<std::uint64_t>(end - *cursor)) {
+    return false;
+  }
+  sample.bucket_bounds.resize(static_cast<std::size_t>(nbuckets) - 1);
+  std::uint64_t edge = 0;
+  for (std::size_t i = 0; i + 1 < nbuckets; ++i) {
+    std::uint64_t piece = 0;
+    if (!read_uvarint(cursor, end, piece)) return false;
+    if (i == 0) {
+      edge = piece;
+    } else {
+      // Diffs are strictly positive and must not wrap: edges ascend.
+      if (piece == 0 || piece > ~std::uint64_t{0} - edge) return false;
+      edge += piece;
+    }
+    sample.bucket_bounds[i] = edge;
+  }
+  sample.bucket_counts.resize(static_cast<std::size_t>(nbuckets));
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    if (!read_uvarint(cursor, end, sample.bucket_counts[i])) return false;
+    total = base::sat_add(total, sample.bucket_counts[i]);
+  }
+  sample.value = total;
+  return true;
+}
+
+}  // namespace
+
 ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
                                          std::uint64_t sequence,
                                          std::uint64_t registry_version,
-                                         std::uint64_t collect_ns) {
+                                         std::uint64_t collect_ns,
+                                         bool vectors) {
   std::uint64_t count = 0;
   if (!read_uvarint(&cursor, end, count)) return ApplyResult::kCorrupt;
   // Each entry costs ≥ 4 payload bytes (empty name: len + model + bound
@@ -443,12 +542,23 @@ ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
     cursor += name_len;
     std::uint8_t model = 0;
     if (!read_u8(&cursor, end, model)) return ApplyResult::kCorrupt;
-    if (model > static_cast<std::uint8_t>(shard::ErrorModel::kAdditive)) {
+    // The v1 grammar tops out at kAdditive; only a v4 frame may carry
+    // the vector model byte (old decoders already rejected the version
+    // byte, so neither revision can misread the other's entries).
+    const std::uint8_t max_model = static_cast<std::uint8_t>(
+        vectors ? shard::ErrorModel::kHistogram : shard::ErrorModel::kAdditive);
+    if (model > max_model) return ApplyResult::kCorrupt;
+    sample.model = static_cast<shard::ErrorModel>(model);
+    if (!read_uvarint(&cursor, end, sample.error_bound)) {
       return ApplyResult::kCorrupt;
     }
-    sample.model = static_cast<shard::ErrorModel>(model);
-    if (!read_uvarint(&cursor, end, sample.error_bound) ||
-        !read_uvarint(&cursor, end, sample.value)) {
+    if (sample.model == shard::ErrorModel::kHistogram) {
+      std::uint64_t nbuckets = 0;
+      if (!read_uvarint(&cursor, end, nbuckets) ||
+          !read_vector_body(&cursor, end, nbuckets, sample)) {
+        return ApplyResult::kCorrupt;
+      }
+    } else if (!read_uvarint(&cursor, end, sample.value)) {
       return ApplyResult::kCorrupt;
     }
     scratch_.push_back(std::move(sample));
@@ -478,7 +588,8 @@ ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
 ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
                                           std::uint64_t sequence,
                                           std::uint64_t registry_version,
-                                          std::uint64_t collect_ns) {
+                                          std::uint64_t collect_ns,
+                                          bool vectors) {
   std::uint64_t base_seq = 0;
   std::uint64_t count = 0;
   if (!read_uvarint(&cursor, end, base_seq) ||
@@ -496,15 +607,44 @@ ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
       std::min<std::uint64_t>(count, kReserveClamp)));
   for (std::uint64_t i = 0; i < count; ++i) {
     DeltaEntry entry;
-    if (!read_uvarint(&cursor, end, entry.index) ||
-        !read_uvarint(&cursor, end, entry.value)) {
+    if (!read_uvarint(&cursor, end, entry.index)) {
       return ApplyResult::kCorrupt;
+    }
+    if (!vectors) {
+      if (!read_uvarint(&cursor, end, entry.value)) {
+        return ApplyResult::kCorrupt;
+      }
+    } else {
+      // v4 entries are self-describing: nbuckets = 0 marks a scalar.
+      std::uint64_t nbuckets = 0;
+      if (!read_uvarint(&cursor, end, nbuckets)) {
+        return ApplyResult::kCorrupt;
+      }
+      if (nbuckets == 0) {
+        if (!read_uvarint(&cursor, end, entry.value)) {
+          return ApplyResult::kCorrupt;
+        }
+      } else {
+        if (nbuckets < 2 || nbuckets > kMaxWireBuckets ||
+            nbuckets > static_cast<std::uint64_t>(end - cursor)) {
+          return ApplyResult::kCorrupt;  // ≥ 1 byte per count
+        }
+        entry.buckets.resize(static_cast<std::size_t>(nbuckets));
+        std::uint64_t total = 0;
+        for (std::size_t b = 0; b < entry.buckets.size(); ++b) {
+          if (!read_uvarint(&cursor, end, entry.buckets[b])) {
+            return ApplyResult::kCorrupt;
+          }
+          total = base::sat_add(total, entry.buckets[b]);
+        }
+        entry.value = total;
+      }
     }
     if (entry.index >= samples_.size() && full_frames_ > 0 &&
         registry_version == registry_version_) {
       return ApplyResult::kCorrupt;  // index beyond the agreed name table
     }
-    delta_scratch_.push_back(entry);
+    delta_scratch_.push_back(std::move(entry));
   }
   if (cursor != end) return ApplyResult::kCorrupt;
   // Deltas need an agreed base: same name table and no sequence gap.
@@ -516,11 +656,25 @@ ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
     ++stale_frames_skipped_;  // duplicate/older delta; view already newer
     return ApplyResult::kApplied;
   }
+  // Validate every entry against the agreed table BEFORE mutating: a
+  // scalar entry may not land on a histogram row, a vector entry must
+  // match its row's model and bucket count exactly — and a failed check
+  // must leave the view untouched.
   for (const DeltaEntry& entry : delta_scratch_) {
-    // index bound re-checked against the *current* table (the parse-time
-    // check above is a fast path that may not have fired pre-base).
     if (entry.index >= samples_.size()) return ApplyResult::kCorrupt;
-    samples_[entry.index].value = entry.value;
+    const shard::Sample& target = samples_[entry.index];
+    const bool row_is_vector = target.model == shard::ErrorModel::kHistogram;
+    if (entry.buckets.empty() ? row_is_vector
+                              : (!row_is_vector ||
+                                 entry.buckets.size() !=
+                                     target.bucket_counts.size())) {
+      return ApplyResult::kCorrupt;
+    }
+  }
+  for (const DeltaEntry& entry : delta_scratch_) {
+    shard::Sample& target = samples_[entry.index];
+    if (!entry.buckets.empty()) target.bucket_counts = entry.buckets;
+    target.value = entry.value;
     entry_update_seq_[entry.index] = sequence;
   }
   entries_updated_ += delta_scratch_.size();

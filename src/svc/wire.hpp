@@ -14,6 +14,32 @@
 //
 // (uv = unsigned LEB128 varint; u32le = little-endian fixed 32-bit.)
 //
+// Protocol v4 adds vector-valued (histogram) entries. A data frame that
+// carries at least one vector entry is stamped header version 4; a
+// frame whose entries are all scalars keeps the frozen v1 byte stream
+// EXACTLY (a scalar-only fleet is byte-identical under a v4 server, and
+// an idle histogram drops out of deltas entirely, so steady-state delta
+// bytes do not move). Old clients reject the unknown version byte as
+// corrupt instead of misdecoding — vector entries never reach a decoder
+// that cannot represent them. The v4 grammar:
+//
+//   full4    := count:uv { name_len:uv name model:u8 bound:uv
+//                          ( value:uv                       — model ≤ 2
+//                          | nbuckets:uv edge0:uv
+//                            { edge_diff:uv }*(nbuckets−2)
+//                            { count:uv }*nbuckets ) }*     — model = 3
+//   delta4   := base_seq:uv count:uv
+//               { index:uv nbuckets:uv
+//                 ( value:uv                                — nbuckets = 0
+//                 | { count:uv }*nbuckets ) }*              — nbuckets ≥ 2
+//
+// A vector entry's bucket edges ride as edge0 + strictly-positive
+// diffs (ascending by construction); nbuckets counts buckets INCLUDING
+// the overflow bucket, so there are nbuckets−1 finite edges. No scalar
+// value rides the wire for a vector entry — the decoder derives it as
+// the saturated count sum. nbuckets is bounded by kMaxWireBuckets and a
+// bytes-remaining plausibility check before any allocation.
+//
 // Protocol v2 adds a client→server control channel on the same socket.
 // Inbound records are type-byte discriminated (an 0xAC ack record is
 // unchanged from v1; v1 clients never send anything else, which is the
@@ -95,10 +121,14 @@ namespace approx::svc {
 
 inline constexpr unsigned char kWireMagic0 = 0xA5;
 inline constexpr unsigned char kWireMagic1 = 0xC7;
-/// Layout version of the DATA frames (FULL/DELTA). Frozen at 1: the v2
-/// protocol upgrade added control frames without touching the data
-/// layout, so v1 clients keep decoding a v2 server's stream.
+/// Layout version of scalar-only DATA frames (FULL/DELTA). Frozen at 1:
+/// the v2/v3 protocol upgrades added control frames without touching the
+/// data layout, and v4 stamps its version byte only on frames that
+/// actually carry a vector entry — so v1 clients keep decoding every
+/// scalar frame any newer server emits.
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Layout version of DATA frames carrying ≥ 1 vector (histogram) entry.
+inline constexpr std::uint8_t kVectorVersion = 4;
 /// Layout version of the CONTROL frames (SUBSCRIBE/RESYNC) — the v2
 /// additions.
 inline constexpr std::uint8_t kControlVersion = 2;
@@ -116,10 +146,19 @@ enum class FrameKind : std::uint8_t {
   kShmAccept = 6,   // client→server: ring mapped, stop TCP data (v3)
 };
 
-/// One changed counter in a delta frame: flat-table index + new value.
+/// One changed entry in a delta frame: flat-table index + new value.
+/// A vector (histogram) entry carries its full bucket-count vector in
+/// `buckets` and ignores `value` (the wire never ships it; decoders
+/// derive the sum); a scalar entry leaves `buckets` empty.
 struct DeltaEntry {
+  DeltaEntry() = default;
+  DeltaEntry(std::uint64_t index_arg, std::uint64_t value_arg,
+             std::vector<std::uint64_t> buckets_arg = {})
+      : index(index_arg), value(value_arg),
+        buckets(std::move(buckets_arg)) {}
   std::uint64_t index = 0;
   std::uint64_t value = 0;
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Bytes the stream framing adds in front of every payload (u32le
@@ -140,6 +179,10 @@ inline constexpr std::size_t kControlPrefixBytes = 5;
 inline constexpr std::size_t kMaxControlPayload = 128 * 1024;
 inline constexpr std::size_t kMaxFilterEntries = 128;    // per list
 inline constexpr std::size_t kMaxFilterNameBytes = 256;  // per name/prefix
+/// Largest bucket count a v4 vector entry may claim. Must cover every
+/// histogram the stats layer can build (stats::kMaxHistogramBuckets
+/// equals it; stats.cpp static_asserts the two stay in lockstep).
+inline constexpr std::size_t kMaxWireBuckets = 512;
 /// Longest shm segment name an SHM_OFFER may carry (ours are ~40
 /// bytes; POSIX portable shm names are NAME_MAX-ish).
 inline constexpr std::size_t kMaxShmNameBytes = 128;
@@ -274,7 +317,9 @@ inline void encode_full_frame_filtered(
 /// index + value, any order) relative to `base_seq`: a view at sequence
 /// `base_seq` (or newer, same registry_version) becomes sequence
 /// `sequence` after applying it. An empty `entries` is valid — the
-/// unchanged-fleet heartbeat.
+/// unchanged-fleet heartbeat. The frame is stamped version 4 iff some
+/// entry carries buckets; otherwise the bytes are exactly the frozen v1
+/// layout.
 void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
                         std::uint64_t collect_ns, std::uint64_t base_seq,
                         const std::vector<DeltaEntry>& entries,
@@ -385,11 +430,11 @@ class MaterializedView {
   ApplyResult apply_full(const char* cursor, const char* end,
                          std::uint64_t sequence,
                          std::uint64_t registry_version,
-                         std::uint64_t collect_ns);
+                         std::uint64_t collect_ns, bool vectors);
   ApplyResult apply_delta(const char* cursor, const char* end,
                           std::uint64_t sequence,
                           std::uint64_t registry_version,
-                          std::uint64_t collect_ns);
+                          std::uint64_t collect_ns, bool vectors);
 
   std::vector<shard::Sample> samples_;
   std::vector<std::uint64_t> entry_update_seq_;

@@ -187,9 +187,8 @@ TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
   std::size_t visited = 0;
   auto upto = registry.for_each_changed_since(
       0, version,
-      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
-        ++visited;
-      });
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t,
+          const std::vector<std::uint64_t>*) { ++visited; });
   EXPECT_EQ(visited, 2u);
   ASSERT_TRUE(upto.has_value());
   EXPECT_EQ(*upto, 1u);  // the walk is complete up to pass 1
@@ -199,9 +198,8 @@ TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
   visited = 0;
   upto = registry.for_each_changed_since(
       1, version,
-      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
-        ++visited;
-      });
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t,
+          const std::vector<std::uint64_t>*) { ++visited; });
   EXPECT_EQ(visited, 0u);
   ASSERT_TRUE(upto.has_value());
   EXPECT_EQ(*upto, 2u);
@@ -213,12 +211,13 @@ TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
   upto = registry.for_each_changed_since(
       2, version,
       [&](std::size_t index, const std::string& name, std::uint64_t value,
-          std::uint64_t changed_seq) {
+          std::uint64_t changed_seq, const std::vector<std::uint64_t>* counts) {
         ++visited;
         EXPECT_EQ(index, 0u);  // "a" sorts first
         EXPECT_EQ(name, "a");
         EXPECT_EQ(value, 2u);
         EXPECT_EQ(changed_seq, 3u);
+        EXPECT_EQ(counts, nullptr);  // scalar entries carry no buckets
       });
   EXPECT_EQ(visited, 1u);
   EXPECT_EQ(upto.value_or(0), 3u);
@@ -226,9 +225,8 @@ TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
   visited = 0;
   (void)registry.for_each_changed_since(
       0, version,
-      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
-        ++visited;
-      });
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t,
+          const std::vector<std::uint64_t>*) { ++visited; });
   EXPECT_EQ(visited, 2u);
 
   // A stale expected_version (the table grew: indices shifted) refuses
@@ -237,9 +235,8 @@ TEST(Registry, ForEachChangedSinceYieldsEmptyDeltaOnUnchangedFleet) {
   visited = 0;
   upto = registry.for_each_changed_since(
       0, version,
-      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
-        ++visited;
-      });
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t,
+          const std::vector<std::uint64_t>*) { ++visited; });
   EXPECT_FALSE(upto.has_value());
   EXPECT_EQ(visited, 0u);
 }
@@ -270,7 +267,7 @@ TEST(Registry, FilteredChangedSinceWalkReportsSubsetPositions) {
       1, version, selection,
       [&](std::size_t subset_index, std::size_t flat_index,
           const std::string& name, std::uint64_t value,
-          std::uint64_t changed_seq) {
+          std::uint64_t changed_seq, const std::vector<std::uint64_t>*) {
         subset_positions.push_back(subset_index);
         names.push_back(name);
         EXPECT_EQ(flat_index, selection[subset_index]);
@@ -290,7 +287,8 @@ TEST(Registry, FilteredChangedSinceWalkReportsSubsetPositions) {
                    .for_each_changed_since_filtered(
                        0, version + 1, selection,
                        [&](std::size_t, std::size_t, const std::string&,
-                           std::uint64_t, std::uint64_t) { FAIL(); })
+                           std::uint64_t, std::uint64_t,
+                           const std::vector<std::uint64_t>*) { FAIL(); })
                    .has_value());
   // An out-of-range selection index (built against some other table)
   // refuses too, rather than visiting a misaligned subset.
@@ -299,7 +297,8 @@ TEST(Registry, FilteredChangedSinceWalkReportsSubsetPositions) {
                    .for_each_changed_since_filtered(
                        0, version, bogus,
                        [&](std::size_t, std::size_t, const std::string&,
-                           std::uint64_t, std::uint64_t) { FAIL(); })
+                           std::uint64_t, std::uint64_t,
+                           const std::vector<std::uint64_t>*) { FAIL(); })
                    .has_value());
 }
 
@@ -314,9 +313,8 @@ TEST(Aggregator, SequencedCollectFeedsChangedSinceTracking) {
   std::size_t visited = 0;
   auto upto = registry.for_each_changed_since(
       first.sequence, second.registry_version,
-      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
-        ++visited;
-      });
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t,
+          const std::vector<std::uint64_t>*) { ++visited; });
   EXPECT_EQ(visited, 0u);
   EXPECT_EQ(upto.value_or(0), second.sequence);
   hits.increment(0);
@@ -324,7 +322,7 @@ TEST(Aggregator, SequencedCollectFeedsChangedSinceTracking) {
   upto = registry.for_each_changed_since(
       second.sequence, third.registry_version,
       [&](std::size_t index, const std::string& name, std::uint64_t value,
-          std::uint64_t changed_seq) {
+          std::uint64_t changed_seq, const std::vector<std::uint64_t>*) {
         ++visited;
         EXPECT_EQ(index, 0u);
         EXPECT_EQ(name, "hits");
@@ -345,9 +343,8 @@ TEST(Aggregator, SequencedCollectFeedsChangedSinceTracking) {
   visited = 0;
   upto = registry.for_each_changed_since(
       third.sequence, third.registry_version,
-      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t) {
-        ++visited;
-      });
+      [&](std::size_t, const std::string&, std::uint64_t, std::uint64_t,
+          const std::vector<std::uint64_t>*) { ++visited; });
   EXPECT_EQ(visited, 0u);  // the new increment awaits a *sequenced* pass
   EXPECT_EQ(upto.value_or(0), third.sequence);  // last pass seq unmoved
 }

@@ -1,0 +1,118 @@
+// Tests for the rank-error-bounded quantile reader
+// (src/stats/quantile.hpp): rank targeting, edge intervals, overflow,
+// the explicit error terms, and the decoded-Sample constructor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "shard/registry.hpp"
+#include "stats/quantile.hpp"
+
+namespace approx::stats {
+namespace {
+
+using shard::ErrorModel;
+using shard::Sample;
+
+const std::vector<std::uint64_t> kBounds = {10, 100, 500, 1000};
+// Values 1..1000: 10 in (0,10], 90 in (10,100], 400 in (100,500],
+// 500 in (500,1000], 0 overflow.
+const std::vector<std::uint64_t> kCounts = {10, 90, 400, 500, 0};
+
+TEST(QuantileView, RanksLandInTheRightBuckets) {
+  const QuantileView view(kBounds, kCounts, 0);
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.total(), 1000u);
+  EXPECT_EQ(view.rank_error_bound(), 0u);
+  EXPECT_EQ(view.num_buckets(), 5u);
+
+  const QuantileEstimate p50 = view.p50();
+  ASSERT_TRUE(p50.valid);
+  EXPECT_EQ(p50.rank, 500u);  // ⌈0.5·1000⌉
+  EXPECT_EQ(p50.lower_edge, 100u);
+  EXPECT_EQ(p50.upper_edge, 500u);
+  EXPECT_FALSE(p50.overflow);
+
+  const QuantileEstimate p99 = view.p99();
+  ASSERT_TRUE(p99.valid);
+  EXPECT_EQ(p99.rank, 990u);
+  EXPECT_EQ(p99.lower_edge, 500u);
+  EXPECT_EQ(p99.upper_edge, 1000u);
+
+  // Exactly on a cumulative boundary: rank 100 is the LAST element of
+  // bucket 1, so the estimate names (10,100], not the next bucket.
+  const QuantileEstimate p10 = view.quantile(0.10);
+  EXPECT_EQ(p10.rank, 100u);
+  EXPECT_EQ(p10.lower_edge, 10u);
+  EXPECT_EQ(p10.upper_edge, 100u);
+}
+
+TEST(QuantileView, ClampsQAndRank) {
+  const QuantileView view(kBounds, kCounts, 0);
+  const QuantileEstimate low = view.quantile(-0.5);
+  EXPECT_EQ(low.q, 0.0);
+  EXPECT_EQ(low.rank, 1u);  // rank clamped to ≥ 1
+  EXPECT_EQ(low.upper_edge, 10u);
+  const QuantileEstimate high = view.quantile(7.0);
+  EXPECT_EQ(high.q, 1.0);
+  EXPECT_EQ(high.rank, 1000u);
+  EXPECT_EQ(high.upper_edge, 1000u);
+}
+
+TEST(QuantileView, OverflowBucketIsExplicit) {
+  const std::vector<std::uint64_t> counts = {1, 0, 0, 0, 9};
+  const QuantileView view(kBounds, counts, 0);
+  const QuantileEstimate p90 = view.p90();
+  ASSERT_TRUE(p90.valid);
+  EXPECT_TRUE(p90.overflow);
+  EXPECT_EQ(p90.lower_edge, 1000u);
+  EXPECT_EQ(p90.upper_edge, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(QuantileView, RankErrorIsBucketsTimesPerBucketSlack) {
+  const QuantileView view(kBounds, kCounts, 32);
+  EXPECT_EQ(view.rank_error_bound(), 32u * 5u);  // B·s
+  EXPECT_EQ(view.p99().rank_error, 160u);
+}
+
+TEST(QuantileView, RejectsInconsistentLayouts) {
+  const std::vector<std::uint64_t> short_counts = {10, 90};  // ≠ B−1+1
+  EXPECT_FALSE(QuantileView(kBounds, short_counts, 0).valid());
+  const std::vector<std::uint64_t> no_bounds;
+  const std::vector<std::uint64_t> one_count = {5};
+  EXPECT_FALSE(QuantileView(no_bounds, one_count, 0).valid());
+  // An invalid view answers with invalid estimates, never garbage.
+  EXPECT_FALSE(QuantileView(kBounds, short_counts, 0).p99().valid);
+}
+
+TEST(QuantileView, EmptySnapshotYieldsInvalidEstimates) {
+  const std::vector<std::uint64_t> empty(kCounts.size(), 0);
+  const QuantileView view(kBounds, empty, 8);
+  EXPECT_TRUE(view.valid());  // the layout is fine...
+  EXPECT_EQ(view.total(), 0u);
+  EXPECT_FALSE(view.p50().valid);  // ...but there is no rank to name
+}
+
+TEST(QuantileView, DecodedSampleConstructorChecksTheModel) {
+  Sample hist;
+  hist.name = "lat";
+  hist.model = ErrorModel::kHistogram;
+  hist.error_bound = 16;
+  hist.bucket_bounds = kBounds;
+  hist.bucket_counts = kCounts;
+  const QuantileView view(hist);
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.rank_error_bound(), 16u * 5u);
+  EXPECT_EQ(view.p99().upper_edge, 1000u);
+
+  // A scalar sample — even one with a plausible-looking layout — is
+  // not a histogram: callers render scalars as scalars.
+  Sample scalar = hist;
+  scalar.model = ErrorModel::kAdditive;
+  EXPECT_FALSE(QuantileView(scalar).valid());
+}
+
+}  // namespace
+}  // namespace approx::stats

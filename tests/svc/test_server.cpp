@@ -846,5 +846,111 @@ TEST(SnapshotServer, IdleSubsetHeartbeatsCarryClockAndStalenessSplit) {
   server.stop();
 }
 
+TEST(SnapshotServer, FilteredSubscriberIsNeverOfferedTheShmRing) {
+  // Satellite regression: the shm ring carries only UNFILTERED frames,
+  // whose delta indices would misdecode against a filtered subscriber's
+  // subset name table. A filtered subscriber must therefore never be
+  // offered the ring — and never end up consuming it — no matter when
+  // it asks (per-group rings are the documented upgrade path; see the
+  // README transport section).
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& hot_a =
+      registry.create("hot_a", {ErrorModel::kExact, 0, 1});
+  registry.create("cold_x", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 5ms;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      hot_a.increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  // An unfiltered control client proves the ring itself is healthy —
+  // otherwise "no offer" below would be vacuous (e.g. no /dev/shm).
+  TelemetryClient unfiltered;
+  ASSERT_TRUE(unfiltered.connect(server.port()));
+  ASSERT_TRUE(unfiltered.request_shm());
+  bool ring_healthy = false;
+  for (int i = 0; i < 200 && !ring_healthy; ++i) {
+    if (!unfiltered.poll_frame(kFrameTimeout)) break;
+    ring_healthy = unfiltered.shm_active() && unfiltered.shm_frames() >= 1;
+  }
+  if (!ring_healthy) {
+    stop.store(true, std::memory_order_release);
+    incrementer.join();
+    server.stop();
+    GTEST_SKIP() << "no healthy shm ring in this environment";
+  }
+
+  TelemetryClient filtered;
+  ASSERT_TRUE(filtered.connect(server.port()));
+  SubscriptionFilter filter;
+  filter.prefixes = {"hot_"};
+  ASSERT_TRUE(filtered.subscribe(filter));
+  bool rebased = false;
+  for (int i = 0; i < 400 && !rebased; ++i) {
+    ASSERT_TRUE(filtered.poll_frame(kFrameTimeout));
+    rebased = !filtered.view().rebase_pending() &&
+              filtered.view().samples().size() == 1;
+  }
+  ASSERT_TRUE(rebased);
+
+  const std::uint64_t offers_before = server.stats().shm_offers_sent;
+  const std::uint64_t requests_before = server.stats().shm_requests_received;
+  ASSERT_TRUE(filtered.request_shm());
+  // The server must see the request and stay silent: the subscriber
+  // keeps streaming filtered TCP frames, never a ring offer.
+  for (int i = 0; i < 200 && server.stats().shm_requests_received ==
+                                 requests_before;
+       ++i) {
+    ASSERT_TRUE(filtered.poll_frame(kFrameTimeout));
+  }
+  ASSERT_GT(server.stats().shm_requests_received, requests_before);
+  const std::uint64_t value_seen = filtered.view().samples()[0].value;
+  ASSERT_TRUE(await_value(filtered, "hot_a", value_seen + 10));
+  EXPECT_EQ(server.stats().shm_offers_sent, offers_before)
+      << "a filtered subscriber was offered the unfiltered shm ring";
+  EXPECT_FALSE(filtered.shm_active());
+  EXPECT_EQ(filtered.shm_frames(), 0u);
+  // The filtered table stayed the subset throughout — no unfiltered
+  // ring frame widened it behind the subscription's back.
+  EXPECT_EQ(filtered.view().samples().size(), 1u);
+  EXPECT_EQ(filtered.view().samples()[0].name, "hot_a");
+
+  // The reverse order — riding the ring, THEN subscribing — must demote
+  // the client back to per-subscriber TCP frames before the subset
+  // stream starts (subscribe() detaches client-side; the server drops
+  // shm_consuming when it processes the SUBSCRIBE).
+  SubscriptionFilter narrow;
+  narrow.prefixes = {"cold_"};
+  ASSERT_TRUE(unfiltered.subscribe(narrow));
+  rebased = false;
+  for (int i = 0; i < 400 && !rebased; ++i) {
+    ASSERT_TRUE(unfiltered.poll_frame(kFrameTimeout));
+    rebased = !unfiltered.view().rebase_pending() &&
+              unfiltered.view().samples().size() == 1;
+  }
+  ASSERT_TRUE(rebased);
+  EXPECT_FALSE(unfiltered.shm_active());
+  EXPECT_EQ(unfiltered.view().samples()[0].name, "cold_x");
+  // And a re-request AFTER subscribing is refused like any other.
+  const std::uint64_t offers_after = server.stats().shm_offers_sent;
+  ASSERT_TRUE(unfiltered.request_shm());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(unfiltered.poll_frame(kFrameTimeout));
+  }
+  EXPECT_EQ(server.stats().shm_offers_sent, offers_after);
+  EXPECT_FALSE(unfiltered.shm_active());
+
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+  server.stop();
+}
+
 }  // namespace
 }  // namespace approx::svc

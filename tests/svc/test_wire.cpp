@@ -589,7 +589,8 @@ TEST(WireIntegration, DeltaOnTopOfFullEqualsSnapshotAll) {
   const auto upto = registry.for_each_changed_since(
       full.sequence, next.registry_version,
       [&](std::size_t index, const std::string& /*name*/,
-          std::uint64_t value, std::uint64_t changed_seq) {
+          std::uint64_t value, std::uint64_t changed_seq,
+          const std::vector<std::uint64_t>* /*counts*/) {
         ASSERT_LE(changed_seq, next.sequence);
         entries.push_back({index, value});
       });
