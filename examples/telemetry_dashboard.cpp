@@ -4,6 +4,18 @@
 //
 //   $ ./build/examples/telemetry_dashboard --port=N [--frames=K]
 //       [--prefix=P] [--stall-ms=M] [--shm]
+//       [--reconnect [--expect-sessions=N]]
+//
+// --reconnect swaps the single-session TelemetryClient for the
+// ResilientClient supervisor: the dashboard keeps polling through
+// server crashes, re-dialing with jittered backoff and replaying its
+// --prefix subscription each new session. It exits 0 only once at
+// least --expect-sessions sessions were established AND the CURRENT
+// session has applied --frames frames — so `--expect-sessions=2`
+// proves the dashboard outlived a server bounce, not merely started.
+// On success it prints "sessions=<n> frames_gap=<g> reconnect OK"
+// after the usual marker/histogram assertions (the CI chaos-smoke
+// greps for all three).
 //
 // --prefix=P subscribes with a wire-v2 prefix filter: the server then
 // streams only counters named P*, and the view's table IS that subset.
@@ -37,6 +49,7 @@
 #include "shard/registry.hpp"
 #include "stats/quantile.hpp"
 #include "svc/client.hpp"
+#include "svc/resilient_client.hpp"
 
 namespace {
 
@@ -51,123 +64,15 @@ bool covered(const std::string& prefix, std::string_view name) {
   return prefix.empty() || name.substr(0, prefix.size()) == prefix;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+// Renders the view and runs the ground-truth assertions (startup_marker
+// decodes to 42, startup_latency_hist to its planted quantiles, no
+// filter leaks). Returns the process exit code; shared by the
+// single-session and --reconnect paths — the contract is the same no
+// matter how many sessions it took to get the view.
+int render_and_assert(const approx::svc::MaterializedView& view,
+                      const approx::svc::TelemetryClient& client,
+                      const std::string& prefix) {
   using namespace approx;
-  std::uint16_t port = 0;
-  int frames = 5;
-  std::string prefix;
-  std::uint64_t stall_ms = 0;
-  bool use_shm = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--port=", 0) == 0) {
-      port = static_cast<std::uint16_t>(
-          std::strtoul(arg.data() + 7, nullptr, 10));
-    } else if (arg.rfind("--frames=", 0) == 0) {
-      frames = std::atoi(arg.data() + 9);
-    } else if (arg.rfind("--prefix=", 0) == 0) {
-      prefix = std::string(arg.substr(9));
-    } else if (arg.rfind("--stall-ms=", 0) == 0) {
-      stall_ms = std::strtoull(arg.data() + 11, nullptr, 10);
-    } else if (arg == "--shm") {
-      use_shm = true;
-    } else {
-      std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]"
-                   " [--prefix=P] [--stall-ms=M] [--shm]\n";
-      return 2;
-    }
-  }
-  if (port == 0) {
-    std::cerr << "telemetry_dashboard: --port is required\n";
-    return 2;
-  }
-
-  svc::TelemetryClient client;
-  if (!client.connect(port)) {
-    std::cerr << "telemetry_dashboard: connect to 127.0.0.1:" << port
-              << " failed\n";
-    return 1;
-  }
-  if (!prefix.empty()) {
-    svc::SubscriptionFilter filter;
-    filter.prefixes = {prefix};
-    if (!client.subscribe(filter)) {
-      std::cerr << "telemetry_dashboard: subscribe failed\n";
-      return 1;
-    }
-  }
-  if (use_shm && !client.request_shm()) {
-    std::cerr << "telemetry_dashboard: shm request send failed\n";
-    return 1;
-  }
-  bool resync_ok = stall_ms == 0;  // nothing to prove without a stall
-  for (int f = 0; f < frames; ++f) {
-    if (!client.poll_frame(std::chrono::seconds(10))) {
-      std::cerr << "telemetry_dashboard: stream ended after " << f
-                << " frames\n";
-      return 1;
-    }
-    if (stall_ms != 0 && f == 0) {
-      // Simulated stall: miss ticks, then drive recovery ourselves — a
-      // fresh full must arrive without waiting for a table change.
-      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
-      const std::uint64_t fulls_before = client.view().full_frames();
-      if (!client.request_resync()) {
-        std::cerr << "telemetry_dashboard: resync send failed\n";
-        return 1;
-      }
-      for (int attempt = 0; attempt < 50 && !resync_ok; ++attempt) {
-        if (!client.poll_frame(std::chrono::seconds(10))) {
-          std::cerr << "telemetry_dashboard: stream ended mid-resync\n";
-          return 1;
-        }
-        resync_ok = client.view().full_frames() > fulls_before;
-      }
-      if (!resync_ok) {
-        std::cerr << "telemetry_dashboard: no full frame after resync\n";
-        return 1;
-      }
-      std::cout << "resync full OK\n";
-    }
-  }
-  // A filtered run may still be inside the re-base window (the server
-  // services a brand-new client with the unfiltered full before it
-  // reads the SUBSCRIBE): pump until the subset table is in place so
-  // the assertions below judge the subscription, not that race.
-  for (int attempt = 0;
-       attempt < 50 && client.view().rebase_pending(); ++attempt) {
-    if (!client.poll_frame(std::chrono::seconds(10))) {
-      std::cerr << "telemetry_dashboard: stream ended before the"
-                   " subscription re-base\n";
-      return 1;
-    }
-  }
-  if (use_shm) {
-    // The offer may trail the first frames; keep pumping until the
-    // data path is demonstrably the ring (mapped AND a frame applied
-    // off it), not just requested.
-    for (int attempt = 0;
-         attempt < 50 && !(client.shm_active() && client.shm_frames() >= 1);
-         ++attempt) {
-      if (!client.poll_frame(std::chrono::seconds(10))) {
-        std::cerr << "telemetry_dashboard: stream ended before a frame"
-                     " arrived off the shm ring\n";
-        return 1;
-      }
-    }
-    if (!(client.shm_active() && client.shm_frames() >= 1)) {
-      std::cerr << "telemetry_dashboard: --shm requested but the data"
-                   " path never moved onto the ring\n";
-      return 1;
-    }
-    std::cout << "transport: shm (" << client.shm_frames()
-              << " ring frames, " << client.shm_overruns()
-              << " overruns)\n";
-  }
-
-  const svc::MaterializedView& view = client.view();
   std::cout << "frame seq " << view.sequence() << " ("
             << view.full_frames() << " full + " << view.delta_frames()
             << " delta frames, " << client.bytes_received()
@@ -262,4 +167,168 @@ int main(int argc, char** argv) {
               << " counters OK (marker outside filter)\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace approx;
+  std::uint16_t port = 0;
+  int frames = 5;
+  std::string prefix;
+  std::uint64_t stall_ms = 0;
+  bool use_shm = false;
+  bool reconnect = false;
+  std::uint64_t expect_sessions = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<std::uint16_t>(
+          std::strtoul(arg.data() + 7, nullptr, 10));
+    } else if (arg.rfind("--frames=", 0) == 0) {
+      frames = std::atoi(arg.data() + 9);
+    } else if (arg.rfind("--prefix=", 0) == 0) {
+      prefix = std::string(arg.substr(9));
+    } else if (arg.rfind("--stall-ms=", 0) == 0) {
+      stall_ms = std::strtoull(arg.data() + 11, nullptr, 10);
+    } else if (arg == "--shm") {
+      use_shm = true;
+    } else if (arg == "--reconnect") {
+      reconnect = true;
+    } else if (arg.rfind("--expect-sessions=", 0) == 0) {
+      expect_sessions = std::strtoull(arg.data() + 18, nullptr, 10);
+    } else {
+      std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]"
+                   " [--prefix=P] [--stall-ms=M] [--shm]"
+                   " [--reconnect [--expect-sessions=N]]\n";
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::cerr << "telemetry_dashboard: --port is required\n";
+    return 2;
+  }
+  if (reconnect && (use_shm || stall_ms != 0)) {
+    std::cerr << "telemetry_dashboard: --reconnect composes with --prefix"
+                 " and --frames only\n";
+    return 2;
+  }
+
+  if (reconnect) {
+    // Supervised path: keep polling through crashes until the session
+    // count AND the current session's frame count both clear the bar —
+    // a restarted server must re-prove the stream, not coast on the
+    // pre-crash one.
+    svc::ResilientClientOptions rc_options;
+    rc_options.port = port;
+    if (!prefix.empty()) rc_options.filter.prefixes = {prefix};
+    svc::ResilientClient rc(rc_options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (rc.stats().sessions_established < expect_sessions ||
+           rc.view().frames_applied() < static_cast<std::uint64_t>(frames) ||
+           rc.view().rebase_pending()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        const svc::ClientStats stats = rc.stats();
+        std::cerr << "telemetry_dashboard: gave up waiting for "
+                  << expect_sessions << " sessions x " << frames
+                  << " frames (sessions=" << stats.sessions_established
+                  << " attempts=" << stats.connect_attempts
+                  << " frames=" << rc.view().frames_applied() << ")\n";
+        return 1;
+      }
+      rc.poll_frame(std::chrono::seconds(10));
+    }
+    const int code = render_and_assert(rc.view(), rc.client(), prefix);
+    if (code != 0) return code;
+    const svc::ClientStats stats = rc.stats();
+    std::cout << "sessions=" << stats.sessions_established
+              << " frames_gap=" << stats.frames_gap << " reconnect OK\n";
+    return 0;
+  }
+
+  svc::TelemetryClient client;
+  if (!client.connect(port)) {
+    std::cerr << "telemetry_dashboard: connect to 127.0.0.1:" << port
+              << " failed\n";
+    return 1;
+  }
+  if (!prefix.empty()) {
+    svc::SubscriptionFilter filter;
+    filter.prefixes = {prefix};
+    if (!client.subscribe(filter)) {
+      std::cerr << "telemetry_dashboard: subscribe failed\n";
+      return 1;
+    }
+  }
+  if (use_shm && !client.request_shm()) {
+    std::cerr << "telemetry_dashboard: shm request send failed\n";
+    return 1;
+  }
+  bool resync_ok = stall_ms == 0;  // nothing to prove without a stall
+  for (int f = 0; f < frames; ++f) {
+    if (!client.poll_frame(std::chrono::seconds(10))) {
+      std::cerr << "telemetry_dashboard: stream ended after " << f
+                << " frames\n";
+      return 1;
+    }
+    if (stall_ms != 0 && f == 0) {
+      // Simulated stall: miss ticks, then drive recovery ourselves — a
+      // fresh full must arrive without waiting for a table change.
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      const std::uint64_t fulls_before = client.view().full_frames();
+      if (!client.request_resync()) {
+        std::cerr << "telemetry_dashboard: resync send failed\n";
+        return 1;
+      }
+      for (int attempt = 0; attempt < 50 && !resync_ok; ++attempt) {
+        if (!client.poll_frame(std::chrono::seconds(10))) {
+          std::cerr << "telemetry_dashboard: stream ended mid-resync\n";
+          return 1;
+        }
+        resync_ok = client.view().full_frames() > fulls_before;
+      }
+      if (!resync_ok) {
+        std::cerr << "telemetry_dashboard: no full frame after resync\n";
+        return 1;
+      }
+      std::cout << "resync full OK\n";
+    }
+  }
+  // A filtered run may still be inside the re-base window (the server
+  // services a brand-new client with the unfiltered full before it
+  // reads the SUBSCRIBE): pump until the subset table is in place so
+  // the assertions below judge the subscription, not that race.
+  for (int attempt = 0;
+       attempt < 50 && client.view().rebase_pending(); ++attempt) {
+    if (!client.poll_frame(std::chrono::seconds(10))) {
+      std::cerr << "telemetry_dashboard: stream ended before the"
+                   " subscription re-base\n";
+      return 1;
+    }
+  }
+  if (use_shm) {
+    // The offer may trail the first frames; keep pumping until the
+    // data path is demonstrably the ring (mapped AND a frame applied
+    // off it), not just requested.
+    for (int attempt = 0;
+         attempt < 50 && !(client.shm_active() && client.shm_frames() >= 1);
+         ++attempt) {
+      if (!client.poll_frame(std::chrono::seconds(10))) {
+        std::cerr << "telemetry_dashboard: stream ended before a frame"
+                     " arrived off the shm ring\n";
+        return 1;
+      }
+    }
+    if (!(client.shm_active() && client.shm_frames() >= 1)) {
+      std::cerr << "telemetry_dashboard: --shm requested but the data"
+                   " path never moved onto the ring\n";
+      return 1;
+    }
+    std::cout << "transport: shm (" << client.shm_frames()
+              << " ring frames, " << client.shm_overruns()
+              << " overruns)\n";
+  }
+
+  return render_and_assert(client.view(), client, prefix);
 }

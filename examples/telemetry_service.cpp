@@ -5,9 +5,18 @@
 // consumer; the CI service-smoke job runs the pair).
 //
 //   $ ./build/examples/telemetry_service [--port=N] [--duration-ms=N]
+//       [--crash-after-ticks=N]
 //
 // Port 0 (the default) picks an ephemeral port; either way the chosen
 // port is printed as "listening on port N" so scripts can scrape it.
+//
+// --crash-after-ticks=N is the chaos-smoke's murder weapon: a watchdog
+// thread watches ServerStats::frames_collected and, once N ticks have
+// been served, prints "crashing after N ticks" to stderr and dies via
+// ::_exit — no destructors, no FIN handshakes beyond what the kernel
+// does on process exit, exactly like a real crash. The CI chaos-smoke
+// job restarts the service on the same port and requires every
+// --reconnect dashboard to survive the bounce.
 //
 // The fleet mirrors examples/sharded_telemetry.cpp plus one wrinkle the
 // dashboard asserts on: "startup_marker" is an exact counter bumped to
@@ -16,6 +25,8 @@
 // correctness probe. "startup_latency_hist" plays the same role for
 // vector entries: a flushed, quiescent histogram whose decoded p99
 // bucket is known in advance, plus a live one the workers keep hot.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -64,6 +75,7 @@ int main(int argc, char** argv) {
   using namespace approx;
   std::uint16_t port = 0;
   std::uint64_t duration_ms = 3000;
+  std::uint64_t crash_after_ticks = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -71,8 +83,11 @@ int main(int argc, char** argv) {
           std::strtoul(arg.data() + 7, nullptr, 10));
     } else if (arg.rfind("--duration-ms=", 0) == 0) {
       duration_ms = std::strtoull(arg.data() + 14, nullptr, 10);
+    } else if (arg.rfind("--crash-after-ticks=", 0) == 0) {
+      crash_after_ticks = std::strtoull(arg.data() + 20, nullptr, 10);
     } else {
-      std::cerr << "usage: telemetry_service [--port=N] [--duration-ms=N]\n";
+      std::cerr << "usage: telemetry_service [--port=N] [--duration-ms=N]"
+                   " [--crash-after-ticks=N]\n";
       return 2;
     }
   }
@@ -117,6 +132,22 @@ int main(int argc, char** argv) {
   std::cout << "listening on port " << server.port() << std::endl;
 
   std::atomic<bool> stop{false};
+  std::thread crash_watchdog;
+  if (crash_after_ticks > 0) {
+    crash_watchdog = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (server.stats().frames_collected >= crash_after_ticks) {
+          std::cerr << "crashing after " << crash_after_ticks << " ticks"
+                    << std::endl;
+          // A real crash: no destructors, no goodbye frames. Clients
+          // see a dead socket (or nothing at all, for half-sent
+          // frames) and must recover on their own.
+          ::_exit(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
   std::vector<std::thread> workers;
   for (unsigned pid = 0; pid < kWorkers; ++pid) {
     workers.emplace_back([&, pid] {
@@ -134,6 +165,7 @@ int main(int argc, char** argv) {
   std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
   stop.store(true, std::memory_order_release);
   for (std::thread& worker : workers) worker.join();
+  if (crash_watchdog.joinable()) crash_watchdog.join();
   const svc::ServerStats stats = server.stats();
   server.stop();
 

@@ -23,6 +23,12 @@ namespace {
 /// names is still an order of magnitude below this).
 constexpr std::uint64_t kMaxFramePayload = 1ull << 28;
 
+/// Consecutive frozen-head doorbell timeouts required (with the idle
+/// deadline elapsed) before the ring writer is declared dead. A small
+/// floor so one long park straddling a scheduler hiccup cannot demote
+/// by itself; the deadline carries the real semantics.
+constexpr std::uint32_t kRingIdleStrikeMin = 3;
+
 }  // namespace
 
 TelemetryClient::~TelemetryClient() { close(); }
@@ -281,6 +287,9 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
             // ring pump sends it on the first frame that APPLIES.
             ring_.skip_to_head();
             ring_accept_pending_ = true;
+            ring_last_head_ = ring_.head();
+            ring_last_progress_ns_ = steady_now_ns();
+            ring_idle_strikes_ = 0;
           }
           // Open failure (stale offer, restarted server): stay on TCP.
           continue;
@@ -326,6 +335,33 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
       if (!ring_.wait(doorbell_seen,
                       std::min(remaining, std::chrono::milliseconds(100)))) {
         if (!drain_socket(0)) return false;  // quiet ring: probe now
+        // Dead-writer probe: the doorbell cannot distinguish a quiet
+        // fleet from a dead writer (a SIGSTOP'd or exited server
+        // leaves generation AND head frozen, so poll() keeps saying
+        // kEmpty forever). A healthy writer publishes every tick, so a
+        // head frozen across kRingIdleStrikeMin consecutive timeouts
+        // for the full idle deadline means the writer is gone: demote
+        // to TCP (close the ring, RESYNC for a fresh full). If TCP is
+        // dead too, the next drain/poll surfaces it and the caller's
+        // reconnect supervisor takes the final rung.
+        const std::uint64_t head = ring_.head();
+        const std::uint64_t now_ns = steady_now_ns();
+        if (head != ring_last_head_) {
+          ring_last_head_ = head;
+          ring_last_progress_ns_ = now_ns;
+          ring_idle_strikes_ = 0;
+        } else if (++ring_idle_strikes_ >= kRingIdleStrikeMin &&
+                   ring_idle_deadline_.count() > 0 &&
+                   now_ns - ring_last_progress_ns_ >=
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               ring_idle_deadline_)
+                               .count())) {
+          ++shm_demotions_;
+          ring_.close();
+          ring_accept_pending_ = false;
+          request_resync();
+        }
       }
       continue;
     }

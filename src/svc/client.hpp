@@ -151,6 +151,22 @@ class TelemetryClient {
   [[nodiscard]] std::uint64_t shm_overruns() const noexcept {
     return shm_overruns_;
   }
+  /// Rings abandoned for a DEAD writer (no head advance across
+  /// consecutive doorbell timeouts for the idle deadline) — the
+  /// shm→TCP rung of the degradation ladder. Overruns and generation
+  /// mismatches are counted separately (shm_overruns, silent close).
+  [[nodiscard]] std::uint64_t shm_demotions() const noexcept {
+    return shm_demotions_;
+  }
+  /// How long the ring's head may sit frozen across doorbell timeouts
+  /// before the writer is presumed dead and the client demotes to TCP
+  /// (close ring + RESYNC). Zero disables the probe (a quiet fleet and
+  /// a dead writer then look identical forever — the pre-ladder
+  /// behavior). Default 2 s: generous against a merely slow collector,
+  /// far below any human-visible outage. Tests shrink it.
+  void set_ring_idle_deadline(std::chrono::milliseconds deadline) noexcept {
+    ring_idle_deadline_ = deadline;
+  }
 
  private:
   void send_ack(std::uint64_t sequence);
@@ -198,8 +214,18 @@ class TelemetryClient {
   std::uint64_t shm_frames_ = 0;
   std::uint64_t shm_frame_bytes_ = 0;
   std::uint64_t shm_overruns_ = 0;
+  std::uint64_t shm_demotions_ = 0;
   std::string ring_scratch_;   // reused poll() payload buffer
   std::uint32_t ring_wait_count_ = 0;  // schedules periodic socket probes
+  // Dead-writer probe state: the head as of the last doorbell timeout,
+  // when it last moved, and how many consecutive timeouts saw it
+  // frozen. Strikes alone would misfire on the non-futex wait fallback
+  // (~1 ms sleeps each "time out"), so demotion requires BOTH a strike
+  // minimum and the elapsed idle deadline.
+  std::chrono::milliseconds ring_idle_deadline_{2000};
+  std::uint64_t ring_last_head_ = 0;
+  std::uint64_t ring_last_progress_ns_ = 0;
+  std::uint32_t ring_idle_strikes_ = 0;
 };
 
 }  // namespace approx::svc

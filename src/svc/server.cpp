@@ -196,6 +196,9 @@ class ServerCore {
     out.frames_collected = frames_collected_.load(std::memory_order_relaxed);
     out.clients_accepted = clients_accepted_.load(std::memory_order_relaxed);
     out.clients_closed = clients_closed_.load(std::memory_order_relaxed);
+    out.clients_evicted_idle =
+        clients_evicted_idle_.load(std::memory_order_relaxed);
+    out.frames_in_flight = inflight_frames_.load(std::memory_order_relaxed);
     out.full_frames_sent = full_frames_sent_.load(std::memory_order_relaxed);
     out.delta_frames_sent = delta_frames_sent_.load(std::memory_order_relaxed);
     out.catchup_deltas_sent =
@@ -305,6 +308,13 @@ class ServerCore {
     /// send nothing per tick (force_full still goes over TCP — that is
     /// the overrun-recovery path).
     bool shm_consuming = false;
+    /// Ack-deadline eviction clock (ServerOptions::ack_deadline_ticks).
+    /// Armed (at the then-current pub.seq) when the client is owed
+    /// frames; re-armed on any progress (ack advance, partial-write
+    /// drain); disarmed when nothing is owed. 0 = disarmed.
+    std::uint64_t ack_wait_since = 0;
+    std::uint64_t ack_wait_acked = 0;  // acked_seq when armed
+    std::size_t ack_wait_off = 0;      // in-flight drain offset when armed
   };
 
   struct Worker {
@@ -532,6 +542,7 @@ class ServerCore {
     }
     for (Client& client : worker.clients) {
       if (client.fd >= 0) ::close(client.fd);
+      drop_inflight(client);  // keep the gauge exact across stop()
     }
     worker.clients.clear();
     // Retire this thread's CPU into the durable sum (stats() adds live
@@ -589,11 +600,69 @@ class ServerCore {
     }
   }
 
+  /// Hands `frame` to the client as its ONE in-flight buffer (the
+  /// backpressure invariant guarantees none is pending) and maintains
+  /// the fleet-wide frames_in_flight gauge — the refcount-pinning
+  /// evidence the eviction proof drains to zero.
+  void set_inflight(Client& client,
+                    std::shared_ptr<const std::string> frame) {
+    client.out = std::move(frame);
+    client.off = 0;
+    inflight_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void drop_inflight(Client& client) {
+    if (!client.out) return;
+    client.out.reset();
+    client.off = 0;
+    inflight_frames_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// The ack-deadline eviction check (ServerOptions::ack_deadline_ticks;
+  /// runs per client per service round, after the flush attempt). True
+  /// when the client was evicted (and closed). The predicate is "owed
+  /// AND stalled": a peer holding an undrained in-flight buffer or
+  /// unacked fully-sent frames, with neither its acked_seq nor its
+  /// partial-write offset moving for the deadline's worth of ticks, is
+  /// half-open or frozen — close it so its socket and pinned
+  /// shared-encode refcount come back. A slow-but-live reader resets
+  /// the clock on every ack or drained byte; an shm consumer never
+  /// acks by design and is exempt; a caught-up subscriber of a quiet
+  /// group owes nothing and is disarmed.
+  bool evict_if_ack_stalled(Client& client, const PublishedFrame& pub) {
+    if (options_.ack_deadline_ticks == 0 || pub.seq == 0) return false;
+    if (client.shm_consuming) {
+      client.ack_wait_since = 0;
+      return false;
+    }
+    const bool owed =
+        client.out != nullptr || client.sent_seq > client.acked_seq;
+    if (!owed) {
+      client.ack_wait_since = 0;
+      return false;
+    }
+    const bool progressed =
+        client.acked_seq > client.ack_wait_acked ||
+        (client.out != nullptr && client.off > client.ack_wait_off);
+    if (client.ack_wait_since == 0 || progressed) {
+      client.ack_wait_since = pub.seq;
+      client.ack_wait_acked = client.acked_seq;
+      client.ack_wait_off = client.out ? client.off : 0;
+      return false;
+    }
+    if (pub.seq - client.ack_wait_since < options_.ack_deadline_ticks) {
+      return false;
+    }
+    clients_evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+    close_client(client);
+    return true;
+  }
+
   void close_client(Client& client) {
     if (client.fd < 0) return;
     ::close(client.fd);
     client.fd = -1;
-    client.out.reset();
+    drop_inflight(client);
     if (client.group) {
       std::lock_guard glock(groups_mutex_);
       release_group_locked(client);
@@ -752,8 +821,7 @@ class ServerCore {
       close_client(client);  // error, or the impossible 0-byte send
       return false;
     }
-    client.out.reset();
-    client.off = 0;
+    drop_inflight(client);
     return true;
   }
 
@@ -764,16 +832,19 @@ class ServerCore {
                       std::vector<DeltaEntry>& changed_scratch,
                       std::vector<std::uint64_t>& selection_scratch) {
     if (client.fd < 0) return;
-    if (!flush(client)) return;  // blocked mid-frame (or just closed)
+    const bool drained = flush(client);
     if (client.fd < 0) return;
+    // The eviction clock runs whether or not the flush is blocked — a
+    // half-open peer IS a permanently blocked flush.
+    if (evict_if_ack_stalled(client, pub)) return;
+    if (!drained) return;  // blocked mid-frame
     if (client.shm_offer_pending) {
       // The offer rides the data channel — framed like a data frame, it
       // lands between frames, never splitting one.
       client.shm_offer_pending = false;
       if (shm_offer_frame_ && client.group == nullptr &&
           !ring_broken_.load(std::memory_order_relaxed)) {
-        client.out = shm_offer_frame_;
-        client.off = 0;
+        set_inflight(client, shm_offer_frame_);
         shm_offers_sent_.fetch_add(1, std::memory_order_relaxed);
         flush(client);
         return;
@@ -852,6 +923,7 @@ class ServerCore {
       full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
     }
     client.off = 0;
+    inflight_frames_.fetch_add(1, std::memory_order_relaxed);
     client.sent_seq = sent_seq;
     client.sent_regver = pub.registry_version;
     flush(client);
@@ -894,8 +966,7 @@ class ServerCore {
       std::shared_ptr<const std::string> full =
           group_full(client, pub, full_wire);
       if (!full) return;  // no snapshot this tick (group just born)
-      client.out = std::move(full);
-      client.off = 0;
+      set_inflight(client, std::move(full));
       client.sent_seq = pub.seq;
       client.sent_regver = full_wire;
       client.force_full = false;
@@ -907,8 +978,7 @@ class ServerCore {
     if (group_delta && delta_regver == client.sent_regver &&
         delta_base <= client.sent_seq && delta_seq > client.sent_seq) {
       // In step (or covered): the group's one shared encode this tick.
-      client.out = std::move(group_delta);
-      client.off = 0;
+      set_inflight(client, std::move(group_delta));
       client.sent_seq = delta_seq;
       delta_frames_sent_.fetch_add(1, std::memory_order_relaxed);
       flush(client);
@@ -953,8 +1023,7 @@ class ServerCore {
         *upto == pub.seq ? pub.collect_ns : steady_now_ns();
     encode_delta_frame(*upto, group_wire, stamp_ns,
                        client.sent_seq, changed_scratch, *buf);
-    client.out = std::move(buf);
-    client.off = 0;
+    set_inflight(client, std::move(buf));
     client.sent_seq = std::max(client.sent_seq, *upto);
     catchup_deltas_sent_.fetch_add(1, std::memory_order_relaxed);
     flush(client);
@@ -1103,6 +1172,8 @@ class ServerCore {
   std::atomic<std::uint64_t> frames_collected_{0};
   std::atomic<std::uint64_t> clients_accepted_{0};
   std::atomic<std::uint64_t> clients_closed_{0};
+  std::atomic<std::uint64_t> clients_evicted_idle_{0};
+  std::atomic<std::uint64_t> inflight_frames_{0};  // gauge, not monotonic
   std::atomic<std::uint64_t> full_frames_sent_{0};
   std::atomic<std::uint64_t> delta_frames_sent_{0};
   std::atomic<std::uint64_t> catchup_deltas_sent_{0};

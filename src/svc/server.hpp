@@ -123,6 +123,20 @@ struct ServerOptions {
   bool shm_enable = true;
   std::uint32_t shm_slots = 64;
   std::uint64_t shm_slot_bytes = 64 * 1024;
+  /// Ack-deadline eviction: a subscriber that is OWED frames (an
+  /// in-flight buffer it will not drain, or fully-sent frames it never
+  /// acked) and shows no progress — no ack advance, no partial-write
+  /// drain — for this many consecutive collector ticks is closed
+  /// (ServerStats::clients_evicted_idle), releasing its socket and its
+  /// pinned retired-encode refcount. Half-open TCP peers and SIGSTOP'd
+  /// readers die within `ack_deadline_ticks × period`; a merely SLOW
+  /// reader keeps resetting the clock with every ack or drained byte
+  /// and is never evicted. Shm-consuming clients are exempt (they ack
+  /// nothing by design; ring liveness is the client's job), as are
+  /// idle-but-owed-nothing subscribers of a quiet filter group.
+  /// 0 disables eviction (the pre-v5 behavior). Default 250 ticks
+  /// (5 s at the default 20 ms period).
+  unsigned ack_deadline_ticks = 250;
 };
 
 /// Monotonic counters describing a server's life so far. stats() may be
@@ -133,6 +147,14 @@ struct ServerStats {
   std::uint64_t frames_collected = 0;
   std::uint64_t clients_accepted = 0;
   std::uint64_t clients_closed = 0;
+  /// Subscribers closed by ack-deadline eviction (a subset of
+  /// clients_closed). See ServerOptions::ack_deadline_ticks.
+  std::uint64_t clients_evicted_idle = 0;
+  /// GAUGE (not monotonic): encoded frames currently handed to
+  /// subscribers and not yet fully written — each pins its tick's
+  /// shared-encode refcount. Drains to zero when every peer is caught
+  /// up or evicted; the eviction proof watches exactly this.
+  std::uint64_t frames_in_flight = 0;
   std::uint64_t full_frames_sent = 0;    // full encodes handed to clients
   std::uint64_t delta_frames_sent = 0;   // shared tick/group deltas
   std::uint64_t catchup_deltas_sent = 0; // per-client changed-since deltas

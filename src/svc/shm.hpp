@@ -115,6 +115,16 @@ class ShmRingReader {
     return mapped() ? reader_.generation() : 0;
   }
 
+  /// The ring's shared head (frames the writer has published so far; 0
+  /// when unmapped). The client's writer-liveness probe: a healthy
+  /// writer publishes every tick, so a head that stops advancing across
+  /// consecutive doorbell timeouts means the writer is gone or stalled
+  /// — indistinguishable from a quiet fleet by the doorbell alone,
+  /// which is exactly why the head must be consulted.
+  [[nodiscard]] std::uint64_t head() const noexcept {
+    return mapped() ? reader_.head() : 0;
+  }
+
   /// The futex half of the doorbell word (its low 32 bits — the region
   /// is little-endian by the ring's contract). Read BEFORE poll()ing;
   /// pass to wait() only if the ring came up empty.

@@ -1,0 +1,319 @@
+// fault_proxy.hpp — deterministic in-process TCP fault injection for
+// the chaos suite (tests/svc/test_chaos.cpp).
+//
+// A loopback TCP proxy on its own thread: clients connect to port()
+// and the proxy dials the real server at `upstream_port`, forwarding
+// bytes both ways — until a test tells it to misbehave. The supported
+// faults are the ones a real network actually serves:
+//
+//   * trickle     — server→client bytes are re-sent ONE BYTE PER SEND
+//                   (framing torture: every length prefix, varint and
+//                   payload byte arrives alone);
+//   * truncate    — one-shot: after N more server→client bytes, both
+//                   sides of every session are closed (a mid-frame cut
+//                   at an exact byte offset — the test sweeps N);
+//   * blackhole   — stop forwarding in BOTH directions while keeping
+//                   every socket open (a half-open/middlebox-eaten
+//                   session: TCP liveness without stream liveness);
+//   * kill        — close all current sessions now (a crashed peer).
+//
+// All switches are atomics flipped from the test thread; the proxy
+// thread applies them on its next poll round (≤ kPollSliceMs away).
+// Sessions are independent: a new connection after a truncate/kill
+// starts clean. Counters (sessions_accepted, bytes_forwarded) let
+// tests await proxy-side progress without sleeping blind.
+//
+// Test-only by design (unbounded buffering, 1-slot listen backlog
+// semantics, no TLS/authn): the production path ships no proxy.
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace approx::svc::testing {
+
+class FaultProxy {
+ public:
+  /// Listens on an ephemeral loopback port, forwarding every accepted
+  /// connection to 127.0.0.1:`upstream_port`.
+  explicit FaultProxy(std::uint16_t upstream_port)
+      : upstream_port_(upstream_port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) return;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~FaultProxy() { stop(); }
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void stop() {
+    if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  /// Server→client bytes leave one byte per send() while set.
+  void set_trickle(bool on) {
+    trickle_.store(on, std::memory_order_relaxed);
+  }
+
+  /// One-shot: after `bytes` more server→client bytes have been
+  /// forwarded, every session is closed (both sides). Counted across
+  /// sessions; re-arm per cut.
+  void set_truncate_after(std::int64_t bytes) {
+    truncate_after_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// While set, NOTHING is forwarded in either direction but every
+  /// socket stays open — the half-open peer.
+  void set_blackhole(bool on) {
+    blackhole_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Close all current sessions on the next poll round.
+  void kill_sessions() {
+    kill_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t sessions_accepted() const noexcept {
+    return sessions_accepted_.load(std::memory_order_relaxed);
+  }
+  /// Server→client payload bytes actually forwarded so far.
+  [[nodiscard]] std::uint64_t bytes_forwarded() const noexcept {
+    return bytes_forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kPollSliceMs = 2;
+
+  struct Session {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::string to_client;    // server→client bytes awaiting forward
+    std::string to_upstream;  // client→server bytes awaiting forward
+    bool dead = false;
+  };
+
+  static void set_nonblock(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  int dial_upstream() const {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(upstream_port_);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    set_nonblock(fd);
+    return fd;
+  }
+
+  static void close_session(Session& session) {
+    if (session.client_fd >= 0) ::close(session.client_fd);
+    if (session.upstream_fd >= 0) ::close(session.upstream_fd);
+    session.client_fd = -1;
+    session.upstream_fd = -1;
+    session.dead = true;
+  }
+
+  /// Drains readable bytes from `fd` into `buf`; false on EOF/error.
+  static bool slurp(int fd, std::string& buf) {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  /// Sends up to `limit` bytes of `buf` to `fd` (1 at a time when
+  /// `one_byte`); erases what went out, adds it to bytes_forwarded_
+  /// when `count`. False on a dead socket.
+  bool pump(int fd, std::string& buf, std::size_t limit, bool one_byte,
+            bool count) {
+    std::size_t sent_total = 0;
+    while (sent_total < limit && sent_total < buf.size()) {
+      const std::size_t want =
+          one_byte ? 1 : std::min(buf.size(), limit) - sent_total;
+      const ssize_t n = ::send(fd, buf.data() + sent_total, want,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        sent_total += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    if (sent_total > 0) {
+      buf.erase(0, sent_total);
+      if (count) {
+        bytes_forwarded_.fetch_add(sent_total, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  }
+
+  void loop() {
+    std::vector<Session> sessions;
+    std::uint64_t seen_kill = kill_epoch_.load(std::memory_order_relaxed);
+    std::vector<pollfd> pfds;
+    while (running_.load(std::memory_order_acquire)) {
+      const std::uint64_t kill_now =
+          kill_epoch_.load(std::memory_order_relaxed);
+      if (kill_now != seen_kill) {
+        seen_kill = kill_now;
+        for (Session& session : sessions) close_session(session);
+      }
+      const bool hole = blackhole_.load(std::memory_order_relaxed);
+      pfds.clear();
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      for (Session& session : sessions) {
+        if (session.dead) continue;
+        short ce = 0;
+        short ue = 0;
+        if (!hole) {
+          ce |= POLLIN;
+          ue |= POLLIN;
+          if (!session.to_client.empty()) ce |= POLLOUT;
+          if (!session.to_upstream.empty()) ue |= POLLOUT;
+        }
+        pfds.push_back({session.client_fd, ce, 0});
+        pfds.push_back({session.upstream_fd, ue, 0});
+      }
+      if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                 kPollSliceMs) < 0 &&
+          errno != EINTR) {
+        break;
+      }
+      if (pfds[0].revents & POLLIN) {
+        while (true) {
+          const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          Session session;
+          session.client_fd = fd;
+          session.upstream_fd = dial_upstream();
+          if (session.upstream_fd < 0) {
+            ::close(fd);
+            continue;
+          }
+          sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+          sessions.push_back(std::move(session));
+        }
+      }
+      if (hole) continue;  // sockets open, nothing moves
+      for (Session& session : sessions) {
+        if (session.dead) continue;
+        if (!slurp(session.client_fd, session.to_upstream) ||
+            !slurp(session.upstream_fd, session.to_client)) {
+          close_session(session);
+          continue;
+        }
+        // Client→server: faithful.
+        if (!pump(session.upstream_fd, session.to_upstream,
+                  session.to_upstream.size(), /*one_byte=*/false,
+                  /*count=*/false)) {
+          close_session(session);
+          continue;
+        }
+        // Server→client: where the faults live.
+        const bool one_byte = trickle_.load(std::memory_order_relaxed);
+        const std::int64_t cut =
+            truncate_after_.load(std::memory_order_relaxed);
+        std::size_t limit = session.to_client.size();
+        if (cut >= 0) limit = std::min(limit, static_cast<std::size_t>(cut));
+        const std::uint64_t before =
+            bytes_forwarded_.load(std::memory_order_relaxed);
+        if (!pump(session.client_fd, session.to_client, limit, one_byte,
+                  /*count=*/true)) {
+          close_session(session);
+          continue;
+        }
+        if (cut >= 0) {
+          const std::uint64_t sent =
+              bytes_forwarded_.load(std::memory_order_relaxed) - before;
+          const std::int64_t left = cut - static_cast<std::int64_t>(sent);
+          truncate_after_.store(left > 0 ? left : -1,
+                                std::memory_order_relaxed);
+          if (left <= 0) {
+            // The cut: every session dies mid-byte-stream, one-shot.
+            for (Session& victim : sessions) close_session(victim);
+            break;
+          }
+        }
+      }
+      std::erase_if(sessions,
+                    [](const Session& session) { return session.dead; });
+    }
+    for (Session& session : sessions) close_session(session);
+  }
+
+  std::uint16_t upstream_port_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> trickle_{false};
+  std::atomic<std::int64_t> truncate_after_{-1};
+  std::atomic<bool> blackhole_{false};
+  std::atomic<std::uint64_t> kill_epoch_{0};
+  std::atomic<std::uint64_t> sessions_accepted_{0};
+  std::atomic<std::uint64_t> bytes_forwarded_{0};
+};
+
+}  // namespace approx::svc::testing

@@ -1,0 +1,274 @@
+// Chaos suite: the resilience ladder under deterministic fault
+// injection. A real SnapshotServer streams through FaultProxy
+// (tests/svc/fault_proxy.hpp) — or gets killed and restarted outright —
+// while a ResilientClient (or, for the framing test, a bare
+// TelemetryClient) must keep its end of the contract:
+//
+//   * kill/restart mid-stream  → the view converges on the NEW server's
+//     truth for the replayed filter, no stale entries, continuity
+//     counted in ClientStats;
+//   * 1-byte trickle           → every frame still applies (framing
+//     survives maximal fragmentation);
+//   * truncate at every offset → a cut at ANY byte boundary of the
+//     stream — length prefix, header, mid-payload — heals through one
+//     reconnect, for a sweep of offsets covering FULL and DELTA frames;
+//   * blackhole                → a connected-but-silent session
+//     escalates to reconnect (TCP liveness is not stream liveness).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/backend.hpp"
+#include "fault_proxy.hpp"
+#include "shard/registry.hpp"
+#include "svc/client.hpp"
+#include "svc/resilient_client.hpp"
+#include "svc/server.hpp"
+#include "svc/wire.hpp"
+
+namespace approx::svc {
+namespace {
+
+using namespace std::chrono_literals;
+using approx::svc::testing::FaultProxy;
+using shard::ErrorModel;
+
+constexpr auto kFrameTimeout = 5s;
+
+bool view_has(const MaterializedView& view, std::string_view name,
+              std::uint64_t* value = nullptr) {
+  for (const auto& sample : view.samples()) {
+    if (sample.name == name) {
+      if (value != nullptr) *value = sample.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Chaos, ServerKillRestartMidStreamConverges) {
+  // Server A: two counters under the subscribed prefix, one outside it.
+  shard::RegistryT<base::DirectBackend> registry_a(4);
+  shard::AnyCounter& requests_a =
+      registry_a.create("app_requests", {ErrorModel::kExact, 0, 2});
+  registry_a.create("app_errors", {ErrorModel::kExact, 0, 2});
+  registry_a.create("other_noise", {ErrorModel::kExact, 0, 2});
+  for (int i = 0; i < 42; ++i) requests_a.increment(0);
+
+  ServerOptions options;
+  options.period = 5ms;
+  options.shm_enable = false;
+  auto server_a = std::make_unique<SnapshotServer>(registry_a, 3, options);
+  ASSERT_TRUE(server_a->start());
+  const std::uint16_t port = server_a->port();
+
+  ResilientClientOptions rc_options;
+  rc_options.port = port;
+  rc_options.backoff_initial = 1ms;
+  rc_options.backoff_cap = 20ms;
+  rc_options.silence_deadline = 0ms;
+  rc_options.filter.prefixes = {"app_"};
+  ResilientClient rc(rc_options);
+
+  // Converge on A's filtered truth. The session's FIRST full may be
+  // the pass-all one from before the SUBSCRIBE landed, so wait for the
+  // rebase too: exactly the filtered subset, nothing else.
+  std::uint64_t value = 0;
+  for (int i = 0; i < 500 && !(view_has(rc.view(), "app_requests", &value) &&
+                               value == 42 &&
+                               view_has(rc.view(), "app_errors") &&
+                               rc.view().samples().size() == 2);
+       ++i) {
+    rc.poll_frame(50ms);
+  }
+  ASSERT_EQ(value, 42u);
+  EXPECT_TRUE(view_has(rc.view(), "app_errors"));
+  EXPECT_FALSE(view_has(rc.view(), "other_noise"));  // filter holds
+  EXPECT_EQ(rc.stats().sessions_established, 1u);
+
+  // Kill A mid-stream; B takes over the SAME port with a different
+  // name table: app_errors is gone, app_shiny_new is born.
+  server_a.reset();
+  shard::RegistryT<base::DirectBackend> registry_b(4);
+  shard::AnyCounter& requests_b =
+      registry_b.create("app_requests", {ErrorModel::kExact, 0, 2});
+  registry_b.create("app_shiny_new", {ErrorModel::kExact, 0, 2});
+  registry_b.create("other_noise", {ErrorModel::kExact, 0, 2});
+  for (int i = 0; i < 7; ++i) requests_b.increment(0);
+  ServerOptions options_b = options;
+  options_b.port = port;
+  SnapshotServer server_b(registry_b, 3, options_b);
+  ASSERT_TRUE(server_b.start());
+
+  // The supervisor must reconnect, REPLAY the prefix filter, and land
+  // the rebase: the view becomes exactly B's filtered subset — the
+  // retired app_errors entry must NOT linger.
+  for (int i = 0; i < 500 && !(view_has(rc.view(), "app_requests", &value) &&
+                               value == 7 &&
+                               view_has(rc.view(), "app_shiny_new") &&
+                               rc.view().samples().size() == 2);
+       ++i) {
+    rc.poll_frame(50ms);
+  }
+  EXPECT_EQ(value, 7u);
+  EXPECT_TRUE(view_has(rc.view(), "app_shiny_new"));
+  EXPECT_FALSE(view_has(rc.view(), "app_errors"));   // no stale entries
+  EXPECT_FALSE(view_has(rc.view(), "other_noise"));  // filter replayed
+  EXPECT_EQ(rc.view().samples().size(), 2u);
+  EXPECT_TRUE(rc.connected());
+
+  const ClientStats stats = rc.stats();
+  EXPECT_GE(stats.sessions_established, 2u);
+  EXPECT_GE(stats.disconnects, 1u);
+  server_b.stop();
+}
+
+TEST(Chaos, EveryFrameDeliveredInOneByteWrites) {
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 2});
+  ServerOptions options;
+  options.period = 2ms;
+  options.shm_enable = false;
+  options.ack_deadline_ticks = 0;  // isolate framing from eviction
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  FaultProxy proxy(server.port());
+  ASSERT_TRUE(proxy.ok());
+  proxy.set_trickle(true);  // every server byte arrives alone
+
+  TelemetryClient client;
+  ASSERT_TRUE(client.connect(proxy.port()));
+  std::uint64_t last_seq = 0;
+  for (int frame = 0; frame < 10; ++frame) {
+    c.increment(0);  // give every delta real content
+    ASSERT_TRUE(client.poll_frame(kFrameTimeout)) << "frame " << frame;
+    EXPECT_GT(client.view().sequence(), last_seq);
+    last_seq = client.view().sequence();
+  }
+  EXPECT_GE(client.view().frames_applied(), 10u);
+  std::uint64_t value = 0;
+  EXPECT_TRUE(view_has(client.view(), "c", &value));
+  EXPECT_GE(value, 1u);
+  EXPECT_GT(proxy.bytes_forwarded(), 0u);
+  // Deltas followed the full: fragmentation broke no frame boundary.
+  EXPECT_GE(client.view().delta_frames(), 1u);
+  client.close();
+  proxy.stop();
+  server.stop();
+}
+
+TEST(Chaos, TruncateAtEveryBoundaryHealsThroughReconnect) {
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 2});
+  c.increment(0);
+  ServerOptions options;
+  options.period = 2ms;
+  options.shm_enable = false;
+  options.ack_deadline_ticks = 0;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  FaultProxy proxy(server.port());
+  ASSERT_TRUE(proxy.ok());
+
+  ResilientClientOptions rc_options;
+  rc_options.port = proxy.port();
+  rc_options.backoff_initial = 1ms;
+  rc_options.backoff_cap = 5ms;
+  rc_options.silence_deadline = 0ms;
+  ResilientClient rc(rc_options);
+  ASSERT_TRUE(rc.poll_frame(kFrameTimeout));
+
+  // Sweep the cut point across every offset of the first 64 bytes of
+  // the resumed stream (all of the length prefix and frame header land
+  // in there, on both FULL and DELTA boundaries since each session
+  // restarts with a full), then stride deeper into payload territory.
+  std::vector<std::int64_t> cuts;
+  for (std::int64_t n = 1; n <= 64; ++n) cuts.push_back(n);
+  for (std::int64_t n = 69; n <= 129; n += 5) cuts.push_back(n);
+  for (const std::int64_t cut : cuts) {
+    const std::uint64_t sessions_before = proxy.sessions_accepted();
+    proxy.set_truncate_after(cut);
+    c.increment(0);  // keep deltas flowing toward the cut
+    bool healed = false;
+    for (int i = 0; i < 800; ++i) {
+      rc.poll_frame(50ms);
+      c.increment(0);
+      if (proxy.sessions_accepted() > sessions_before && rc.connected() &&
+          rc.view().frames_applied() > 0) {
+        healed = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(healed) << "cut after " << cut << " bytes never healed";
+  }
+  // Every one of those mid-frame cuts cost exactly one session.
+  EXPECT_GE(rc.stats().disconnects, cuts.size());
+  EXPECT_GE(rc.stats().sessions_established, cuts.size() + 1);
+  rc.close();
+  proxy.stop();
+  server.stop();
+}
+
+TEST(Chaos, BlackholedSessionEscalatesToReconnect) {
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 2});
+  c.increment(0);
+  ServerOptions options;
+  options.period = 2ms;
+  options.shm_enable = false;
+  options.ack_deadline_ticks = 0;  // keep the server from evicting first
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  FaultProxy proxy(server.port());
+  ASSERT_TRUE(proxy.ok());
+
+  ResilientClientOptions rc_options;
+  rc_options.port = proxy.port();
+  rc_options.backoff_initial = 1ms;
+  rc_options.backoff_cap = 10ms;
+  rc_options.silence_deadline = 300ms;  // the escalation under test
+  ResilientClient rc(rc_options);
+  ASSERT_TRUE(rc.poll_frame(kFrameTimeout));
+  EXPECT_EQ(rc.stats().reconnects_after_silence, 0u);
+
+  // The middlebox eats the stream: sockets stay open, nothing moves.
+  proxy.set_blackhole(true);
+  bool escalated = false;
+  for (int i = 0; i < 400; ++i) {
+    rc.poll_frame(50ms);
+    if (rc.stats().reconnects_after_silence >= 1) {
+      escalated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(escalated) << "silent session was never escalated";
+
+  // Path heals; the supervisor must land a fresh session and stream.
+  proxy.set_blackhole(false);
+  proxy.kill_sessions();  // flush the wedged half-open leftovers
+  bool resumed = false;
+  for (int i = 0; i < 400; ++i) {
+    c.increment(0);
+    if (rc.poll_frame(50ms) && rc.connected()) {
+      resumed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(resumed) << "stream never resumed after the blackhole";
+  EXPECT_GE(rc.stats().sessions_established, 2u);
+  rc.close();
+  proxy.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace approx::svc

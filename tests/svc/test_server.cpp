@@ -952,5 +952,108 @@ TEST(SnapshotServer, FilteredSubscriberIsNeverOfferedTheShmRing) {
   server.stop();
 }
 
+TEST(SnapshotServer, AckStalledPeerIsEvictedWhileLiveReaderStreams) {
+  // The satellite-1 regression: a peer that stops reading AND acking (a
+  // SIGSTOP'd client, a half-open TCP session) used to hold its socket
+  // — and whatever retired shared-encode frame it pinned — forever,
+  // because acks fed only min_acked_seq observability. With
+  // ack_deadline_ticks set it must be closed within the deadline, its
+  // pinned in-flight frame must drain, and a live acking reader on the
+  // same server must not be touched.
+  shard::RegistryT<base::DirectBackend> registry(4);
+  shard::AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 2});
+  c.increment(0);
+  ServerOptions options;
+  options.period = 2ms;
+  options.ack_deadline_ticks = 25;  // ~50 ms of stall tolerated
+  options.shm_enable = false;       // the live reader must ack over TCP
+  options.sndbuf = 2048;  // small: the stalled peer jams and pins a frame
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  // The stalled peer: connects, never reads, never acks. A tiny
+  // receive buffer makes its kernel pipe jam within a few frames, so
+  // the server is left holding an undrained in-flight encode for it.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(stalled, 0);
+  int tiny = 1024;
+  ::setsockopt(stalled, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  TelemetryClient live;
+  ASSERT_TRUE(live.connect(server.port()));
+  ASSERT_TRUE(live.poll_frame(kFrameTimeout));
+
+  // Keep the fleet changing so frames (and the tick clock) flow; the
+  // real-time budget is generous for sanitizer builds, the TICK budget
+  // the server enforces is the deadline.
+  bool evicted = false;
+  for (int i = 0; i < 500 && !evicted; ++i) {
+    c.increment(0);
+    live.poll_frame(20ms);
+    evicted = server.stats().clients_evicted_idle >= 1;
+  }
+  EXPECT_TRUE(evicted) << "stalled peer was never evicted";
+
+  // The eviction released the pinned encode: the fleet-wide in-flight
+  // gauge drains to zero (the live reader drains its own instantly).
+  bool drained = false;
+  for (int i = 0; i < 200 && !drained; ++i) {
+    live.poll_frame(20ms);
+    drained = server.stats().frames_in_flight == 0;
+  }
+  EXPECT_TRUE(drained) << "in-flight encode stayed pinned after eviction";
+
+  // The live, acking reader was untouched and still advances.
+  const std::uint64_t seq_before = live.view().sequence();
+  c.increment(0);
+  ASSERT_TRUE(live.poll_frame(kFrameTimeout));
+  EXPECT_GT(live.view().sequence(), seq_before);
+  EXPECT_TRUE(live.connected());
+  EXPECT_EQ(server.stats().clients_evicted_idle, 1u);
+  ::close(stalled);
+  server.stop();
+}
+
+TEST(SnapshotServer, EvictionDisabledKeepsStalledPeerOpen) {
+  // ack_deadline_ticks = 0 restores the old contract: nobody is
+  // disconnected for being slow (or even dead-quiet).
+  shard::RegistryT<base::DirectBackend> registry(2);
+  shard::AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 1});
+  ServerOptions options;
+  options.period = 2ms;
+  options.ack_deadline_ticks = 0;
+  options.shm_enable = false;
+  SnapshotServer server(registry, 1, options);
+  ASSERT_TRUE(server.start());
+
+  const int stalled = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Stall for far longer than the other test's deadline.
+  for (int i = 0; i < 100; ++i) {
+    c.increment(0);
+    std::this_thread::sleep_for(2ms);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.clients_evicted_idle, 0u);
+  EXPECT_EQ(stats.clients_closed, 0u);
+  ::close(stalled);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace approx::svc

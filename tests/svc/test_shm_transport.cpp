@@ -6,9 +6,15 @@
 // sockets, real threads.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -17,6 +23,7 @@
 #include "svc/client.hpp"
 #include "svc/server.hpp"
 #include "svc/shm.hpp"
+#include "svc/wire.hpp"
 
 namespace approx::svc {
 namespace {
@@ -253,6 +260,106 @@ TEST(ShmTransport, SubscribeDetachesRingAndRebasesOntoFilteredTcp) {
   EXPECT_EQ(client.shm_frames(), ring_frames);
   EXPECT_FALSE(client.shm_active());
   server.stop();
+}
+
+TEST(ShmTransport, DeadRingWriterDemotesClientToTcp) {
+  // The satellite-2 regression: a writer that DIES (SIGSTOP, kill -9)
+  // leaves the ring's generation AND head frozen — RingPoll::kDead
+  // never fires (that needs a generation CHANGE), the doorbell just
+  // times out forever, and the old client spun there indistinguishable
+  // from a quiet fleet. The dead-writer probe must demote it to TCP
+  // within the ring-idle deadline while the TCP session stays usable.
+  //
+  // A real SnapshotServer cannot freeze its collector alone, so the
+  // test IS the server: it owns the listening socket and the ring
+  // writer, hand-encoding the offer and the frames — and then simply
+  // stops publishing.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  ShmRingWriter writer;
+  ASSERT_TRUE(writer.create(/*slot_count=*/8, /*slot_payload_bytes=*/4096));
+
+  TelemetryClient client;
+  client.set_ring_idle_deadline(100ms);
+  ASSERT_TRUE(client.connect(port));
+  const int peer = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(peer, 0);
+  ASSERT_TRUE(client.request_shm());
+
+  // Hand the client the offer on its data channel (inbound control
+  // records — the request, the eventual ACCEPT and RESYNC — are left
+  // in the kernel buffer; this fake server never reads).
+  ShmOffer offer;
+  offer.name = writer.name();
+  offer.generation = writer.generation();
+  offer.slot_count = writer.slot_count();
+  offer.slot_payload_bytes = writer.slot_payload_bytes();
+  std::string offer_frame;
+  ASSERT_TRUE(encode_shm_offer_frame(offer, offer_frame));
+  ASSERT_EQ(::send(peer, offer_frame.data(), offer_frame.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(offer_frame.size()));
+
+  // Publish fulls until the client has adopted the ring and applied a
+  // frame off it (adoption skips to the head, so frames published
+  // before it land are skipped — keep publishing until one sticks).
+  shard::TelemetryFrame frame;
+  frame.registry_version = 1;
+  frame.samples.emplace_back();
+  frame.samples[0].name = "c";
+  std::string encoded;
+  std::uint64_t seq = 0;
+  bool ring_live = false;
+  for (int i = 0; i < 200 && !ring_live; ++i) {
+    frame.sequence = ++seq;
+    frame.samples[0].value = seq;
+    encode_full_frame(frame, steady_now_ns(), encoded);
+    ASSERT_TRUE(writer.publish(
+        std::string_view(encoded).substr(kFramePrefixBytes)));
+    if (client.poll_frame(50ms)) {
+      ring_live = client.shm_active() && client.shm_frames() >= 1;
+    }
+  }
+  ASSERT_TRUE(ring_live);
+  EXPECT_EQ(client.shm_demotions(), 0u);
+
+  // The writer now goes silent — from the reader's side exactly a
+  // SIGSTOP'd server: generation frozen, head frozen, doorbell mute.
+  bool demoted = false;
+  for (int i = 0; i < 100 && !demoted; ++i) {
+    client.poll_frame(50ms);
+    demoted = !client.shm_active();
+  }
+  EXPECT_TRUE(demoted) << "client spun on the dead ring";
+  EXPECT_EQ(client.shm_demotions(), 1u);
+  EXPECT_TRUE(client.connected()) << "demotion must keep the TCP session";
+
+  // The TCP rung works: a newer full over the socket applies cleanly.
+  frame.sequence = ++seq;
+  frame.samples[0].value = 1234;
+  encode_full_frame(frame, steady_now_ns(), encoded);
+  ASSERT_EQ(::send(peer, encoded.data(), encoded.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(encoded.size()));
+  ASSERT_TRUE(client.poll_frame(kFrameTimeout));
+  ASSERT_EQ(client.view().samples().size(), 1u);
+  EXPECT_EQ(client.view().samples()[0].value, 1234u);
+  EXPECT_FALSE(client.shm_active());
+  ::close(peer);
+  ::close(listen_fd);
 }
 
 TEST(ShmTransport, ServerStopSurfacesAsCleanDisconnect) {
