@@ -138,6 +138,9 @@ int main() {
       case approx::shard::ErrorModel::kHistogram:
         band = "hist";  // this fleet registers no histograms
         break;
+      case approx::shard::ErrorModel::kTopK:
+        band = "topk";  // this fleet registers no top-k directories
+        break;
     }
     all_in_band = all_in_band && in_band;
     std::cout << "  " << std::setw(12) << sample.name << "  exact="

@@ -3,8 +3,17 @@
 // materialized view, and render it with its staleness metadata.
 //
 //   $ ./build/examples/telemetry_dashboard --port=N [--frames=K]
-//       [--prefix=P] [--stall-ms=M] [--shm]
+//       [--prefix=P] [--stall-ms=M] [--shm] [--sys]
 //       [--reconnect [--expect-sessions=N]]
+//
+// --sys turns the dashboard on the server itself: it subscribes with
+// the reserved "__sys/" prefix (the server's self-metrics subtree,
+// present when the service runs with self_metrics on), renders every
+// internal it decodes, and asserts the pipeline-timing histogram
+// "__sys/server.tick.collect_ns" carries a usable p99 — printing
+// "sys OK p99_collect_ns<=<ns>" on success. No new wire machinery:
+// the internals ride the same v2 prefix filter as any user subset,
+// which is the point the CI probe pins down.
 //
 // --reconnect swaps the single-session TelemetryClient for the
 // ResilientClient supervisor: the dashboard keeps polling through
@@ -15,7 +24,11 @@
 // proves the dashboard outlived a server bounce, not merely started.
 // On success it prints "sessions=<n> frames_gap=<g> reconnect OK"
 // after the usual marker/histogram assertions (the CI chaos-smoke
-// greps for all three).
+// greps for all three). --dump-trace additionally attaches a trace
+// ring to the supervisor and prints the recorded resilience ladder
+// (connect → lost → backoff → reconnect) to stderr on exit, success
+// or failure — the chaos-smoke job uploads those logs as the
+// post-mortem artifact when a dashboard does not survive the bounce.
 //
 // --prefix=P subscribes with a wire-v2 prefix filter: the server then
 // streams only counters named P*, and the view's table IS that subset.
@@ -45,7 +58,9 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
+#include "obs/trace_ring.hpp"
 #include "shard/registry.hpp"
 #include "stats/quantile.hpp"
 #include "svc/client.hpp"
@@ -179,6 +194,8 @@ int main(int argc, char** argv) {
   std::uint64_t stall_ms = 0;
   bool use_shm = false;
   bool reconnect = false;
+  bool dump_trace = false;
+  bool sys = false;
   std::uint64_t expect_sessions = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -195,12 +212,16 @@ int main(int argc, char** argv) {
       use_shm = true;
     } else if (arg == "--reconnect") {
       reconnect = true;
+    } else if (arg == "--dump-trace") {
+      dump_trace = true;
+    } else if (arg == "--sys") {
+      sys = true;
     } else if (arg.rfind("--expect-sessions=", 0) == 0) {
       expect_sessions = std::strtoull(arg.data() + 18, nullptr, 10);
     } else {
       std::cerr << "usage: telemetry_dashboard --port=N [--frames=K]"
-                   " [--prefix=P] [--stall-ms=M] [--shm]"
-                   " [--reconnect [--expect-sessions=N]]\n";
+                   " [--prefix=P] [--stall-ms=M] [--shm] [--sys]"
+                   " [--reconnect [--expect-sessions=N] [--dump-trace]]\n";
       return 2;
     }
   }
@@ -208,9 +229,17 @@ int main(int argc, char** argv) {
     std::cerr << "telemetry_dashboard: --port is required\n";
     return 2;
   }
-  if (reconnect && (use_shm || stall_ms != 0)) {
+  if (reconnect && (use_shm || stall_ms != 0 || sys)) {
     std::cerr << "telemetry_dashboard: --reconnect composes with --prefix"
                  " and --frames only\n";
+    return 2;
+  }
+  if (sys && (use_shm || stall_ms != 0 || !prefix.empty())) {
+    std::cerr << "telemetry_dashboard: --sys composes with --frames only\n";
+    return 2;
+  }
+  if (dump_trace && !reconnect) {
+    std::cerr << "telemetry_dashboard: --dump-trace requires --reconnect\n";
     return 2;
   }
 
@@ -219,10 +248,19 @@ int main(int argc, char** argv) {
     // count AND the current session's frame count both clear the bar —
     // a restarted server must re-prove the stream, not coast on the
     // pre-crash one.
+    obs::TraceRing trace(256);
     svc::ResilientClientOptions rc_options;
     rc_options.port = port;
+    if (dump_trace) rc_options.trace = &trace;
     if (!prefix.empty()) rc_options.filter.prefixes = {prefix};
     svc::ResilientClient rc(rc_options);
+    const auto dump_ladder = [&] {
+      if (!dump_trace) return;
+      std::vector<obs::TraceEvent> events;
+      trace.snapshot(events);
+      std::cerr << "trace ladder (" << events.size() << " events):\n";
+      obs::print_trace(events, std::cerr);
+    };
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(120);
     while (rc.stats().sessions_established < expect_sessions ||
@@ -235,15 +273,94 @@ int main(int argc, char** argv) {
                   << " frames (sessions=" << stats.sessions_established
                   << " attempts=" << stats.connect_attempts
                   << " frames=" << rc.view().frames_applied() << ")\n";
+        dump_ladder();
         return 1;
       }
       rc.poll_frame(std::chrono::seconds(10));
     }
     const int code = render_and_assert(rc.view(), rc.client(), prefix);
+    dump_ladder();
     if (code != 0) return code;
     const svc::ClientStats stats = rc.stats();
     std::cout << "sessions=" << stats.sessions_established
               << " frames_gap=" << stats.frames_gap << " reconnect OK\n";
+    return 0;
+  }
+
+  if (sys) {
+    // Self-metrics probe: the server's own internals, fetched through
+    // the exact same subscribe/decode path as user counters. The bar:
+    // the "__sys/" subset re-bases cleanly, the collect-stage timing
+    // histogram accumulates at least --frames tick samples, and its
+    // p99 decodes to something a human would believe (under a second
+    // per collect pass — three orders of magnitude of slack on any
+    // machine CI runs on).
+    svc::TelemetryClient client;
+    if (!client.connect(port)) {
+      std::cerr << "telemetry_dashboard: connect to 127.0.0.1:" << port
+                << " failed\n";
+      return 1;
+    }
+    svc::SubscriptionFilter filter;
+    filter.prefixes = {std::string(shard::kReservedPrefix)};
+    if (!client.subscribe(filter)) {
+      std::cerr << "telemetry_dashboard: __sys/ subscribe failed\n";
+      return 1;
+    }
+    const std::string collect_name = "__sys/server.tick.collect_ns";
+    const std::uint64_t want_ticks =
+        frames > 0 ? static_cast<std::uint64_t>(frames) : 1;
+    const shard::Sample* collect = nullptr;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (!client.poll_frame(std::chrono::seconds(10))) {
+        std::cerr << "telemetry_dashboard: stream ended waiting for the"
+                     " __sys/ subset (is the server running with"
+                     " self_metrics?)\n";
+        return 1;
+      }
+      if (client.view().rebase_pending()) continue;
+      collect = nullptr;
+      for (const shard::Sample& sample : client.view().samples()) {
+        if (sample.name == collect_name) {
+          collect = &sample;
+          break;
+        }
+      }
+      if (collect != nullptr) {
+        const stats::QuantileView quantiles(*collect);
+        if (quantiles.valid() && quantiles.total() >= want_ticks) break;
+        collect = nullptr;  // not enough ticks timed yet: keep pumping
+      }
+    }
+    if (collect == nullptr) {
+      std::cerr << "telemetry_dashboard: " << collect_name
+                << " never accumulated " << want_ticks << " tick samples\n";
+      return 1;
+    }
+    std::size_t internals = 0;
+    for (const shard::Sample& sample : client.view().samples()) {
+      if (!shard::is_reserved_name(sample.name)) {
+        std::cerr << "telemetry_dashboard: filter leak: " << sample.name
+                  << " is outside __sys/ but was streamed anyway\n";
+        return 1;
+      }
+      ++internals;
+      std::cout << std::left << std::setw(40) << sample.name << std::right
+                << std::setw(14) << sample.value << "  "
+                << model_tag(sample.model) << "\n";
+    }
+    const stats::QuantileView quantiles(*collect);
+    const stats::QuantileEstimate p99 = quantiles.p99();
+    std::cout << internals << " internals decoded; collect p99 in ("
+              << p99.lower_edge << ", " << p99.upper_edge << "] ns over "
+              << quantiles.total() << " ticks (rank err <= "
+              << quantiles.rank_error_bound() << ")\n";
+    if (p99.upper_edge == 0 || p99.upper_edge > 1'000'000'000) {
+      std::cerr << "telemetry_dashboard: collect p99 bound " << p99.upper_edge
+                << " ns is not believable\n";
+      return 1;
+    }
+    std::cout << "sys OK p99_collect_ns<=" << p99.upper_edge << "\n";
     return 0;
   }
 

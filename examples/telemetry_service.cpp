@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "base/backend.hpp"
+#include "obs/trace_ring.hpp"
 #include "shard/registry.hpp"
 #include "sim/workload.hpp"
 #include "stats/histogram.hpp"
@@ -124,6 +125,14 @@ int main(int argc, char** argv) {
   svc::ServerOptions options;
   options.port = port;
   options.period = std::chrono::milliseconds(20);
+  // Self-observability on: the server publishes its own internals into
+  // this registry under "__sys/" (subscribable like any other entry,
+  // dumped by tools/obs_dump via the metricsz exchange) and records
+  // ladder transitions into the trace ring. The ring is static so it
+  // outlives the server — its tail rides every metricsz page.
+  static obs::TraceRing trace_ring(256);
+  options.trace = &trace_ring;
+  options.self_metrics = true;
   svc::SnapshotServer server(registry, kServerPid, options);
   if (!server.start()) {
     std::cerr << "failed to bind port " << port << "\n";

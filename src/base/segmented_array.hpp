@@ -3,10 +3,20 @@
 // Algorithm 1 assumes an infinite sequence of switch bits
 // switch_0, switch_1, ... that exist from the initial configuration.
 // A real process cannot pre-allocate infinitely many bits, so we realize
-// the sequence as a segmented array: a directory of fixed-size segments
-// allocated on first touch and published with a single CAS. After
-// publication every access is wait-free; the allocation race is resolved
-// by the CAS (the loser frees its segment), so growth is lock-free.
+// the sequence as a segmented array: a two-level directory of fixed-size
+// segments allocated on first touch and published with a single CAS per
+// level. After publication every access is wait-free; each allocation
+// race is resolved by its CAS (the loser frees its candidate), so growth
+// is lock-free.
+//
+// The directory is two-level so that *capacity costs nothing until
+// touched*: a flat directory of kMaxSegments slots would itself be
+// megabytes per array (the default capacity is 2^20 segments), paid
+// eagerly by every counter that embeds one — a fleet of thousands of
+// counters would burn gigabytes on empty directories alone. The root
+// holds at most kChunkSlots pointers to lazily-allocated chunks of
+// kChunkSlots segment pointers each; an untouched array owns exactly one
+// root allocation of at most 8 KiB.
 //
 // Step accounting charges only the primitives applied to the *elements*,
 // never the directory bookkeeping: in the paper's model the infinite
@@ -14,10 +24,10 @@
 // therefore Backend-policy transparent (base/backend.hpp): instantiate it
 // with TasBitT<B> / Register<T, B> elements and the element operations
 // carry the policy — including their memory-order roles; the directory
-// itself costs the same under every backend. The directory's slot
-// publication is already the weakest sound ordering (acquire load,
-// acq_rel CAS: a reader of a published segment pointer must see the
-// segment's zero-initialized elements), so it needs no role mapping.
+// itself costs the same under every backend. Both publication levels are
+// already the weakest sound ordering (acquire load, acq_rel CAS: a
+// reader of a published pointer must see the pointee's zero-initialized
+// slots/elements), so they need no role mapping.
 #pragma once
 
 #include <atomic>
@@ -46,28 +56,34 @@ class SegmentedArray {
                 "kSegmentSize must be a power of two");
 
  public:
-  SegmentedArray() {
-    directory_ = std::make_unique<std::atomic<Segment*>[]>(kMaxSegments);
-    for (std::size_t i = 0; i < kMaxSegments; ++i) {
-      directory_[i].store(nullptr, std::memory_order_relaxed);
+  SegmentedArray() : root_(new std::atomic<Chunk*>[kRootSlots]) {
+    for (std::size_t i = 0; i < kRootSlots; ++i) {
+      root_[i].store(nullptr, std::memory_order_relaxed);
     }
   }
 
   ~SegmentedArray() {
-    for (std::size_t i = 0; i < kMaxSegments; ++i) {
-      delete directory_[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kRootSlots; ++i) {
+      Chunk* chunk = root_[i].load(std::memory_order_relaxed);
+      if (chunk == nullptr) continue;
+      for (std::size_t j = 0; j < kChunkSlots; ++j) {
+        delete chunk->slots[j].load(std::memory_order_relaxed);
+      }
+      delete chunk;
     }
   }
 
   SegmentedArray(const SegmentedArray&) = delete;
   SegmentedArray& operator=(const SegmentedArray&) = delete;
 
-  /// Returns the element at `index`, allocating its segment if this is the
-  /// first touch. Wait-free once the segment exists; lock-free otherwise.
+  /// Returns the element at `index`, allocating its directory chunk and
+  /// segment if this is the first touch of either. Wait-free once both
+  /// exist; lock-free otherwise.
   T& at(std::size_t index) {
     const std::size_t seg_idx = index / kSegmentSize;
     assert(seg_idx < kMaxSegments && "SegmentedArray directory exhausted");
-    std::atomic<Segment*>& slot = directory_[seg_idx];
+    std::atomic<Segment*>& slot =
+        chunk_at(seg_idx / kChunkSlots)->slots[seg_idx % kChunkSlots];
     Segment* seg = slot.load(std::memory_order_acquire);
     if (seg == nullptr) {
       auto fresh = std::make_unique<Segment>();
@@ -91,8 +107,14 @@ class SegmentedArray {
   /// Number of segments currently allocated (diagnostics).
   [[nodiscard]] std::size_t allocated_segments() const noexcept {
     std::size_t count = 0;
-    for (std::size_t i = 0; i < kMaxSegments; ++i) {
-      if (directory_[i].load(std::memory_order_relaxed) != nullptr) ++count;
+    for (std::size_t i = 0; i < kRootSlots; ++i) {
+      const Chunk* chunk = root_[i].load(std::memory_order_acquire);
+      if (chunk == nullptr) continue;
+      for (std::size_t j = 0; j < kChunkSlots; ++j) {
+        if (chunk->slots[j].load(std::memory_order_relaxed) != nullptr) {
+          ++count;
+        }
+      }
     }
     return count;
   }
@@ -104,7 +126,46 @@ class SegmentedArray {
     T elems[kSegmentSize];
   };
 
-  std::unique_ptr<std::atomic<Segment*>[]> directory_;
+  /// Second directory level: chunks split kMaxSegments roughly evenly
+  /// between the two levels (√kMaxSegments each, capped so tiny test
+  /// capacities stay single-chunk) — the root and one chunk together
+  /// cost kilobytes where a flat directory would cost megabytes.
+  static constexpr std::size_t chunk_slots() noexcept {
+    std::size_t slots = 1;
+    while (slots * slots < kMaxSegments) slots *= 2;
+    return slots;
+  }
+  static constexpr std::size_t kChunkSlots = chunk_slots();
+  static constexpr std::size_t kRootSlots =
+      (kMaxSegments + kChunkSlots - 1) / kChunkSlots;
+
+  struct Chunk {
+    std::atomic<Segment*> slots[kChunkSlots];
+    Chunk() {
+      for (std::size_t i = 0; i < kChunkSlots; ++i) {
+        slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  /// The chunk for root slot `root_idx`, allocating and publishing it on
+  /// first touch (same CAS recipe as segments; the acquire load pairs
+  /// with the winner's release so readers see zero-initialized slots).
+  Chunk* chunk_at(std::size_t root_idx) {
+    std::atomic<Chunk*>& slot = root_[root_idx];
+    Chunk* chunk = slot.load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      auto fresh = std::make_unique<Chunk>();
+      if (slot.compare_exchange_strong(chunk, fresh.get(),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        chunk = fresh.release();
+      }
+    }
+    return chunk;
+  }
+
+  std::unique_ptr<std::atomic<Chunk*>[]> root_;
 };
 
 }  // namespace approx::base

@@ -1,0 +1,45 @@
+// metricsz.hpp — plain-text exposition of the `__sys/` self-metrics
+// subtree plus the trace ring's tail: the "metricsz" page.
+//
+// Renders a collected sample batch (any snapshot_all_into frame) into
+// the Prometheus text format dialect: one `# TYPE` + value line per
+// scalar, cumulative `_bucket{le=...}` series + `_count` per
+// histogram, one labeled line per top-k row — each annotated with the
+// entry's error model and bound as comments, because a figure without
+// its bound is only half the contract this codebase sells. The trace
+// ring's newest events ride along as `# trace` comment lines.
+//
+// This is deliberately a PURE function over data every consumer
+// already has (samples + ring): the server core renders it straight
+// from its collect frame to answer a kMetricszRequest control record,
+// and tools/obs_dump renders the same text from a decoded wire view —
+// one formatter, two transports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.hpp"
+#include "shard/registry.hpp"
+
+namespace approx::obs {
+
+/// Events of ring tail included in a metricsz page.
+inline constexpr std::size_t kMetricszTraceTail = 32;
+
+/// Renders the `__sys/`-prefixed entries of `samples` (others are
+/// skipped — metricsz is the server's own vitals, not the fleet) plus
+/// the newest ≤ kMetricszTraceTail ring events into `out` (cleared
+/// first). `trace` may be null (no trace section). Returns the number
+/// of entries rendered.
+std::size_t render_metricsz(const std::vector<shard::Sample>& samples,
+                            const TraceRing* trace, std::string& out);
+
+/// Prometheus-compatible metric name for a registry entry name:
+/// `__sys/server.tick.collect_ns` → `approx_sys_server_tick_collect_ns`
+/// (reserved prefix replaced by `approx_sys_`, every non-alphanumeric
+/// byte by `_`).
+std::string metricsz_name(const std::string& entry_name);
+
+}  // namespace approx::obs

@@ -11,6 +11,8 @@ const char* error_model_name(ErrorModel model) noexcept {
       return "add";
     case ErrorModel::kHistogram:
       return "hist";
+    case ErrorModel::kTopK:
+      return "topk";
     case ErrorModel::kExact:
     default:
       return "exact";

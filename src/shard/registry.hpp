@@ -60,12 +60,15 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "base/kmath.hpp"
@@ -73,8 +76,20 @@
 
 namespace approx::shard {
 
-/// Human-readable tag for an error model ("exact", "mult", "add").
+/// Human-readable tag for an error model ("exact", "mult", "add", …).
 [[nodiscard]] const char* error_model_name(ErrorModel model) noexcept;
+
+/// Names under this prefix are reserved for the service's own
+/// self-observability entries (src/obs): user-facing registration
+/// (get_or_create / add_histogram / add_topk) rejects them with an
+/// error return, so fleet counters can never collide with or spoof
+/// server internals. The privileged *_reserved adders require it.
+inline constexpr std::string_view kReservedPrefix = "__sys/";
+
+/// True iff `name` lives under the reserved self-observability prefix.
+[[nodiscard]] inline bool is_reserved_name(std::string_view name) noexcept {
+  return name.substr(0, kReservedPrefix.size()) == kReservedPrefix;
+}
 
 /// Configuration of one registry counter.
 struct CounterSpec {
@@ -88,6 +103,10 @@ struct CounterSpec {
 /// bucket vectors empty; histogram entries (model kHistogram) carry the
 /// B−1 finite upper edges + B bucket counts, with `value` the saturated
 /// sum of the counts and `error_bound` the per-BUCKET one-sided slack.
+/// Top-k entries (model kTopK) carry value-descending rows as
+/// `top_labels` with the matching row values in `bucket_counts`
+/// (bucket_bounds stays empty); `value` is the top row's value (0 when
+/// empty) and `error_bound` is 0 — max-register rows are exact.
 struct Sample {
   std::string name;
   std::uint64_t value = 0;
@@ -95,6 +114,7 @@ struct Sample {
   std::uint64_t error_bound = 0;
   std::vector<std::uint64_t> bucket_bounds;  // constant per entry
   std::vector<std::uint64_t> bucket_counts;  // refreshed every pass
+  std::vector<std::string> top_labels;       // kTopK rows, refreshed
 };
 
 /// Type-erased vector-valued instrument (histogram) held by the
@@ -110,6 +130,27 @@ class AnyHistogram {
   [[nodiscard]] virtual const std::vector<std::uint64_t>& bucket_bounds()
       const = 0;
   [[nodiscard]] virtual std::uint64_t per_bucket_bound() const = 0;
+};
+
+/// Type-erased labeled top-k directory held by the registry (see
+/// stats/topk.hpp for the wait-free implementation; the dependency
+/// stays stats → shard). Rows are (label, value) max-registers: values
+/// only grow, reads are exact. A collect pass snapshots the ranked
+/// rows into Sample::top_labels / Sample::bucket_counts.
+class AnyTopK {
+ public:
+  virtual ~AnyTopK() = default;
+  /// Raises `label`'s value to at least `value`. Returns false when the
+  /// directory is full and the label absent (the update is dropped) —
+  /// or unconditionally for server-owned reserved entries, whose
+  /// updates flow through a privileged handle instead.
+  virtual bool update(unsigned pid, std::string_view label,
+                      std::uint64_t value) = 0;
+  /// Ranked snapshot: rows value-descending (label-ascending ties) into
+  /// the parallel vectors, at most capacity() rows.
+  virtual void snapshot_into(std::vector<std::string>& labels,
+                             std::vector<std::uint64_t>& values) = 0;
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
 };
 
 /// Type-erased sharded counter held by the registry.
@@ -170,34 +211,41 @@ class RegistryT {
   RegistryT(const RegistryT&) = delete;
   RegistryT& operator=(const RegistryT&) = delete;
 
-  /// Get-or-create the counter `name`. Idempotent: a second create with
+  /// Get-or-create the counter `name`. Idempotent: a second call with
   /// the same name returns the existing counter (its original spec
-  /// wins). The reference stays valid for the registry's lifetime.
-  AnyCounter& create(const std::string& name, const CounterSpec& spec) {
+  /// wins). The pointer stays valid for the registry's lifetime.
+  /// Returns nullptr — never UB — when the name is rejected: it lives
+  /// under the reserved `__sys/` prefix (self-observability entries go
+  /// through the privileged *_reserved adders) or is already taken by a
+  /// different instrument kind.
+  AnyCounter* get_or_create(const std::string& name, const CounterSpec& spec) {
+    if (is_reserved_name(name)) return nullptr;
     std::unique_lock lock(mutex_);
-    assert(histograms_.find(name) == histograms_.end() &&
-           "registry names are unique across instrument kinds");
-    auto it = counters_.find(name);
-    if (it == counters_.end()) {
-      it = counters_.emplace(name, make_counter(spec)).first;
-      // Mirror the new counter into the flat snapshot table at its
-      // name-sorted position, caching the per-counter constants so
-      // collect passes never touch the map or the metadata virtuals.
-      AnyCounter& counter = *it->second;
-      const auto pos = std::lower_bound(
-          flat_.begin(), flat_.end(), name,
-          [](const Entry& entry, const std::string& key) {
-            return entry.name < key;
-          });
-      Entry entry;
-      entry.name = name;
-      entry.counter = &counter;
-      entry.model = counter.error_model();
-      entry.error_bound = counter.error_bound();
-      flat_.insert(pos, std::move(entry));
-      ++version_;
-    }
-    return *it->second;
+    return create_locked(name, [&] { return make_counter(spec); });
+  }
+
+  /// Reference-returning convenience over get_or_create for names the
+  /// caller knows are valid (not reserved, kind-consistent). A rejected
+  /// name is a caller bug: asserts in debug builds and deterministically
+  /// aborts in release — error-returning callers use get_or_create.
+  AnyCounter& create(const std::string& name, const CounterSpec& spec) {
+    AnyCounter* counter = get_or_create(name, spec);
+    assert(counter != nullptr &&
+           "create(): reserved __sys/ name or kind collision");
+    if (counter == nullptr) std::abort();
+    return *counter;
+  }
+
+  /// Privileged get-or-create for a reserved `__sys/` counter (the
+  /// self-observability layer's entry point; requires a reserved name).
+  /// `make` is invoked under the exclusive lock only when the name is
+  /// new and must return a std::unique_ptr<AnyCounter>. Returns nullptr
+  /// iff the name is not reserved or is taken by another kind.
+  template <typename Factory>
+  AnyCounter* add_counter_reserved(const std::string& name, Factory&& make) {
+    if (!is_reserved_name(name)) return nullptr;
+    std::unique_lock lock(mutex_);
+    return create_locked(name, std::forward<Factory>(make));
   }
 
   /// The counter registered under `name`, or nullptr.
@@ -209,32 +257,25 @@ class RegistryT {
 
   /// Get-or-create the vector-valued entry `name`. `make` is invoked
   /// (under the exclusive lock) only when the name is new and must
-  /// return a std::unique_ptr<AnyHistogram>; like create(), a second
-  /// call with the same name returns the existing instrument and the
-  /// first spec wins. Returns nullptr iff the name is already taken by
-  /// a scalar counter — names are unique across instrument kinds.
+  /// return a std::unique_ptr<AnyHistogram>; like get_or_create(), a
+  /// second call with the same name returns the existing instrument and
+  /// the first spec wins. Returns nullptr — never UB — when the name is
+  /// reserved (`__sys/`) or already taken by another instrument kind.
   template <typename Factory>
   AnyHistogram* add_histogram(const std::string& name, Factory&& make) {
+    if (is_reserved_name(name)) return nullptr;
     std::unique_lock lock(mutex_);
-    if (counters_.find(name) != counters_.end()) return nullptr;
-    auto it = histograms_.find(name);
-    if (it == histograms_.end()) {
-      it = histograms_.emplace(name, make()).first;
-      AnyHistogram& hist = *it->second;
-      const auto pos = std::lower_bound(
-          flat_.begin(), flat_.end(), name,
-          [](const Entry& entry, const std::string& key) {
-            return entry.name < key;
-          });
-      Entry entry;
-      entry.name = name;
-      entry.model = ErrorModel::kHistogram;
-      entry.error_bound = hist.per_bucket_bound();
-      entry.hist = &hist;
-      flat_.insert(pos, std::move(entry));
-      ++version_;
-    }
-    return it->second.get();
+    return add_histogram_locked(name, std::forward<Factory>(make));
+  }
+
+  /// Privileged add_histogram for a reserved `__sys/` name (nullptr iff
+  /// the name is not reserved or taken by another kind).
+  template <typename Factory>
+  AnyHistogram* add_histogram_reserved(const std::string& name,
+                                       Factory&& make) {
+    if (!is_reserved_name(name)) return nullptr;
+    std::unique_lock lock(mutex_);
+    return add_histogram_locked(name, std::forward<Factory>(make));
   }
 
   /// The histogram registered under `name`, or nullptr.
@@ -242,6 +283,33 @@ class RegistryT {
     std::shared_lock lock(mutex_);
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : it->second.get();
+  }
+
+  /// Get-or-create the labeled top-k entry `name` (same contract as
+  /// add_histogram; `make` returns a std::unique_ptr<AnyTopK>). Returns
+  /// nullptr — never UB — when the name is reserved (`__sys/`) or
+  /// already taken by another instrument kind.
+  template <typename Factory>
+  AnyTopK* add_topk(const std::string& name, Factory&& make) {
+    if (is_reserved_name(name)) return nullptr;
+    std::unique_lock lock(mutex_);
+    return add_topk_locked(name, std::forward<Factory>(make));
+  }
+
+  /// Privileged add_topk for a reserved `__sys/` name (nullptr iff the
+  /// name is not reserved or taken by another kind).
+  template <typename Factory>
+  AnyTopK* add_topk_reserved(const std::string& name, Factory&& make) {
+    if (!is_reserved_name(name)) return nullptr;
+    std::unique_lock lock(mutex_);
+    return add_topk_locked(name, std::forward<Factory>(make));
+  }
+
+  /// The top-k entry registered under `name`, or nullptr.
+  [[nodiscard]] AnyTopK* lookup_topk(const std::string& name) const {
+    std::shared_lock lock(mutex_);
+    const auto it = topks_.find(name);
+    return it == topks_.end() ? nullptr : it->second.get();
   }
 
   /// Reads every registered counter (as process `pid`) into one
@@ -290,8 +358,12 @@ class RegistryT {
   /// sequence > `seq` (index = position in the name-sorted table, i.e.
   /// the wire name-table index; value = the one the latest completed
   /// pass collected, NOT a fresh read; counts = pointer to that pass's
-  /// bucket vector for a histogram entry, nullptr for a scalar). An
-  /// unchanged fleet yields no calls: the empty delta.
+  /// bucket vector for a histogram entry — or its row-value vector for
+  /// a top-k entry — nullptr for a scalar). A callback additionally
+  /// accepting `const std::vector<std::string>* labels` as a sixth
+  /// argument also receives the top-k row labels (nullptr for scalar
+  /// and histogram entries). An unchanged fleet yields no calls: the
+  /// empty delta.
   ///
   /// The walk is only meaningful against the name table the caller
   /// believes in: if the registry's version no longer equals
@@ -310,8 +382,16 @@ class RegistryT {
     for (std::size_t i = 0; i < flat_.size(); ++i) {
       const Entry& entry = flat_[i];
       if (entry.changed_seq > seq) {
-        fn(i, entry.name, entry.last_value, entry.changed_seq,
-           entry.hist != nullptr ? &entry.last_counts : nullptr);
+        if constexpr (std::is_invocable_v<
+                          Fn&, std::size_t, const std::string&, std::uint64_t,
+                          std::uint64_t, const std::vector<std::uint64_t>*,
+                          const std::vector<std::string>*>) {
+          fn(i, entry.name, entry.last_value, entry.changed_seq,
+             changed_counts(entry), changed_labels(entry));
+        } else {
+          fn(i, entry.name, entry.last_value, entry.changed_seq,
+             changed_counts(entry));
+        }
       }
     }
     return last_pass_seq_;
@@ -339,9 +419,18 @@ class RegistryT {
     for (std::size_t j = 0; j < selection.size(); ++j) {
       const Entry& entry = flat_[static_cast<std::size_t>(selection[j])];
       if (entry.changed_seq > seq) {
-        fn(j, static_cast<std::size_t>(selection[j]), entry.name,
-           entry.last_value, entry.changed_seq,
-           entry.hist != nullptr ? &entry.last_counts : nullptr);
+        if constexpr (std::is_invocable_v<
+                          Fn&, std::size_t, std::size_t, const std::string&,
+                          std::uint64_t, std::uint64_t,
+                          const std::vector<std::uint64_t>*,
+                          const std::vector<std::string>*>) {
+          fn(j, static_cast<std::size_t>(selection[j]), entry.name,
+             entry.last_value, entry.changed_seq, changed_counts(entry),
+             changed_labels(entry));
+        } else {
+          fn(j, static_cast<std::size_t>(selection[j]), entry.name,
+             entry.last_value, entry.changed_seq, changed_counts(entry));
+        }
       }
     }
     return last_pass_seq_;
@@ -380,16 +469,33 @@ class RegistryT {
         out[i].name = flat_[i].name;
         out[i].model = flat_[i].model;
         out[i].error_bound = flat_[i].error_bound;
+        out[i].top_labels.clear();  // kTopK rows are refreshed per pass
         if (flat_[i].hist != nullptr) {
           out[i].bucket_bounds = flat_[i].hist->bucket_bounds();
         } else {
           out[i].bucket_bounds.clear();
-          out[i].bucket_counts.clear();
+          if (flat_[i].topk == nullptr) out[i].bucket_counts.clear();
         }
       }
     }
     for (std::size_t i = 0; i < flat_.size(); ++i) {
       const Entry& entry = flat_[i];
+      if (entry.topk != nullptr) {
+        // Labeled vector entry: ranked rows straight into the caller's
+        // storage; the scalar value is the top row's (0 when empty).
+        entry.topk->snapshot_into(out[i].top_labels, out[i].bucket_counts);
+        out[i].value =
+            out[i].bucket_counts.empty() ? 0 : out[i].bucket_counts.front();
+        if (pass_seq != nullptr &&
+            (out[i].bucket_counts != entry.last_counts ||
+             out[i].top_labels != entry.last_labels)) {
+          entry.last_counts = out[i].bucket_counts;
+          entry.last_labels = out[i].top_labels;
+          entry.last_value = out[i].value;
+          entry.changed_seq = *pass_seq;
+        }
+        continue;
+      }
       if (entry.hist != nullptr) {
         // Vector entry: snapshot straight into the caller's storage (a
         // plain shared-lock pass must not touch the flat table), then
@@ -418,6 +524,79 @@ class RegistryT {
     return version_;
   }
 
+  struct Entry;  // defined below (flat snapshot-table row)
+
+  /// Shared tail of every registration path (caller holds the exclusive
+  /// lock): get-or-create in the kind map, mirror a new instrument into
+  /// the flat snapshot table at its name-sorted position, bump the
+  /// version. Each returns nullptr on a cross-kind name collision.
+  template <typename Factory>
+  AnyCounter* create_locked(const std::string& name, Factory&& make) {
+    if (histograms_.find(name) != histograms_.end() ||
+        topks_.find(name) != topks_.end()) {
+      return nullptr;
+    }
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, make()).first;
+      AnyCounter& counter = *it->second;
+      Entry& entry = insert_flat_locked(name);
+      entry.counter = &counter;
+      entry.model = counter.error_model();
+      entry.error_bound = counter.error_bound();
+    }
+    return it->second.get();
+  }
+
+  template <typename Factory>
+  AnyHistogram* add_histogram_locked(const std::string& name, Factory&& make) {
+    if (counters_.find(name) != counters_.end() ||
+        topks_.find(name) != topks_.end()) {
+      return nullptr;
+    }
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, make()).first;
+      AnyHistogram& hist = *it->second;
+      Entry& entry = insert_flat_locked(name);
+      entry.model = ErrorModel::kHistogram;
+      entry.error_bound = hist.per_bucket_bound();
+      entry.hist = &hist;
+    }
+    return it->second.get();
+  }
+
+  template <typename Factory>
+  AnyTopK* add_topk_locked(const std::string& name, Factory&& make) {
+    if (counters_.find(name) != counters_.end() ||
+        histograms_.find(name) != histograms_.end()) {
+      return nullptr;
+    }
+    auto it = topks_.find(name);
+    if (it == topks_.end()) {
+      it = topks_.emplace(name, make()).first;
+      AnyTopK& topk = *it->second;
+      Entry& entry = insert_flat_locked(name);
+      entry.model = ErrorModel::kTopK;
+      entry.error_bound = 0;  // max-register rows are exact
+      entry.topk = &topk;
+    }
+    return it->second.get();
+  }
+
+  Entry& insert_flat_locked(const std::string& name) {
+    const auto pos = std::lower_bound(
+        flat_.begin(), flat_.end(), name,
+        [](const Entry& entry, const std::string& key) {
+          return entry.name < key;
+        });
+    Entry entry;
+    entry.name = name;
+    const auto it = flat_.insert(pos, std::move(entry));
+    ++version_;
+    return *it;
+  }
+
   std::unique_ptr<AnyCounter> make_counter(const CounterSpec& spec) const {
     switch (spec.model) {
       case ErrorModel::kMultiplicative:
@@ -444,17 +623,33 @@ class RegistryT {
     AnyCounter* counter = nullptr;  // scalar entries; else nullptr
     ErrorModel model = ErrorModel::kExact;
     std::uint64_t error_bound = 0;
-    AnyHistogram* hist = nullptr;  // vector entries; else nullptr
+    AnyHistogram* hist = nullptr;  // histogram entries; else nullptr
+    AnyTopK* topk = nullptr;       // top-k entries; else nullptr
     // Change-tracking columns, written only by sequenced collects under
     // the exclusive lock (mutable: those collects are const like every
     // snapshot pass). last_value starts at an impossible counter value
     // so a new entry's first sequenced pass always registers a change
     // (a histogram's empty last_counts plays the same role: a real
-    // snapshot always has ≥ 2 buckets).
+    // snapshot always has ≥ 2 buckets; an empty top-k has nothing to
+    // delta until its first row lands, which then differs).
     mutable std::uint64_t last_value = kNeverCollected;
     mutable std::uint64_t changed_seq = 0;
-    mutable std::vector<std::uint64_t> last_counts;  // histogram only
+    mutable std::vector<std::uint64_t> last_counts;  // histogram/topk rows
+    mutable std::vector<std::string> last_labels;    // topk only
   };
+
+  /// The per-entry payload pointers a changed-since walk reports (see
+  /// for_each_changed_since): bucket counts double as top-k row values.
+  [[nodiscard]] static const std::vector<std::uint64_t>* changed_counts(
+      const Entry& entry) noexcept {
+    return entry.hist != nullptr || entry.topk != nullptr
+               ? &entry.last_counts
+               : nullptr;
+  }
+  [[nodiscard]] static const std::vector<std::string>* changed_labels(
+      const Entry& entry) noexcept {
+    return entry.topk != nullptr ? &entry.last_labels : nullptr;
+  }
 
   /// Counters count up from 0; ~0 marks "no sequenced pass yet".
   static constexpr std::uint64_t kNeverCollected = ~std::uint64_t{0};
@@ -470,7 +665,8 @@ class RegistryT {
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<AnyCounter>> counters_;
   std::map<std::string, std::unique_ptr<AnyHistogram>> histograms_;
-  std::vector<Entry> flat_;  // name-sorted mirror of counters_
+  std::map<std::string, std::unique_ptr<AnyTopK>> topks_;
+  std::vector<Entry> flat_;  // name-sorted mirror of the kind maps
   std::uint64_t version_;    // nonce-seeded, bumped per create (never 0)
   mutable std::uint64_t last_pass_seq_ = 0;  // newest completed sequenced pass
 };

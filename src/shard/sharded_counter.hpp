@@ -88,6 +88,7 @@ enum class ErrorModel : std::uint8_t {
   kMultiplicative,  // v/b ≤ x ≤ v·b for b = error_bound()
   kAdditive,        // v−b ≤ x ≤ v+b for b = error_bound()
   kHistogram,       // vector entry: per-bucket v−b ≤ c ≤ v (one-sided)
+  kTopK,            // labeled vector entry: exact max-register rows
 };
 
 /// Increment routing policy.

@@ -16,6 +16,10 @@ namespace approx::stats {
 static_assert(kMaxHistogramBuckets == svc::kMaxWireBuckets,
               "stats bucket ceiling must match the wire decode limit");
 
+// Same contract for labeled top-k rows (layout revision 5).
+static_assert(kMaxTopKRows == svc::kMaxWireTopKRows,
+              "stats top-k row ceiling must match the wire decode limit");
+
 std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
                                               double factor,
                                               std::size_t count) {

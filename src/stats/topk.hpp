@@ -241,4 +241,67 @@ extern template class TopKT<base::DirectBackend>;
 extern template class TopKT<base::RelaxedDirectBackend>;
 extern template class TopKT<base::InstrumentedBackend>;
 
+// ---------------------------------------------------------------------
+// Registry glue: publish a top-k directory as a labeled fleet entry.
+// ---------------------------------------------------------------------
+
+/// Hard ceiling on published top-k rows, shared with the wire layer's
+/// decode hardening (svc::kMaxWireTopKRows — an untrusted frame may not
+/// command a larger allocation). create_topk clamps the directory
+/// capacity here so every snapshot is encodable.
+inline constexpr std::size_t kMaxTopKRows = 64;
+
+namespace detail {
+
+/// Type-erased top-k directory the registry's flat table holds (plugs
+/// into the shard::AnyTopK slot; the dependency stays stats → shard).
+template <typename Backend>
+class ErasedTopK final : public shard::AnyTopK {
+ public:
+  ErasedTopK(unsigned num_processes, std::size_t capacity)
+      : topk_(num_processes, capacity) {}
+  bool update(unsigned pid, std::string_view label,
+              std::uint64_t value) override {
+    return topk_.update(pid, label, value);
+  }
+  void snapshot_into(std::vector<std::string>& labels,
+                     std::vector<std::uint64_t>& values) override {
+    // Local scratch: plain snapshot passes may run concurrently under
+    // the registry's shared lock, so no shared mutable state here.
+    std::vector<TopEntry> rows;
+    topk_.collect(topk_.capacity(), rows);
+    labels.clear();
+    values.clear();
+    labels.reserve(rows.size());
+    values.reserve(rows.size());
+    for (TopEntry& row : rows) {
+      labels.push_back(std::move(row.label));
+      values.push_back(row.value);
+    }
+  }
+  [[nodiscard]] std::size_t capacity() const override {
+    return topk_.capacity();
+  }
+  [[nodiscard]] TopKT<Backend>& impl() noexcept { return topk_; }
+
+ private:
+  TopKT<Backend> topk_;
+};
+
+}  // namespace detail
+
+/// Get-or-create the labeled top-k registry entry `name` (capacity
+/// clamped to kMaxTopKRows; first spec wins, like create_histogram).
+/// Returns nullptr iff the name is reserved (`__sys/`) or already taken
+/// by another instrument kind.
+template <typename Backend>
+shard::AnyTopK* create_topk(shard::RegistryT<Backend>& registry,
+                            const std::string& name, std::size_t capacity) {
+  if (capacity > kMaxTopKRows) capacity = kMaxTopKRows;
+  return registry.add_topk(name, [&registry, capacity] {
+    return std::make_unique<detail::ErasedTopK<Backend>>(
+        registry.num_processes(), capacity);
+  });
+}
+
 }  // namespace approx::stats

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace_ring.hpp"
 #include "svc/server.hpp"  // kAckByte
 
 namespace approx::svc {
@@ -88,6 +89,9 @@ bool TelemetryClient::subscribe(const SubscriptionFilter& filter) {
 
 bool TelemetryClient::request_resync() {
   if (fd_ < 0) return false;
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceKind::kResync, static_cast<std::uint64_t>(fd_));
+  }
   std::string record;
   encode_resync_record(record);
   rebase_guard_armed_ = true;
@@ -221,6 +225,9 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
         // re-ACCEPT below to re-freeze the TCP stream.
         ring_.skip_to_head();
         ++shm_overruns_;
+        if (trace_ != nullptr) {
+          trace_->record(obs::TraceKind::kShmOverrun, ring_.generation());
+        }
         ring_accept_pending_ = true;
         request_resync();
         break;
@@ -358,6 +365,9 @@ bool TelemetryClient::poll_frame(std::chrono::milliseconds timeout) {
                                ring_idle_deadline_)
                                .count())) {
           ++shm_demotions_;
+          if (trace_ != nullptr) {
+            trace_->record(obs::TraceKind::kShmDemote, ring_.generation());
+          }
           ring_.close();
           ring_accept_pending_ = false;
           request_resync();

@@ -55,6 +55,10 @@
 #include "svc/shm.hpp"
 #include "svc/wire.hpp"
 
+namespace approx::obs {
+class TraceRing;
+}  // namespace approx::obs
+
 namespace approx::svc {
 
 class TelemetryClient {
@@ -167,6 +171,10 @@ class TelemetryClient {
   void set_ring_idle_deadline(std::chrono::milliseconds deadline) noexcept {
     ring_idle_deadline_ = deadline;
   }
+  /// Optional structured-event sink: ladder transitions (shm overrun /
+  /// demotion, resync requests) are recorded into `trace` as they
+  /// happen. The ring must outlive this client; nullptr disables.
+  void set_trace(obs::TraceRing* trace) noexcept { trace_ = trace; }
 
  private:
   void send_ack(std::uint64_t sequence);
@@ -215,6 +223,7 @@ class TelemetryClient {
   std::uint64_t shm_frame_bytes_ = 0;
   std::uint64_t shm_overruns_ = 0;
   std::uint64_t shm_demotions_ = 0;
+  obs::TraceRing* trace_ = nullptr;
   std::string ring_scratch_;   // reused poll() payload buffer
   std::uint32_t ring_wait_count_ = 0;  // schedules periodic socket probes
   // Dead-writer probe state: the head as of the last doorbell timeout,

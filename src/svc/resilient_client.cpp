@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace_ring.hpp"
+
 namespace approx::svc {
 namespace {
 
@@ -32,6 +34,9 @@ ResilientClient::ResilientClient(ResilientClientOptions options)
   if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
   options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
   options_.filter.normalize();
+  // The wrapped client shares the sink: its shm-overrun/demote/resync
+  // events interleave with the supervisor's session ladder in order.
+  client_.set_trace(options_.trace);
 }
 
 std::uint64_t ResilientClient::next_rand() {
@@ -68,6 +73,10 @@ std::chrono::milliseconds ResilientClient::take_backoff() {
 
 void ResilientClient::establish_session() {
   ++stats_.sessions_established;
+  if (options_.trace != nullptr) {
+    options_.trace->record(obs::TraceKind::kSessionEstablished,
+                           stats_.sessions_established);
+  }
   session_live_ = true;
   session_has_frame_ = false;
   last_activity_ns_ = now();
@@ -87,7 +96,13 @@ void ResilientClient::establish_session() {
 }
 
 void ResilientClient::close() {
-  if (client_.connected() && session_live_) ++stats_.disconnects;
+  if (client_.connected() && session_live_) {
+    ++stats_.disconnects;
+    if (options_.trace != nullptr) {
+      options_.trace->record(obs::TraceKind::kSessionLost,
+                             stats_.sessions_established);
+    }
+  }
   session_live_ = false;
   client_.close();
   backoff_ms_ = 0;  // caller-driven drop: re-dial immediately
@@ -108,11 +123,20 @@ bool ResilientClient::poll_frame(std::chrono::milliseconds timeout) {
         // The session died underneath us (poll_frame closed it).
         session_live_ = false;
         ++stats_.disconnects;
+        if (options_.trace != nullptr) {
+          options_.trace->record(obs::TraceKind::kSessionLost,
+                                 stats_.sessions_established);
+        }
       }
       const std::chrono::milliseconds delay = take_backoff();
       if (delay.count() > 0) {
         stats_.last_backoff_ms = static_cast<std::uint64_t>(delay.count());
         stats_.total_backoff_ms += static_cast<std::uint64_t>(delay.count());
+        if (options_.trace != nullptr) {
+          options_.trace->record(obs::TraceKind::kBackoff,
+                                 stats_.connect_attempts + 1,
+                                 static_cast<std::uint64_t>(delay.count()));
+        }
         options_.sleep_fn(delay);
       }
       ++stats_.connect_attempts;
@@ -160,6 +184,10 @@ bool ResilientClient::poll_frame(std::chrono::milliseconds timeout) {
       // frozen peer. TCP will not tell us; escalate to a re-dial.
       ++stats_.reconnects_after_silence;
       ++stats_.disconnects;
+      if (options_.trace != nullptr) {
+        options_.trace->record(obs::TraceKind::kSessionLost,
+                               stats_.sessions_established);
+      }
       session_live_ = false;
       client_.close();
       backoff_ms_ = 0;  // fresh dial immediately; curve restarts after

@@ -44,6 +44,10 @@
 #include "svc/client.hpp"
 #include "svc/wire.hpp"
 
+namespace approx::obs {
+class TraceRing;
+}  // namespace approx::obs
+
 namespace approx::svc {
 
 struct ResilientClientOptions {
@@ -78,6 +82,12 @@ struct ResilientClientOptions {
   /// Defaults: steady_now_ns / std::this_thread::sleep_for.
   std::function<std::uint64_t()> now_ns;
   std::function<void(std::chrono::milliseconds)> sleep_fn;
+  /// Optional structured-event sink: the reconnect ladder records
+  /// session_lost / backoff / session_established transitions (and the
+  /// wrapped client's shm/resync events) into this ring as they happen.
+  /// Must outlive the client; nullptr disables. Chaos tests drain it
+  /// to assert the exact recovery sequence an outage produced.
+  obs::TraceRing* trace = nullptr;
 };
 
 /// Monotonic counters over the supervisor's whole life (all sessions).

@@ -30,6 +30,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metricsz.hpp"
+#include "obs/self_metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "svc/shm.hpp"
 
 namespace approx::svc {
@@ -38,6 +41,12 @@ namespace {
 
 /// Longest ack record: type byte + 10-byte varint.
 constexpr std::size_t kMaxAckBytes = 11;
+
+/// This thread's slot in the self-metrics instruments' private wpid
+/// space: 0 = the collector, 1 + i = io worker i (assigned at the top
+/// of each loop). The obs instruments keep the repo-wide one-thread-
+/// per-pid discipline without borrowing fleet pids.
+thread_local unsigned t_wpid = 0;
 
 /// CPU time this thread has burned so far (ns) — the per-thread clock,
 /// so sleeping out the tick costs nothing. Feeds the collector/io CPU
@@ -77,7 +86,7 @@ class ServerCore {
   };
 
   ServerCore(const ServerOptions& options, Hooks hooks)
-      : options_(options), hooks_(std::move(hooks)) {
+      : options_(options), hooks_(std::move(hooks)), trace_(options.trace) {
     if (options_.io_threads == 0) options_.io_threads = 1;
     if (options_.period <= std::chrono::milliseconds::zero()) {
       options_.period = std::chrono::milliseconds(1);
@@ -239,7 +248,20 @@ class ServerCore {
     return out;
   }
 
+  /// Arms the `__sys/` self-metrics handles (obs/self_metrics.hpp).
+  /// Must be called before start(); the instruments (registry-owned)
+  /// must outlive the server.
+  void set_instruments(const obs::ServerInstruments& sys) {
+    sys_ = sys;
+    sys_on_ = sys.complete();
+  }
+
  private:
+  /// Flight-recorder shorthand: no-op without a ring.
+  void trace(obs::TraceKind kind, std::uint64_t a = 0,
+             std::uint64_t b = 0) noexcept {
+    if (trace_ != nullptr) trace_->record(kind, a, b);
+  }
   /// One subscription filter's server-side state: every client that
   /// SUBSCRIBEd with the same canonical filter shares one of these, and
   /// with it this tick's single delta encode and the lazily-built full.
@@ -291,6 +313,11 @@ class ServerCore {
     /// (and late selection rebuilds). Only populated while filter
     /// groups exist — unfiltered (v1) serving pays nothing for it.
     std::shared_ptr<const shard::TelemetryFrame> snapshot;
+    /// Newest rendered metricsz page (a full kMetricsz stream frame) and
+    /// the collect sequence it was rendered at. Carried forward across
+    /// ticks (rendering is on demand); null until first requested.
+    std::shared_ptr<const std::string> metricsz;
+    std::uint64_t metricsz_seq = 0;
   };
 
   struct Client {
@@ -315,6 +342,16 @@ class ServerCore {
     std::uint64_t ack_wait_since = 0;
     std::uint64_t ack_wait_acked = 0;  // acked_seq when armed
     std::size_t ack_wait_off = 0;      // in-flight drain offset when armed
+    /// Self-metrics bookkeeping: "ip:port" of the peer (the
+    /// top_talkers label) and cumulative bytes flushed to it — monotone
+    /// by construction, so the top-k max-register fold is exact.
+    std::string peer;
+    std::uint64_t bytes_flushed = 0;
+    /// kMetricszRequest pending: set when the control record is read,
+    /// served once a metricsz page rendered at or after the request
+    /// (req_seq = pub.seq at the first service round that saw it).
+    bool metricsz_pending = false;
+    std::uint64_t metricsz_req_seq = 0;
   };
 
   struct Worker {
@@ -348,14 +385,20 @@ class ServerCore {
   }
 
   void collector_loop() {
+    t_wpid = 0;  // the collector's slot in the obs wpid space
     shard::TelemetryFrame frame;  // reused; zero-alloc at steady state
     std::vector<DeltaEntry> changed;
     std::vector<DeltaEntry> group_subset;  // per-group intersect scratch
     std::uint64_t prev_seq = 0;
     std::uint64_t prev_regver = 0;
+    // Metricsz page carried forward tick to tick (rendered on demand).
+    std::shared_ptr<const std::string> metricsz_cache;
+    std::uint64_t metricsz_cache_seq = 0;
+    std::string metricsz_text;  // render scratch
     while (running_.load(std::memory_order_acquire)) {
       const auto tick_start = std::chrono::steady_clock::now();
       hooks_.collect(frame);
+      const auto collect_done = std::chrono::steady_clock::now();
       const std::uint64_t collect_ns = steady_now_ns();
       PublishedFrame pub;
       pub.seq = frame.sequence;
@@ -461,19 +504,78 @@ class ServerCore {
         } else {
           shm_publish_failures_.fetch_add(1, std::memory_order_relaxed);
           ring_broken_.store(true, std::memory_order_relaxed);
+          trace(obs::TraceKind::kShmDemote, shm_.generation());
         }
       }
+      const auto encode_done = std::chrono::steady_clock::now();
+      // Metricsz exposition: rendered only when a kMetricszRequest came
+      // in since the last render (on-demand; an idle server pays one
+      // relaxed exchange per tick) — then carried forward in every
+      // published frame until superseded.
+      if (metricsz_wanted_.exchange(false, std::memory_order_relaxed)) {
+        (void)obs::render_metricsz(frame.samples, trace_, metricsz_text);
+        auto page = std::make_shared<std::string>();
+        encode_metricsz_frame(frame.sequence, frame.registry_version,
+                              collect_ns, metricsz_text, *page);
+        metricsz_cache = std::move(page);
+        metricsz_cache_seq = frame.sequence;
+      }
+      pub.metricsz = metricsz_cache;
+      pub.metricsz_seq = metricsz_cache_seq;
       {
         std::lock_guard lock(published_mutex_);
         published_ = pub;
       }
+      last_pub_seq_.store(pub.seq, std::memory_order_relaxed);
+      last_pub_collect_ns_.store(collect_ns, std::memory_order_relaxed);
       frames_collected_.fetch_add(1, std::memory_order_relaxed);
       for (auto& worker : workers_) wake(*worker);
+      const auto flush_done = std::chrono::steady_clock::now();
       prev_seq = frame.sequence;
       prev_regver = frame.registry_version;
       collector_cpu_ns_.store(thread_cpu_ns(), std::memory_order_relaxed);
-      // Sleep out the tick in 1 ms slices so stop() stays responsive.
+      // Self-metrics: per-stage timings into the `__sys/` histograms and
+      // the tick's gauge refresh (next tick's collect pass picks both
+      // up, so the vitals ride the very stream they describe).
+      if (sys_on_) {
+        const auto ns = [](auto duration) {
+          return static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(duration)
+                  .count());
+        };
+        sys_.tick_collect_ns->rec(0, ns(collect_done - tick_start));
+        sys_.tick_encode_ns->rec(0, ns(encode_done - collect_done));
+        sys_.tick_flush_ns->rec(0, ns(flush_done - encode_done));
+        sys_.frames_in_flight->set(
+            inflight_frames_.load(std::memory_order_relaxed));
+        sys_.frames_collected->set(
+            frames_collected_.load(std::memory_order_relaxed));
+        sys_.bytes_sent->set(bytes_sent_.load(std::memory_order_relaxed));
+        sys_.frames_coalesced->set(
+            frames_coalesced_.load(std::memory_order_relaxed));
+        sys_.shm_frames_published->set(
+            shm_frames_published_.load(std::memory_order_relaxed));
+        sys_.collector_cpu_ns->set(thread_cpu_ns());
+      }
+      // Slow-tick watchdog: the work above outran the period — the
+      // serving cadence is slipping and subscribers will see coalesced
+      // ticks. Counted (and traced) rather than "handled": the honest
+      // response to overload is visibility, the next tick starts late.
       const auto deadline = tick_start + options_.period;
+      const auto now = std::chrono::steady_clock::now();
+      if (now > deadline) {
+        if (sys_on_) sys_.ticks_overrun->inc(0);
+        trace(obs::TraceKind::kTickOverrun,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      now - tick_start)
+                      .count()),
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      options_.period)
+                      .count()));
+      }
+      // Sleep out the tick in 1 ms slices so stop() stays responsive.
       while (running_.load(std::memory_order_acquire) &&
              std::chrono::steady_clock::now() < deadline) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -483,6 +585,7 @@ class ServerCore {
   }
 
   void worker_loop(unsigned index) {
+    t_wpid = 1 + index;  // this worker's slot in the obs wpid space
     Worker& worker = *workers_[index];
     std::vector<pollfd> pfds;
     std::vector<DeltaEntry> changed_scratch;
@@ -557,9 +660,25 @@ class ServerCore {
     for (int fd : worker.inbox) {
       Client client;
       client.fd = fd;
+      client.peer = peer_label(fd);
       worker.clients.push_back(std::move(client));
     }
     worker.inbox.clear();
+  }
+
+  /// "ip:port" of the connected peer — the top_talkers row label.
+  static std::string peer_label(int fd) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+        addr.sin_family != AF_INET) {
+      return "fd:" + std::to_string(fd);
+    }
+    char ip[INET_ADDRSTRLEN] = {0};
+    if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip)) == nullptr) {
+      return "fd:" + std::to_string(fd);
+    }
+    return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
   }
 
   void drain_wake(Worker& worker) {
@@ -589,6 +708,9 @@ class ServerCore {
                      sizeof(options_.sndbuf));
       }
       clients_accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (sys_on_) sys_.clients_accepted->inc(t_wpid);
+      trace(obs::TraceKind::kClientConnect,
+            static_cast<std::uint64_t>(fd));
       Worker& target =
           *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
                     workers_.size()];
@@ -654,12 +776,21 @@ class ServerCore {
       return false;
     }
     clients_evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+    if (sys_on_) sys_.clients_evicted->inc(t_wpid);
+    trace(obs::TraceKind::kClientEvict,
+          static_cast<std::uint64_t>(client.fd),
+          (pub.seq - client.ack_wait_since) *
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      options_.period)
+                      .count()));
     close_client(client);
     return true;
   }
 
   void close_client(Client& client) {
     if (client.fd < 0) return;
+    const int fd = client.fd;
     ::close(client.fd);
     client.fd = -1;
     drop_inflight(client);
@@ -668,6 +799,8 @@ class ServerCore {
       release_group_locked(client);
     }
     clients_closed_.fetch_add(1, std::memory_order_relaxed);
+    if (sys_on_) sys_.clients_closed->inc(t_wpid);
+    trace(obs::TraceKind::kClientDisconnect, static_cast<std::uint64_t>(fd));
   }
 
   /// Caller holds groups_mutex_.
@@ -702,6 +835,8 @@ class ServerCore {
       ++it->second->refs;
       client.group = it->second;
     }
+    trace(obs::TraceKind::kSubscribe, static_cast<std::uint64_t>(client.fd),
+          client.group ? client.group->refs : 0);
     client.force_full = true;
   }
 
@@ -734,6 +869,22 @@ class ServerCore {
         }
         client.acked_seq = std::max(client.acked_seq, seq);
         acks_received_.fetch_add(1, std::memory_order_relaxed);
+        if (sys_on_) {
+          sys_.acks_received->inc(t_wpid);
+          // Apply-lag proxy: collect-stamp → ack-receipt for the newest
+          // published frame (older acks are skipped — their stamp is
+          // gone; the racy seq/ns pair is at worst one tick stale,
+          // noise at histogram granularity).
+          if (seq != 0 &&
+              seq == last_pub_seq_.load(std::memory_order_relaxed)) {
+            const std::uint64_t collected =
+                last_pub_collect_ns_.load(std::memory_order_relaxed);
+            const std::uint64_t now = steady_now_ns();
+            if (now > collected) {
+              sys_.apply_lag_ns->rec(t_wpid, now - collected);
+            }
+          }
+        }
         client.inbuf.erase(0, static_cast<std::size_t>(cursor -
                                                        client.inbuf.data()));
         continue;
@@ -757,6 +908,13 @@ class ServerCore {
           // ring, and the client detached before sending SUBSCRIBE.
           client.shm_consuming = false;
           subscribes_received_.fetch_add(1, std::memory_order_relaxed);
+          if (sys_on_) sys_.subscribes_received->inc(t_wpid);
+        } else if (control.kind == FrameKind::kMetricszRequest) {
+          // Solicited exposition: flag the client and ask the collector
+          // to render at its next tick; service_client ships the page
+          // once one rendered at/after the request.
+          client.metricsz_pending = true;
+          metricsz_wanted_.store(true, std::memory_order_relaxed);
         } else if (control.kind == FrameKind::kShmRequest) {
           shm_requests_received_.fetch_add(1, std::memory_order_relaxed);
           // No ring (disabled, create failed, broken): silently ignore
@@ -779,6 +937,10 @@ class ServerCore {
               control.shm_generation == shm_.generation()) {
             client.shm_consuming = true;
             shm_accepts_received_.fetch_add(1, std::memory_order_relaxed);
+            if (sys_on_) sys_.shm_accepts_received->inc(t_wpid);
+            trace(obs::TraceKind::kShmAccept,
+                  static_cast<std::uint64_t>(client.fd),
+                  control.shm_generation);
           }
         } else {
           client.force_full = true;  // RESYNC: full at the next service
@@ -792,6 +954,9 @@ class ServerCore {
           // stream (sent_seq stays stale-low for the next demotion).
           client.shm_consuming = false;
           resyncs_received_.fetch_add(1, std::memory_order_relaxed);
+          if (sys_on_) sys_.resyncs_received->inc(t_wpid);
+          trace(obs::TraceKind::kResync,
+                static_cast<std::uint64_t>(client.fd));
         }
         client.inbuf.erase(0, kControlPrefixBytes +
                                   static_cast<std::size_t>(len));
@@ -814,6 +979,12 @@ class ServerCore {
         client.off += static_cast<std::size_t>(n);
         bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
                               std::memory_order_relaxed);
+        client.bytes_flushed += static_cast<std::uint64_t>(n);
+        if (sys_on_) {
+          // Cumulative per-peer bytes only grow, so the max-register
+          // fold keeps the directory exact.
+          sys_.top_talkers->offer(t_wpid, client.peer, client.bytes_flushed);
+        }
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
@@ -846,6 +1017,24 @@ class ServerCore {
           !ring_broken_.load(std::memory_order_relaxed)) {
         set_inflight(client, shm_offer_frame_);
         shm_offers_sent_.fetch_add(1, std::memory_order_relaxed);
+        if (sys_on_) sys_.shm_offers_sent->inc(t_wpid);
+        trace(obs::TraceKind::kShmOffer,
+              static_cast<std::uint64_t>(client.fd), shm_.generation());
+        flush(client);
+        return;
+      }
+    }
+    // A pending metricsz page rides the data channel between frames,
+    // exactly like an shm offer — and is served to every client state
+    // (shm consumers and filtered subscribers keep their control TCP).
+    if (client.metricsz_pending) {
+      if (client.metricsz_req_seq == 0) {
+        client.metricsz_req_seq = pub.seq == 0 ? 1 : pub.seq;
+      }
+      if (pub.metricsz && pub.metricsz_seq >= client.metricsz_req_seq) {
+        client.metricsz_pending = false;
+        client.metricsz_req_seq = 0;
+        set_inflight(client, pub.metricsz);
         flush(client);
         return;
       }
@@ -881,10 +1070,12 @@ class ServerCore {
       client.out = pub.full;
       client.force_full = false;
       full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (sys_on_) sys_.full_frames_sent->inc(t_wpid);
     } else if (client.sent_seq == pub.base_seq && pub.delta &&
                client.sent_regver == pub.registry_version) {
       client.out = pub.delta;  // in step: the shared tick delta
       delta_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (sys_on_) sys_.delta_frames_sent->inc(t_wpid);
     } else if (client.sent_seq != 0 &&
                client.sent_regver == pub.registry_version) {
       // Lagged but (as of publication) same name table: try a
@@ -914,13 +1105,16 @@ class ServerCore {
         client.out = std::move(buf);
         sent_seq = std::max(sent_seq, *upto);
         catchup_deltas_sent_.fetch_add(1, std::memory_order_relaxed);
+        if (sys_on_) sys_.catchup_deltas_sent->inc(t_wpid);
       } else {
         client.out = pub.full;
         full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        if (sys_on_) sys_.full_frames_sent->inc(t_wpid);
       }
     } else {
       client.out = pub.full;  // new subscriber or the table changed
       full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (sys_on_) sys_.full_frames_sent->inc(t_wpid);
     }
     client.off = 0;
     inflight_frames_.fetch_add(1, std::memory_order_relaxed);
@@ -971,6 +1165,7 @@ class ServerCore {
       client.sent_regver = full_wire;
       client.force_full = false;
       full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (sys_on_) sys_.full_frames_sent->inc(t_wpid);
       flush(client);
       return;
     }
@@ -981,6 +1176,7 @@ class ServerCore {
       set_inflight(client, std::move(group_delta));
       client.sent_seq = delta_seq;
       delta_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (sys_on_) sys_.delta_frames_sent->inc(t_wpid);
       flush(client);
       return;
     }
@@ -1026,6 +1222,7 @@ class ServerCore {
     set_inflight(client, std::move(buf));
     client.sent_seq = std::max(client.sent_seq, *upto);
     catchup_deltas_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (sys_on_) sys_.catchup_deltas_sent->inc(t_wpid);
     flush(client);
   }
 
@@ -1114,7 +1311,11 @@ class ServerCore {
       } else if (changed[ci].index > group.selection[si]) {
         ++si;
       } else {
-        subset.push_back({si, changed[ci].value});
+        // Carry the vector payloads too: a histogram or top-k row in
+        // the subset must keep its buckets/labels, or the entry would
+        // re-encode as a scalar and the subscriber's view reject it.
+        subset.push_back({si, changed[ci].value, changed[ci].buckets,
+                          changed[ci].labels});
         ++ci;
         ++si;
       }
@@ -1202,6 +1403,22 @@ class ServerCore {
   /// decode past the gap, so the ring is done for this run — offers
   /// stop and accepted clients are demoted back to TCP.
   std::atomic<bool> ring_broken_{false};
+  // --- Self-observability (src/obs) ---------------------------------
+  /// Privileged handles into the registry's `__sys/server.*` entries;
+  /// sys_on_ iff the catalog is armed (set_instruments before start()).
+  obs::ServerInstruments sys_{};
+  bool sys_on_ = false;
+  /// Flight recorder; null = tracing off. Not owned.
+  obs::TraceRing* trace_ = nullptr;
+  /// Set by any worker that read a kMetricszRequest; the collector
+  /// exchanges it down and renders one page for every waiter.
+  std::atomic<bool> metricsz_wanted_{false};
+  /// Newest published (seq, collect stamp) pair for the apply-lag
+  /// proxy: two relaxed loads per ack instead of published_mutex_. The
+  /// pair can be torn across a tick boundary — at worst one tick of
+  /// skew in a histogram sample, which the bucket width swallows.
+  std::atomic<std::uint64_t> last_pub_seq_{0};
+  std::atomic<std::uint64_t> last_pub_collect_ns_{0};
 };
 
 }  // namespace detail
@@ -1223,10 +1440,13 @@ SnapshotServerT<Backend>::SnapshotServerT(
         since, expected_version,
         [&](std::size_t index, const std::string& /*name*/,
             std::uint64_t value, std::uint64_t /*changed_seq*/,
-            const std::vector<std::uint64_t>* counts) {
+            const std::vector<std::uint64_t>* counts,
+            const std::vector<std::string>* labels) {
           out.push_back({index, value,
                          counts != nullptr ? *counts
-                                           : std::vector<std::uint64_t>{}});
+                                           : std::vector<std::uint64_t>{},
+                         labels != nullptr ? *labels
+                                           : std::vector<std::string>{}});
         });
   };
   hooks.changed_since_filtered =
@@ -1238,14 +1458,31 @@ SnapshotServerT<Backend>::SnapshotServerT(
             [&](std::size_t subset_index, std::size_t /*flat_index*/,
                 const std::string& /*name*/, std::uint64_t value,
                 std::uint64_t /*changed_seq*/,
-                const std::vector<std::uint64_t>* counts) {
+                const std::vector<std::uint64_t>* counts,
+                const std::vector<std::string>* labels) {
               out.push_back({subset_index, value,
                              counts != nullptr
                                  ? *counts
-                                 : std::vector<std::uint64_t>{}});
+                                 : std::vector<std::uint64_t>{},
+                             labels != nullptr
+                                 ? *labels
+                                 : std::vector<std::string>{}});
             });
       };
   core_ = std::make_unique<detail::ServerCore>(options, std::move(hooks));
+}
+
+template <typename Backend>
+  requires(!Backend::kInstrumented)
+SnapshotServerT<Backend>::SnapshotServerT(shard::RegistryT<Backend>& registry,
+                                          unsigned pid, ServerOptions options)
+    : SnapshotServerT(
+          static_cast<const shard::RegistryT<Backend>&>(registry), pid,
+          options) {
+  if (options.self_metrics) {
+    core_->set_instruments(
+        obs::install_self_metrics(registry, options.io_threads));
+  }
 }
 
 template <typename Backend>

@@ -92,6 +92,10 @@
 #include "shard/registry.hpp"
 #include "svc/wire.hpp"
 
+namespace approx::obs {
+class TraceRing;
+}  // namespace approx::obs
+
 namespace approx::svc {
 
 /// Inbound ack record type byte (followed by one uvarint sequence).
@@ -137,6 +141,21 @@ struct ServerOptions {
   /// 0 disables eviction (the pre-v5 behavior). Default 250 ticks
   /// (5 s at the default 20 ms period).
   unsigned ack_deadline_ticks = 250;
+  /// Flight recorder (src/obs): when non-null the server records one
+  /// structured event per resilience-ladder decision (accept, evict,
+  /// subscribe, shm offer/accept/demote, tick overrun, …) into this
+  /// ring — wait-free, allocation-free, cheap enough to leave on. The
+  /// ring must outlive the server. Null: no tracing (the default).
+  obs::TraceRing* trace = nullptr;
+  /// Self-metrics (src/obs): when true — requires the non-const
+  /// registry constructor — the server installs the `__sys/server.*`
+  /// catalog into the registry it serves and keeps it live: its own
+  /// counters, per-stage tick timing histograms and top-talker
+  /// directory then ride the standard wire like any fleet entry
+  /// (subscribe with a `__sys/` prefix filter), and the kind-7/kind-8
+  /// metricsz exchange renders them as text. Off by default: a server
+  /// over a const registry cannot (and does not) self-report.
+  bool self_metrics = false;
 };
 
 /// Monotonic counters describing a server's life so far. stats() may be
@@ -205,6 +224,13 @@ class SnapshotServerT {
   /// @param pid dedicated aggregation slot in the registry's pid space;
   ///   no worker may share it (one thread per pid, repo-wide).
   SnapshotServerT(const shard::RegistryT<Backend>& registry, unsigned pid,
+                  ServerOptions options = {});
+
+  /// Mutable-registry overload: additionally honors
+  /// ServerOptions::self_metrics by installing the `__sys/server.*`
+  /// self-observability catalog into `registry` before serving begins
+  /// (the const overload ignores that flag — it cannot create entries).
+  SnapshotServerT(shard::RegistryT<Backend>& registry, unsigned pid,
                   ServerOptions options = {});
   ~SnapshotServerT();
 

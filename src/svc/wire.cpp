@@ -134,6 +134,18 @@ void append_sample(std::string& out, const shard::Sample& sample) {
   out.append(sample.name);
   out.push_back(static_cast<char>(sample.model));
   append_uvarint(out, sample.error_bound);
+  if (sample.model == shard::ErrorModel::kTopK) {
+    // Labeled entry (v5 grammar): row count, then ranked
+    // (label_len, label, value) rows. The top value is NOT shipped
+    // separately — decoders derive it from row 0.
+    append_uvarint(out, sample.top_labels.size());
+    for (std::size_t i = 0; i < sample.top_labels.size(); ++i) {
+      append_uvarint(out, sample.top_labels[i].size());
+      out.append(sample.top_labels[i]);
+      append_uvarint(out, sample.bucket_counts[i]);
+    }
+    return;
+  }
   if (sample.model != shard::ErrorModel::kHistogram) {
     append_uvarint(out, sample.value);
     return;
@@ -152,24 +164,32 @@ void append_sample(std::string& out, const shard::Sample& sample) {
   }
 }
 
-/// The data-frame version byte: 4 iff a vector entry rides this frame,
-/// else the frozen v1 (scalar-only frames stay byte-identical to a v1
-/// server's — the compatibility contract).
+/// The version byte one entry requires: 5 for labeled top-k entries, 4
+/// for histogram vectors, the frozen v1 for scalars.
+std::uint8_t sample_version(const shard::Sample& sample) {
+  if (sample.model == shard::ErrorModel::kTopK) return kTopKVersion;
+  if (sample.model == shard::ErrorModel::kHistogram) return kVectorVersion;
+  return kWireVersion;
+}
+
+/// The data-frame version byte: the maximum any riding entry requires,
+/// so scalar-only frames stay byte-identical to a v1 server's (the
+/// compatibility contract).
 std::uint8_t full_frame_version(const shard::TelemetryFrame& frame,
                                 const std::vector<std::uint64_t>* selection) {
+  std::uint8_t version = kWireVersion;
   if (selection != nullptr) {
     for (const std::uint64_t index : *selection) {
-      if (frame.samples[static_cast<std::size_t>(index)].model ==
-          shard::ErrorModel::kHistogram) {
-        return kVectorVersion;
-      }
+      version = std::max(
+          version,
+          sample_version(frame.samples[static_cast<std::size_t>(index)]));
     }
-    return kWireVersion;
+    return version;
   }
   for (const shard::Sample& sample : frame.samples) {
-    if (sample.model == shard::ErrorModel::kHistogram) return kVectorVersion;
+    version = std::max(version, sample_version(sample));
   }
-  return kWireVersion;
+  return version;
 }
 
 }  // namespace
@@ -211,10 +231,11 @@ void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
   append_u32le(out, 0);  // length prefix, patched below
   std::uint8_t version = kWireVersion;
   for (const DeltaEntry& entry : entries) {
-    if (!entry.buckets.empty()) {
-      version = kVectorVersion;
+    if (!entry.labels.empty()) {
+      version = kTopKVersion;
       break;
     }
+    if (!entry.buckets.empty()) version = kVectorVersion;
   }
   append_header(out, FrameKind::kDelta, sequence, registry_version,
                 collect_ns, version);
@@ -224,6 +245,18 @@ void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
     append_uvarint(out, entry.index);
     if (version == kWireVersion) {
       append_uvarint(out, entry.value);
+      continue;
+    }
+    if (!entry.labels.empty()) {
+      // v5 top-k entry: tag 1, then ranked (label_len, label, value)
+      // rows (labels/buckets are parallel — see DeltaEntry).
+      append_uvarint(out, 1);
+      append_uvarint(out, entry.labels.size());
+      for (std::size_t i = 0; i < entry.labels.size(); ++i) {
+        append_uvarint(out, entry.labels[i].size());
+        out.append(entry.labels[i]);
+        append_uvarint(out, entry.buckets[i]);
+      }
       continue;
     }
     // v4 delta entries are self-describing: nbuckets = 0 marks a scalar.
@@ -333,6 +366,52 @@ void encode_shm_accept_record(std::uint64_t generation, std::string& out) {
   patch_length_at(out, 1);
 }
 
+void encode_metricsz_request_record(std::string& out) {
+  out.clear();
+  append_control_header(out, FrameKind::kMetricszRequest, kTopKVersion);
+  patch_length_at(out, 1);
+}
+
+void encode_metricsz_frame(std::uint64_t sequence,
+                           std::uint64_t registry_version,
+                           std::uint64_t collect_ns, std::string_view text,
+                           std::string& out) {
+  out.clear();
+  append_u32le(out, 0);  // stream length prefix, patched below
+  append_header(out, FrameKind::kMetricsz, sequence, registry_version,
+                collect_ns, kTopKVersion);
+  out.append(text);
+  patch_length_prefix(out);
+}
+
+bool decode_metricsz(std::string_view payload, std::string& text) {
+  const char* cursor = payload.data();
+  const char* const end = cursor + payload.size();
+  std::uint8_t magic0 = 0;
+  std::uint8_t magic1 = 0;
+  std::uint8_t version = 0;
+  std::uint8_t kind = 0;
+  if (!read_u8(&cursor, end, magic0) || !read_u8(&cursor, end, magic1) ||
+      !read_u8(&cursor, end, version) || !read_u8(&cursor, end, kind)) {
+    return false;
+  }
+  if (magic0 != kWireMagic0 || magic1 != kWireMagic1 ||
+      version != kTopKVersion ||
+      static_cast<FrameKind>(kind) != FrameKind::kMetricsz) {
+    return false;
+  }
+  std::uint64_t sequence = 0;
+  std::uint64_t registry_version = 0;
+  std::uint64_t collect_ns = 0;
+  if (!read_uvarint(&cursor, end, sequence) ||
+      !read_uvarint(&cursor, end, registry_version) ||
+      !read_uvarint(&cursor, end, collect_ns)) {
+    return false;
+  }
+  text.assign(cursor, static_cast<std::size_t>(end - cursor));
+  return true;
+}
+
 bool encode_shm_offer_frame(const ShmOffer& offer, std::string& out) {
   out.clear();
   if (offer.name.empty() || offer.name.size() > kMaxShmNameBytes) return false;
@@ -404,7 +483,8 @@ bool decode_control_payload(std::string_view payload, ControlFrame& out) {
   out.filter = SubscriptionFilter{};
   out.shm_generation = 0;
   // Each control kind is checked against the version that introduced
-  // it: SUBSCRIBE/RESYNC are v2, SHM_REQUEST/SHM_ACCEPT are v3.
+  // it: SUBSCRIBE/RESYNC are v2, SHM_REQUEST/SHM_ACCEPT are v3,
+  // METRICSZ_REQUEST is v5.
   switch (static_cast<FrameKind>(kind)) {
     case FrameKind::kSubscribe:
       if (version != kControlVersion) return false;
@@ -432,6 +512,10 @@ bool decode_control_payload(std::string_view payload, ControlFrame& out) {
         return false;
       }
       return cursor == end;
+    case FrameKind::kMetricszRequest:
+      if (version != kTopKVersion) return false;
+      out.kind = FrameKind::kMetricszRequest;
+      return cursor == end;  // request carries no body
     default:
       return false;
   }
@@ -449,10 +533,10 @@ ApplyResult MaterializedView::apply(std::string_view payload) {
     return ApplyResult::kCorrupt;
   }
   if (magic0 != kWireMagic0 || magic1 != kWireMagic1 ||
-      (version != kWireVersion && version != kVectorVersion)) {
+      (version != kWireVersion && version != kVectorVersion &&
+       version != kTopKVersion)) {
     return ApplyResult::kCorrupt;
   }
-  const bool vectors = version == kVectorVersion;
   std::uint64_t sequence = 0;
   std::uint64_t registry_version = 0;
   std::uint64_t collect_ns = 0;
@@ -464,10 +548,10 @@ ApplyResult MaterializedView::apply(std::string_view payload) {
   switch (static_cast<FrameKind>(kind)) {
     case FrameKind::kFull:
       return apply_full(cursor, end, sequence, registry_version, collect_ns,
-                        vectors);
+                        version);
     case FrameKind::kDelta:
       return apply_delta(cursor, end, sequence, registry_version, collect_ns,
-                         vectors);
+                         version);
     default:
       return ApplyResult::kCorrupt;
   }
@@ -511,13 +595,45 @@ bool read_vector_body(const char** cursor, const char* end,
   return true;
 }
 
+/// Parses a v5 top-k row list (nrows already read) into parallel
+/// label/value vectors. False on any malformed byte: a row count or
+/// label length beyond the limits or the remaining bytes, truncation,
+/// or values not descending (rows ride ranked — see wire.hpp).
+bool read_topk_rows(const char** cursor, const char* end, std::uint64_t nrows,
+                    std::vector<std::string>& labels,
+                    std::vector<std::uint64_t>& values) {
+  if (nrows > kMaxWireTopKRows) return false;
+  // Plausibility before any allocation: each row is at least a
+  // label_len byte + a value byte.
+  if (2 * nrows > static_cast<std::uint64_t>(end - *cursor)) return false;
+  labels.clear();
+  values.clear();
+  labels.reserve(static_cast<std::size_t>(nrows));
+  values.reserve(static_cast<std::size_t>(nrows));
+  for (std::uint64_t i = 0; i < nrows; ++i) {
+    std::uint64_t label_len = 0;
+    if (!read_uvarint(cursor, end, label_len) ||
+        label_len > kMaxTopKLabelBytes ||
+        label_len > static_cast<std::uint64_t>(end - *cursor)) {
+      return false;
+    }
+    labels.emplace_back(*cursor, static_cast<std::size_t>(label_len));
+    *cursor += label_len;
+    std::uint64_t value = 0;
+    if (!read_uvarint(cursor, end, value)) return false;
+    if (!values.empty() && value > values.back()) return false;  // not ranked
+    values.push_back(value);
+  }
+  return true;
+}
+
 }  // namespace
 
 ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
                                          std::uint64_t sequence,
                                          std::uint64_t registry_version,
                                          std::uint64_t collect_ns,
-                                         bool vectors) {
+                                         std::uint8_t version) {
   std::uint64_t count = 0;
   if (!read_uvarint(&cursor, end, count)) return ApplyResult::kCorrupt;
   // Each entry costs ≥ 4 payload bytes (empty name: len + model + bound
@@ -542,17 +658,30 @@ ApplyResult MaterializedView::apply_full(const char* cursor, const char* end,
     cursor += name_len;
     std::uint8_t model = 0;
     if (!read_u8(&cursor, end, model)) return ApplyResult::kCorrupt;
-    // The v1 grammar tops out at kAdditive; only a v4 frame may carry
-    // the vector model byte (old decoders already rejected the version
-    // byte, so neither revision can misread the other's entries).
+    // The v1 grammar tops out at kAdditive, v4 adds kHistogram, v5 adds
+    // kTopK; a frame may only carry model bytes its version byte admits
+    // (old decoders already rejected the version byte, so no revision
+    // can misread another's entries).
     const std::uint8_t max_model = static_cast<std::uint8_t>(
-        vectors ? shard::ErrorModel::kHistogram : shard::ErrorModel::kAdditive);
+        version >= kTopKVersion
+            ? shard::ErrorModel::kTopK
+            : (version == kVectorVersion ? shard::ErrorModel::kHistogram
+                                         : shard::ErrorModel::kAdditive));
     if (model > max_model) return ApplyResult::kCorrupt;
     sample.model = static_cast<shard::ErrorModel>(model);
     if (!read_uvarint(&cursor, end, sample.error_bound)) {
       return ApplyResult::kCorrupt;
     }
-    if (sample.model == shard::ErrorModel::kHistogram) {
+    if (sample.model == shard::ErrorModel::kTopK) {
+      std::uint64_t nrows = 0;
+      if (!read_uvarint(&cursor, end, nrows) ||
+          !read_topk_rows(&cursor, end, nrows, sample.top_labels,
+                          sample.bucket_counts)) {
+        return ApplyResult::kCorrupt;
+      }
+      sample.value =
+          sample.bucket_counts.empty() ? 0 : sample.bucket_counts.front();
+    } else if (sample.model == shard::ErrorModel::kHistogram) {
       std::uint64_t nbuckets = 0;
       if (!read_uvarint(&cursor, end, nbuckets) ||
           !read_vector_body(&cursor, end, nbuckets, sample)) {
@@ -589,7 +718,8 @@ ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
                                           std::uint64_t sequence,
                                           std::uint64_t registry_version,
                                           std::uint64_t collect_ns,
-                                          bool vectors) {
+                                          std::uint8_t version) {
+  const bool vectors = version >= kVectorVersion;
   std::uint64_t base_seq = 0;
   std::uint64_t count = 0;
   if (!read_uvarint(&cursor, end, base_seq) ||
@@ -615,17 +745,33 @@ ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
         return ApplyResult::kCorrupt;
       }
     } else {
-      // v4 entries are self-describing: nbuckets = 0 marks a scalar.
-      std::uint64_t nbuckets = 0;
-      if (!read_uvarint(&cursor, end, nbuckets)) {
+      // v4/v5 entries are self-describing: the tag in the nbuckets
+      // position marks a scalar (0), a v5 top-k row list (1 — never a
+      // legal bucket count), or a histogram's bucket count (≥ 2).
+      std::uint64_t tag = 0;
+      if (!read_uvarint(&cursor, end, tag)) {
         return ApplyResult::kCorrupt;
       }
-      if (nbuckets == 0) {
+      if (tag == 0) {
         if (!read_uvarint(&cursor, end, entry.value)) {
           return ApplyResult::kCorrupt;
         }
+      } else if (tag == 1) {
+        std::uint64_t nrows = 0;
+        if (version < kTopKVersion ||
+            !read_uvarint(&cursor, end, nrows) ||
+            !read_topk_rows(&cursor, end, nrows, entry.labels,
+                            entry.buckets)) {
+          return ApplyResult::kCorrupt;
+        }
+        // A changed top-k directory always has rows; an empty list can
+        // only be a malformed frame (and would alias a scalar's shape
+        // downstream).
+        if (entry.labels.empty()) return ApplyResult::kCorrupt;
+        entry.value = entry.buckets.front();
       } else {
-        if (nbuckets < 2 || nbuckets > kMaxWireBuckets ||
+        const std::uint64_t nbuckets = tag;
+        if (nbuckets > kMaxWireBuckets ||
             nbuckets > static_cast<std::uint64_t>(end - cursor)) {
           return ApplyResult::kCorrupt;  // ≥ 1 byte per count
         }
@@ -656,23 +802,32 @@ ApplyResult MaterializedView::apply_delta(const char* cursor, const char* end,
     ++stale_frames_skipped_;  // duplicate/older delta; view already newer
     return ApplyResult::kApplied;
   }
-  // Validate every entry against the agreed table BEFORE mutating: a
-  // scalar entry may not land on a histogram row, a vector entry must
-  // match its row's model and bucket count exactly — and a failed check
-  // must leave the view untouched.
+  // Validate every entry against the agreed table BEFORE mutating: each
+  // entry's shape (scalar / histogram counts / top-k rows) must match
+  // its row's model — a histogram entry must match its row's bucket
+  // count exactly, a top-k entry may only land on a top-k row (row
+  // counts may grow as labels are admitted) — and a failed check must
+  // leave the view untouched.
   for (const DeltaEntry& entry : delta_scratch_) {
     if (entry.index >= samples_.size()) return ApplyResult::kCorrupt;
     const shard::Sample& target = samples_[entry.index];
-    const bool row_is_vector = target.model == shard::ErrorModel::kHistogram;
-    if (entry.buckets.empty() ? row_is_vector
-                              : (!row_is_vector ||
-                                 entry.buckets.size() !=
-                                     target.bucket_counts.size())) {
+    if (!entry.labels.empty()) {
+      if (target.model != shard::ErrorModel::kTopK) {
+        return ApplyResult::kCorrupt;
+      }
+    } else if (!entry.buckets.empty()) {
+      if (target.model != shard::ErrorModel::kHistogram ||
+          entry.buckets.size() != target.bucket_counts.size()) {
+        return ApplyResult::kCorrupt;
+      }
+    } else if (target.model == shard::ErrorModel::kHistogram ||
+               target.model == shard::ErrorModel::kTopK) {
       return ApplyResult::kCorrupt;
     }
   }
   for (const DeltaEntry& entry : delta_scratch_) {
     shard::Sample& target = samples_[entry.index];
+    if (!entry.labels.empty()) target.top_labels = entry.labels;
     if (!entry.buckets.empty()) target.bucket_counts = entry.buckets;
     target.value = entry.value;
     entry_update_seq_[entry.index] = sequence;

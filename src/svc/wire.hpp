@@ -40,6 +40,37 @@
 // the saturated count sum. nbuckets is bounded by kMaxWireBuckets and a
 // bytes-remaining plausibility check before any allocation.
 //
+// Protocol v5 adds labeled (top-k) vector entries and the metricsz
+// exposition pair. The version-stamping rule is the same ratchet as v4:
+// a data frame is stamped 5 only when a top-k entry actually rides it,
+// 4 when its vectors are all histograms, and the frozen 1 when every
+// entry is scalar — existing fleets do not move a byte. The v5 grammar:
+//
+//   full5    := full4, plus model = 4 (top-k) entries whose body is
+//                 nrows:uv { label_len:uv label value:uv }*
+//   delta5   := base_seq:uv count:uv
+//               { index:uv tag:uv
+//                 ( value:uv                                — tag = 0
+//                 | nrows:uv { label_len:uv label value:uv }* — tag = 1
+//                 | { count:uv }*tag ) }*                   — tag ≥ 2
+//
+// (tag reuses the v4 nbuckets position: 0 still marks a scalar, ≥ 2 is
+// still a histogram's bucket count — 1 is impossible as a bucket count,
+// so v5 claims it for top-k rows.) Rows ride ranked: value-descending,
+// exactly as the registry collects them; decoders reject a non-sorted
+// row list along with over-limit row counts (kMaxWireTopKRows) and
+// label lengths (kMaxTopKLabelBytes). A top-k entry's scalar value is
+// its top row's value (0 when empty) — derived, never shipped.
+//
+// metricsz (v5) is the self-observability exposition pair: a client
+// sends a bodyless METRICSZ_REQUEST control record; the server answers
+// on the DATA channel with one METRICSZ frame whose body is plain
+// exposition text (solicited only, like SHM_OFFER, so a client that
+// never asks never sees the unknown kind):
+//
+//   metricsz_req := (empty)                               (kind 7, c→s)
+//   metricsz     := text bytes (rest of payload)          (kind 8, s→c)
+//
 // Protocol v2 adds a client→server control channel on the same socket.
 // Inbound records are type-byte discriminated (an 0xAC ack record is
 // unchanged from v1; v1 clients never send anything else, which is the
@@ -129,6 +160,9 @@ inline constexpr unsigned char kWireMagic1 = 0xC7;
 inline constexpr std::uint8_t kWireVersion = 1;
 /// Layout version of DATA frames carrying ≥ 1 vector (histogram) entry.
 inline constexpr std::uint8_t kVectorVersion = 4;
+/// Layout version of DATA frames carrying ≥ 1 labeled (top-k) entry,
+/// and of the metricsz exposition records (the v5 additions).
+inline constexpr std::uint8_t kTopKVersion = 5;
 /// Layout version of the CONTROL frames (SUBSCRIBE/RESYNC) — the v2
 /// additions.
 inline constexpr std::uint8_t kControlVersion = 2;
@@ -144,21 +178,27 @@ enum class FrameKind : std::uint8_t {
   kShmRequest = 4,  // client→server: offer me your shm ring (v3)
   kShmOffer = 5,    // server→client data channel: ring coordinates (v3)
   kShmAccept = 6,   // client→server: ring mapped, stop TCP data (v3)
+  kMetricszRequest = 7,  // client→server: send one metricsz text (v5)
+  kMetricsz = 8,         // server→client data channel: exposition (v5)
 };
 
 /// One changed entry in a delta frame: flat-table index + new value.
 /// A vector (histogram) entry carries its full bucket-count vector in
 /// `buckets` and ignores `value` (the wire never ships it; decoders
-/// derive the sum); a scalar entry leaves `buckets` empty.
+/// derive the sum); a scalar entry leaves `buckets` empty. A labeled
+/// (top-k) entry carries its ranked row labels in `labels` with the
+/// matching row values in `buckets` (value = the top row's, derived).
 struct DeltaEntry {
   DeltaEntry() = default;
   DeltaEntry(std::uint64_t index_arg, std::uint64_t value_arg,
-             std::vector<std::uint64_t> buckets_arg = {})
-      : index(index_arg), value(value_arg),
-        buckets(std::move(buckets_arg)) {}
+             std::vector<std::uint64_t> buckets_arg = {},
+             std::vector<std::string> labels_arg = {})
+      : index(index_arg), value(value_arg), buckets(std::move(buckets_arg)),
+        labels(std::move(labels_arg)) {}
   std::uint64_t index = 0;
   std::uint64_t value = 0;
   std::vector<std::uint64_t> buckets;
+  std::vector<std::string> labels;  // top-k rows only
 };
 
 /// Bytes the stream framing adds in front of every payload (u32le
@@ -186,6 +226,12 @@ inline constexpr std::size_t kMaxWireBuckets = 512;
 /// Longest shm segment name an SHM_OFFER may carry (ours are ~40
 /// bytes; POSIX portable shm names are NAME_MAX-ish).
 inline constexpr std::size_t kMaxShmNameBytes = 128;
+/// Largest row count a v5 top-k entry may claim. Must cover every
+/// directory the stats layer publishes (stats::kMaxTopKRows equals it;
+/// stats.cpp static_asserts the two stay in lockstep).
+inline constexpr std::size_t kMaxWireTopKRows = 64;
+/// Longest label a v5 top-k row may carry.
+inline constexpr std::size_t kMaxTopKLabelBytes = 128;
 
 /// A subscription filter: which counters a subscriber wants. A name
 /// matches if it equals one of `exact` or starts with one of
@@ -265,6 +311,26 @@ struct ControlFrame {
 /// garbage. `out` is unspecified on failure.
 bool decode_control_payload(std::string_view payload, ControlFrame& out);
 
+// --- v5 metricsz exposition -------------------------------------------
+
+/// Encodes a send-ready METRICSZ_REQUEST control record into `out`.
+void encode_metricsz_request_record(std::string& out);
+
+/// Encodes exposition `text` as a stream-ready METRICSZ data-channel
+/// frame (u32le prefix + v5 header + text bytes). The header stamps the
+/// frame's source snapshot: sequence/registry_version/collect_ns of the
+/// tick the text was rendered from.
+void encode_metricsz_frame(std::uint64_t sequence,
+                           std::uint64_t registry_version,
+                           std::uint64_t collect_ns, std::string_view text,
+                           std::string& out);
+
+/// Strictly decodes a data-channel payload as a METRICSZ frame. False
+/// when the payload is not one — the caller then hands it to
+/// MaterializedView::apply as usual (same try-before-apply discipline as
+/// decode_shm_offer: the view rejects the unknown kind as corrupt).
+bool decode_metricsz(std::string_view payload, std::string& text);
+
 /// Steady-clock "now" in nanoseconds — the clock collect_ns stamps use
 /// (comparable across threads/processes on ONE host; see header).
 std::uint64_t steady_now_ns();
@@ -317,9 +383,9 @@ inline void encode_full_frame_filtered(
 /// index + value, any order) relative to `base_seq`: a view at sequence
 /// `base_seq` (or newer, same registry_version) becomes sequence
 /// `sequence` after applying it. An empty `entries` is valid — the
-/// unchanged-fleet heartbeat. The frame is stamped version 4 iff some
-/// entry carries buckets; otherwise the bytes are exactly the frozen v1
-/// layout.
+/// unchanged-fleet heartbeat. The frame is stamped version 5 iff some
+/// entry carries labels (top-k rows), else 4 iff some entry carries
+/// buckets; otherwise the bytes are exactly the frozen v1 layout.
 void encode_delta_frame(std::uint64_t sequence, std::uint64_t registry_version,
                         std::uint64_t collect_ns, std::uint64_t base_seq,
                         const std::vector<DeltaEntry>& entries,
@@ -430,11 +496,11 @@ class MaterializedView {
   ApplyResult apply_full(const char* cursor, const char* end,
                          std::uint64_t sequence,
                          std::uint64_t registry_version,
-                         std::uint64_t collect_ns, bool vectors);
+                         std::uint64_t collect_ns, std::uint8_t version);
   ApplyResult apply_delta(const char* cursor, const char* end,
                           std::uint64_t sequence,
                           std::uint64_t registry_version,
-                          std::uint64_t collect_ns, bool vectors);
+                          std::uint64_t collect_ns, std::uint8_t version);
 
   std::vector<shard::Sample> samples_;
   std::vector<std::uint64_t> entry_update_seq_;

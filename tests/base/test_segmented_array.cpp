@@ -50,6 +50,34 @@ TEST(SegmentedArray, AllocatesLazily) {
   EXPECT_EQ(arr.allocated_segments(), 2u);
 }
 
+TEST(SegmentedArray, CrossChunkIndexingAndIsolation) {
+  // 4096 segments of 8 split across directory chunks; indices landing in
+  // far-apart chunks must resolve independently and keep their values.
+  SegmentedArray<std::uint64_t, 8, 4096> arr;
+  const std::size_t far = 8 * 4095 + 7;  // last element of last segment
+  arr.at(0) = 11;
+  arr.at(far) = 22;
+  arr.at(8 * 2048) = 33;  // first element of a middle chunk
+  EXPECT_EQ(arr.at(0), 11u);
+  EXPECT_EQ(arr.at(far), 22u);
+  EXPECT_EQ(arr.at(8 * 2048), 33u);
+  EXPECT_EQ(arr.allocated_segments(), 3u);
+  EXPECT_EQ(arr.at(8), 0u);  // untouched neighbours stay zero
+}
+
+TEST(SegmentedArray, DefaultCapacityConstructionIsLight) {
+  // A counter fleet embeds thousands of these; an untouched array must
+  // cost only its root allocation (kilobytes), not a flat directory of
+  // 2^20 slots. 512 default-capacity arrays construct, serve one touch
+  // each and destruct without breaking a sweat.
+  for (int round = 0; round < 512; ++round) {
+    SegmentedArray<std::uint64_t> arr;
+    EXPECT_EQ(arr.allocated_segments(), 0u);
+    arr.at(static_cast<std::size_t>(round)) = 1;
+    EXPECT_EQ(arr.allocated_segments(), 1u);
+  }
+}
+
 TEST(SegmentedArray, HoldsNonMovableBaseObjects) {
   SegmentedArray<TasBit, 32, 64> switches;
   EXPECT_FALSE(switches.at(40).read());

@@ -1,0 +1,152 @@
+// TraceRing tests: capacity rounding, wraparound/overwrite semantics,
+// snapshot ordering, uncertified-slot skipping, and the multi-writer
+// record path under real concurrency (the TSan CI job runs this suite
+// — the ring's seqlock discipline must hold under the race detector).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_ring.hpp"
+
+namespace approx::obs {
+namespace {
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwoWithFloor) {
+  EXPECT_EQ(TraceRing(0).capacity(), 8u);
+  EXPECT_EQ(TraceRing(1).capacity(), 8u);
+  EXPECT_EQ(TraceRing(8).capacity(), 8u);
+  EXPECT_EQ(TraceRing(9).capacity(), 16u);
+  EXPECT_EQ(TraceRing(1000).capacity(), 1024u);
+  EXPECT_EQ(TraceRing(1024).capacity(), 1024u);
+}
+
+TEST(TraceRing, RecordsAndSnapshotsInOrder) {
+  TraceRing ring(16);
+  ring.record(TraceKind::kClientConnect, 7);
+  ring.record(TraceKind::kSubscribe, 7, 2);
+  ring.record(TraceKind::kClientDisconnect, 7);
+  EXPECT_EQ(ring.recorded(), 3u);
+
+  std::vector<TraceEvent> events;
+  EXPECT_EQ(ring.snapshot(events), 3u);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceKind::kClientConnect);
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[1].kind, TraceKind::kSubscribe);
+  EXPECT_EQ(events[1].b, 2u);
+  EXPECT_EQ(events[2].kind, TraceKind::kClientDisconnect);
+  // Stamps are monotone within one recording thread.
+  EXPECT_LE(events[0].ns, events[1].ns);
+  EXPECT_LE(events[1].ns, events[2].ns);
+  // Snapshot appends (it must compose with a caller's accumulator).
+  EXPECT_EQ(ring.snapshot(events), 3u);
+  EXPECT_EQ(events.size(), 6u);
+}
+
+TEST(TraceRing, WraparoundKeepsExactlyTheNewestCapacityEvents) {
+  TraceRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.record(TraceKind::kBackoff, i);
+  }
+  EXPECT_EQ(ring.recorded(), 100u);
+  std::vector<TraceEvent> events;
+  EXPECT_EQ(ring.snapshot(events), 8u);
+  ASSERT_EQ(events.size(), 8u);
+  // The newest 8, oldest first: a = 92..99.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 92 + i) << i;
+    EXPECT_EQ(events[i].kind, TraceKind::kBackoff) << i;
+  }
+}
+
+TEST(TraceRing, EmptyAndPartialRings) {
+  TraceRing ring(8);
+  std::vector<TraceEvent> events;
+  EXPECT_EQ(ring.snapshot(events), 0u);
+  EXPECT_TRUE(events.empty());
+  ring.record(TraceKind::kResync, 3);
+  EXPECT_EQ(ring.snapshot(events), 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kResync);
+}
+
+TEST(TraceRing, ConcurrentMultiWriterDrainLosesNothingUncertified) {
+  // W writers hammer the ring while a reader drains continuously; every
+  // drained event must be one some writer actually recorded (kind/a/b
+  // consistent), and after the dust settles a final snapshot holds the
+  // newest `capacity` tickets' worth of certified events. TSan verifies
+  // the seqlock recipe; this test verifies the values.
+  constexpr unsigned kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  TraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::thread reader([&] {
+    std::vector<TraceEvent> events;
+    while (!stop.load(std::memory_order_acquire)) {
+      events.clear();
+      ring.snapshot(events);
+      for (const TraceEvent& event : events) {
+        // Writers encode (writer, i) as a = writer * 2^32 + i, b = i —
+        // but a lap-collision slot may interleave two real events'
+        // atomic fields (documented best-effort contract), so only the
+        // per-field domains are checkable: kind is always kBackoff and
+        // each field matches SOME recorded event.
+        if (event.kind != TraceKind::kBackoff ||
+            (event.a >> 32) >= kWriters || (event.a & 0xFFFFFFFFu) >= kPerWriter ||
+            event.b >= kPerWriter) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ring.record(TraceKind::kBackoff, (std::uint64_t{w} << 32) | i, i);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(ring.recorded(), kWriters * kPerWriter);
+  // Quiescent: every slot is certified now, so the full capacity drains.
+  std::vector<TraceEvent> events;
+  EXPECT_EQ(ring.snapshot(events), ring.capacity());
+}
+
+TEST(TraceRing, PrintTraceFormatsAgesAndKinds) {
+  std::vector<TraceEvent> events;
+  TraceEvent lost;
+  lost.ns = 1'000'000;
+  lost.kind = TraceKind::kSessionLost;
+  lost.a = 1;
+  events.push_back(lost);
+  TraceEvent established;
+  established.ns = 4'000'000;
+  established.kind = TraceKind::kSessionEstablished;
+  established.a = 2;
+  events.push_back(established);
+
+  std::ostringstream os;
+  print_trace(events, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("[-3000us] session_lost a=1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[-0us] session_established a=2"), std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace approx::obs

@@ -2,8 +2,11 @@
 // batching aggregator (src/shard/aggregator.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -300,6 +303,189 @@ TEST(Registry, FilteredChangedSinceWalkReportsSubsetPositions) {
                            std::uint64_t, std::uint64_t,
                            const std::vector<std::uint64_t>*) { FAIL(); })
                    .has_value());
+}
+
+// Minimal in-test instruments for the vector-entry registry contracts
+// (the real implementations live in src/stats; the registry only sees
+// the erased interfaces, so fakes keep the layering test-local).
+class FakeHistogram final : public AnyHistogram {
+ public:
+  void record(unsigned, std::uint64_t value) override {
+    counts_[value < 10 ? 0 : 1] += 1;
+  }
+  void snapshot_into(unsigned, std::vector<std::uint64_t>& counts) override {
+    counts.assign(counts_.begin(), counts_.end());
+  }
+  void flush(unsigned) override {}
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_bounds()
+      const override {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t per_bucket_bound() const override { return 0; }
+
+ private:
+  std::vector<std::uint64_t> bounds_ = {10};  // two buckets: ≤10, rest
+  std::array<std::uint64_t, 2> counts_ = {0, 0};
+};
+
+class FakeTopK final : public AnyTopK {
+ public:
+  bool update(unsigned, std::string_view label, std::uint64_t value) override {
+    auto [it, inserted] = rows_.try_emplace(std::string(label), value);
+    if (!inserted && it->second < value) it->second = value;
+    return true;
+  }
+  void snapshot_into(std::vector<std::string>& labels,
+                     std::vector<std::uint64_t>& values) override {
+    labels.clear();
+    values.clear();
+    std::vector<std::pair<std::uint64_t, std::string>> ranked;
+    for (const auto& [label, value] : rows_) ranked.emplace_back(value, label);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+    for (const auto& [value, label] : ranked) {
+      labels.push_back(label);
+      values.push_back(value);
+    }
+  }
+  [[nodiscard]] std::size_t capacity() const override { return 16; }
+
+ private:
+  std::map<std::string, std::uint64_t> rows_;
+};
+
+TEST(Registry, ReservedPrefixRejectedByPublicEntryPoints) {
+  // "__sys/" is the server's namespace: every public get-or-create must
+  // refuse it (nullptr, factory never invoked) so an application cannot
+  // squat on — or collide with — the self-observability instruments.
+  Registry registry(2);
+  EXPECT_TRUE(is_reserved_name("__sys/server.ticks"));
+  EXPECT_TRUE(is_reserved_name(std::string(kReservedPrefix)));
+  EXPECT_FALSE(is_reserved_name("app/requests"));
+  EXPECT_FALSE(is_reserved_name("__sysish"));
+
+  EXPECT_EQ(registry.get_or_create("__sys/server.ticks",
+                                   {ErrorModel::kAdditive, 4, 1}),
+            nullptr);
+  bool invoked = false;
+  EXPECT_EQ(registry.add_histogram("__sys/h",
+                                   [&] {
+                                     invoked = true;
+                                     return std::make_unique<FakeHistogram>();
+                                   }),
+            nullptr);
+  EXPECT_EQ(registry.add_topk("__sys/t",
+                              [&] {
+                                invoked = true;
+                                return std::make_unique<FakeTopK>();
+                              }),
+            nullptr);
+  EXPECT_FALSE(invoked);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.lookup("__sys/server.ticks"), nullptr);
+}
+
+TEST(Registry, ReservedAddersRequireTheReservedPrefix) {
+  // The privileged adders are the mirror image: they accept ONLY
+  // reserved names (a non-reserved name through the privileged path
+  // would bypass the public kind-collision story) and their entries
+  // collect like any other.
+  Registry registry(2);
+  AnyCounter* gauge = registry.add_counter_reserved(
+      "__sys/server.ticks",
+      [] {
+        return std::make_unique<detail::ErasedSharded<
+            core::KAdditiveCounterT, base::InstrumentedBackend>>(
+            2u, std::uint64_t{4}, 1u, ShardPolicy::kHashPinned);
+      });
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(registry.add_counter_reserved("app/requests", [] {
+    return std::unique_ptr<AnyCounter>();
+  }),
+            nullptr);
+  EXPECT_EQ(registry.add_histogram_reserved("app/h", [] {
+    return std::make_unique<FakeHistogram>();
+  }),
+            nullptr);
+  EXPECT_EQ(registry.add_topk_reserved("app/t", [] {
+    return std::make_unique<FakeTopK>();
+  }),
+            nullptr);
+
+  // Reserved entries are first-class: looked up, collected, sampled.
+  EXPECT_EQ(registry.lookup("__sys/server.ticks"), gauge);
+  for (int i = 0; i < 8; ++i) gauge->increment(0);
+  gauge->flush(0);
+  const auto samples = registry.snapshot_all(1);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "__sys/server.ticks");
+  EXPECT_EQ(samples[0].value, 8u);
+}
+
+TEST(Registry, TopKEntriesCollectRankedRowsAndDeltas) {
+  // A top-k directory is a registry entry kind: snapshot passes carry
+  // its ranked rows (labels + values, value the top row's), and the
+  // sequenced change tracking hands deltas the row vectors.
+  Registry registry(2);
+  AnyTopK* talkers =
+      registry.add_topk("top_talkers", [] { return std::make_unique<FakeTopK>(); });
+  ASSERT_NE(talkers, nullptr);
+  // Idempotent: second add returns the same instrument, factory unused.
+  EXPECT_EQ(registry.add_topk("top_talkers",
+                              []() -> std::unique_ptr<AnyTopK> {
+                                ADD_FAILURE() << "factory re-invoked";
+                                return nullptr;
+                              }),
+            talkers);
+
+  talkers->update(0, "10.0.0.1:1", 500);
+  talkers->update(0, "10.0.0.2:2", 900);
+  talkers->update(0, "10.0.0.3:3", 40);
+
+  std::vector<Sample> frame;
+  std::uint64_t version = registry.snapshot_all_into_sequenced(0, frame, 0, 1);
+  ASSERT_EQ(frame.size(), 1u);
+  EXPECT_EQ(frame[0].model, ErrorModel::kTopK);
+  EXPECT_EQ(frame[0].error_bound, 0u);  // max-register rows are exact
+  EXPECT_EQ(frame[0].value, 900u);      // the top row
+  ASSERT_EQ(frame[0].top_labels.size(), 3u);
+  EXPECT_EQ(frame[0].top_labels[0], "10.0.0.2:2");
+  ASSERT_EQ(frame[0].bucket_counts.size(), 3u);
+  EXPECT_EQ(frame[0].bucket_counts[0], 900u);
+  EXPECT_EQ(frame[0].bucket_counts[2], 40u);
+  EXPECT_TRUE(frame[0].bucket_bounds.empty());
+
+  // A value bump re-ranks; the changed-since walk reports the fresh row
+  // vectors (counts = row values, labels = row labels).
+  talkers->update(1, "10.0.0.3:3", 5000);
+  version = registry.snapshot_all_into_sequenced(0, frame, version, 2);
+  std::size_t visits = 0;
+  auto upto = registry.for_each_changed_since(
+      1, version,
+      [&](std::size_t index, const std::string& name, std::uint64_t value,
+          std::uint64_t changed_seq, const std::vector<std::uint64_t>* counts,
+          const std::vector<std::string>* labels) {
+        ++visits;
+        EXPECT_EQ(index, 0u);
+        EXPECT_EQ(name, "top_talkers");
+        EXPECT_EQ(value, 5000u);
+        EXPECT_EQ(changed_seq, 2u);
+        ASSERT_NE(counts, nullptr);
+        ASSERT_NE(labels, nullptr);
+        ASSERT_FALSE(labels->empty());
+        EXPECT_EQ((*labels)[0], "10.0.0.3:3");
+        EXPECT_EQ((*counts)[0], 5000u);
+      });
+  ASSERT_TRUE(upto.has_value());
+  EXPECT_EQ(visits, 1u);
+
+  // Kind collision: the name cannot be re-taken by another entry kind.
+  EXPECT_EQ(registry.get_or_create("top_talkers", {ErrorModel::kExact, 0, 1}),
+            nullptr);
+  EXPECT_EQ(registry.add_histogram(
+                "top_talkers", [] { return std::make_unique<FakeHistogram>(); }),
+            nullptr);
 }
 
 TEST(Aggregator, SequencedCollectFeedsChangedSinceTracking) {

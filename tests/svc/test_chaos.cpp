@@ -21,11 +21,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <sstream>
 #include <string_view>
 #include <vector>
 
 #include "base/backend.hpp"
 #include "fault_proxy.hpp"
+#include "obs/trace_ring.hpp"
 #include "shard/registry.hpp"
 #include "svc/client.hpp"
 #include "svc/resilient_client.hpp"
@@ -127,6 +129,98 @@ TEST(Chaos, ServerKillRestartMidStreamConverges) {
   EXPECT_GE(stats.sessions_established, 2u);
   EXPECT_GE(stats.disconnects, 1u);
   server_b.stop();
+}
+
+/// The ring's events rendered for a failing assertion's message (the
+/// post-mortem the trace ring exists for: what the ladder actually did).
+std::string trace_dump(const std::vector<obs::TraceEvent>& events) {
+  std::ostringstream os;
+  os << "\ntrace ring (" << events.size() << " events):\n";
+  obs::print_trace(events, os);
+  return os.str();
+}
+
+TEST(Chaos, TraceRingRecordsTheResilienceLadder) {
+  // A supervisor wired to a TraceRing, run through a kill/restart cycle:
+  // the drained ring must tell the story in order — session established,
+  // session lost, at least one backoff, session re-established. This is
+  // the observability contract the chaos jobs rely on: when a ladder
+  // test fails in CI, the ring IS the diagnostic.
+  shard::RegistryT<base::DirectBackend> registry(2);
+  shard::AnyCounter& c = registry.create("c", {ErrorModel::kExact, 0, 1});
+  c.increment(0);
+  ServerOptions options;
+  options.period = 5ms;
+  options.shm_enable = false;
+  auto server = std::make_unique<SnapshotServer>(registry, 1, options);
+  ASSERT_TRUE(server->start());
+  const std::uint16_t port = server->port();
+
+  obs::TraceRing ring(128);
+  ResilientClientOptions rc_options;
+  rc_options.port = port;
+  rc_options.backoff_initial = 1ms;
+  rc_options.backoff_cap = 20ms;
+  rc_options.silence_deadline = 0ms;
+  rc_options.trace = &ring;
+  ResilientClient rc(rc_options);
+  ASSERT_TRUE(rc.poll_frame(kFrameTimeout));
+  ASSERT_EQ(rc.stats().sessions_established, 1u);
+
+  // Kill the server; poll through the outage so the supervisor walks
+  // lost → backoff, then restart on the same port and let it re-land.
+  server.reset();
+  for (int i = 0; i < 50 && rc.stats().disconnects == 0; ++i) {
+    rc.poll_frame(20ms);
+  }
+  SnapshotServer revived(registry, 1, [&] {
+    ServerOptions o = options;
+    o.port = port;
+    return o;
+  }());
+  ASSERT_TRUE(revived.start());
+  for (int i = 0; i < 500 && rc.stats().sessions_established < 2; ++i) {
+    rc.poll_frame(50ms);
+  }
+  ASSERT_GE(rc.stats().sessions_established, 2u);
+
+  std::vector<obs::TraceEvent> events;
+  ring.snapshot(events);
+  ASSERT_FALSE(events.empty());
+
+  // Indices of the ladder's milestones, in ring (oldest-first) order.
+  auto index_of = [&](obs::TraceKind kind, std::size_t from) {
+    for (std::size_t i = from; i < events.size(); ++i) {
+      if (events[i].kind == kind) return static_cast<std::ptrdiff_t>(i);
+    }
+    return std::ptrdiff_t{-1};
+  };
+  const std::ptrdiff_t established =
+      index_of(obs::TraceKind::kSessionEstablished, 0);
+  ASSERT_GE(established, 0) << trace_dump(events);
+  const std::ptrdiff_t lost = index_of(
+      obs::TraceKind::kSessionLost, static_cast<std::size_t>(established));
+  ASSERT_GT(lost, established) << trace_dump(events);
+  const std::ptrdiff_t backoff =
+      index_of(obs::TraceKind::kBackoff, static_cast<std::size_t>(lost));
+  ASSERT_GT(backoff, lost) << trace_dump(events);
+  const std::ptrdiff_t reestablished = index_of(
+      obs::TraceKind::kSessionEstablished, static_cast<std::size_t>(backoff));
+  ASSERT_GT(reestablished, backoff) << trace_dump(events);
+
+  // The milestone payloads: session ordinals count up, backoff carries
+  // a bounded delay (attempt ≥ 1, delay ≤ the configured cap).
+  EXPECT_EQ(events[static_cast<std::size_t>(established)].a, 1u)
+      << trace_dump(events);
+  EXPECT_EQ(events[static_cast<std::size_t>(reestablished)].a, 2u)
+      << trace_dump(events);
+  EXPECT_GE(events[static_cast<std::size_t>(backoff)].a, 1u)
+      << trace_dump(events);
+  EXPECT_LE(events[static_cast<std::size_t>(backoff)].b, 20u)
+      << trace_dump(events);
+
+  rc.close();
+  revived.stop();
 }
 
 TEST(Chaos, EveryFrameDeliveredInOneByteWrites) {

@@ -262,7 +262,7 @@ TEST(WireStats, VersionSkewRejectedCleanly) {
   std::string wire;
   encode_full_frame(frame, 0, wire);
   std::string future(payload_of(wire));
-  future[2] = 5;
+  future[2] = 6;  // one past kTopKVersion, the newest known revision
   EXPECT_EQ(view.apply(future), ApplyResult::kCorrupt);
 
   // And a v4 delta against a fresh view is kNeedFull, exactly like v1.
