@@ -18,30 +18,33 @@
 // standard realization of a large atomic register. Superseded records are
 // retired to a lock-free list.
 //
-// RECLAMATION (PR 1 follow-up; the list used to grow unboundedly and was
-// only freed on destruction). Retired records are reclaimed with a
-// minimal epoch-style scheme so long benches (E15) can run at higher n:
+// RECLAMATION (PR 1 introduced a soft cap; PR 10 hardened it). Retired
+// records reclaim through per-reader epochs (base/epoch.hpp):
 //
-//   * scans register in a process-wide in-flight counter for their whole
-//     duration (collect loads through result assembly);
-//   * once the retired list exceeds `retire_cap`, an updater captures
-//     the entire list (atomic exchange) and then samples the in-flight
-//     counter. Records are unlinked from their slot *before* they are
-//     retired, so any scan able to reach a captured record must have
-//     registered before the capture; observing zero in-flight scans
-//     after the capture therefore proves no reader holds a captured
-//     pointer (seq_cst total order), and the batch is freed. Otherwise
-//     the batch is pushed back and the attempt re-armed after cap/4
-//     further retirements.
+//   * every scan holds an epoch Guard for its whole duration (collect
+//     loads through result assembly) — it pins the global epoch it
+//     started in;
+//   * update() unlinks the superseded record from its slot *before*
+//     retiring it, then stamps it with the domain's fenced epoch read;
+//   * once the retired list exceeds `retire_cap`, an updater advances
+//     the epoch if every pinned reader has caught up, captures the list
+//     (atomic exchange), and frees exactly the records whose stamp the
+//     reclaim horizon has passed by the grace margin — a reader that
+//     could still hold such a pointer would be pinning an older epoch
+//     and would have held the horizon back. The remainder is pushed
+//     back and the probe re-armed after cap/4 further retirements.
 //
-// The cap is a *soft* bound: reclamation only succeeds at a moment with
-// no scan in flight, so continuously overlapping scans can grow the list
-// past the cap (it is still freed on destruction). Workloads made of
-// discrete operations — every bench and test here — quiesce constantly,
-// keeping the list near the cap; retired_records_unrecorded() exposes
-// the length for tests. The in-flight counter and capture machinery are
-// memory management, not model primitives: like helped_scans_ they are
-// never charged as steps.
+// The cap is now a HARD bound under per-reader progress: reclamation
+// never needs a moment with zero scans in flight, only that each
+// individual scan eventually finishes (which wait-freedom guarantees).
+// Continuously overlapping scans therefore keep the list within a small
+// constant factor of the cap — the backlog between probes is at most
+// the records retired while the horizon crosses the grace margin,
+// O(retire_cap) — where the old in-flight-counter scheme could be
+// starved indefinitely. retired_records_unrecorded() exposes the length
+// for tests. The epoch domain and capture machinery are memory
+// management, not model primitives: like helped_scans_ they are never
+// charged as steps.
 //
 // Memory-order audit (RelaxedDirectBackend). The record-pointer slots
 // are the snapshot's only model primitives, and they are a textbook
@@ -52,12 +55,12 @@
 // borrows the embedded view from) synchronizes with its writer and sees
 // the record's contents. The writer's read of its *own* slot (to chain
 // seq) requests kLoadRelaxed: the slot is single-writer, so per-location
-// coherence already returns its last store. Everything in the
-// retirement/reclamation machinery keeps explicit seq_cst: the
-// "zero in-flight scans after the capture" proof relies on the single
-// total order of the scans_active_ and retired_ operations, and the
-// scanner's seq_cst registration RMW is what orders its subsequent slot
-// loads after the reclaimer's check on the multi-copy-atomic targets.
+// coherence already returns its last store. The retirement/reclamation
+// machinery keeps explicit seq_cst inside the epoch domain (pin /
+// advance / horizon are a total-order argument; see base/epoch.hpp,
+// whose stamp() fence also orders the release-order slot swing before
+// the stamp in that total order); the retired-list push and the
+// counters here stay release/relaxed exactly as before.
 #pragma once
 
 #include <atomic>
@@ -67,6 +70,7 @@
 #include <vector>
 
 #include "base/backend.hpp"
+#include "base/epoch.hpp"
 #include "base/object_id.hpp"
 #include "base/step_recorder.hpp"
 
@@ -79,7 +83,8 @@ class SnapshotT {
  public:
   using backend_type = Backend;
 
-  /// Default soft bound on the retired-record list (see header).
+  /// Default bound on the retired-record list — hard up to a small
+  /// constant factor under per-reader progress (see header).
   static constexpr std::size_t kDefaultRetireCap = 1024;
 
   explicit SnapshotT(unsigned num_processes,
@@ -108,8 +113,8 @@ class SnapshotT {
   }
 
   /// Current length of the retired-record list (diagnostic; racy under
-  /// concurrency, exact at quiescence). Stays near retire_cap in
-  /// workloads that quiesce between operations.
+  /// concurrency, exact at quiescence). Stays within a small constant
+  /// factor of retire_cap whenever every scan eventually finishes.
   [[nodiscard]] std::size_t retired_records_unrecorded() const noexcept {
     return retired_count_.load(std::memory_order_relaxed);
   }
@@ -129,6 +134,7 @@ class SnapshotT {
     std::uint64_t seq = 0;                 // per-writer update count
     std::vector<std::uint64_t> view;       // embedded scan (empty for seq 0)
     Record* retired_next = nullptr;        // retirement list linkage
+    std::uint64_t retire_epoch = 0;        // domain stamp at retirement
   };
 
   struct Slot {
@@ -147,9 +153,11 @@ class SnapshotT {
   std::vector<Slot> slots_;
   std::unique_ptr<Record[]> initial_;       // seq-0 records, one per slot
   std::size_t retire_cap_;
+  // Reader pins for scans; sized past the process count so extra helper
+  // threads never hit the overflow fallback in practice.
+  mutable base::EpochDomainT<Backend> epochs_;
   mutable std::atomic<Record*> retired_{nullptr};
   mutable std::atomic<std::size_t> retired_count_{0};
-  mutable std::atomic<std::uint64_t> scans_active_{0};
   mutable std::atomic<bool> reclaim_busy_{false};
   mutable std::atomic<std::size_t> next_reclaim_at_{0};
   mutable std::atomic<std::uint64_t> reclaimed_count_{0};   // diagnostic
@@ -168,6 +176,7 @@ SnapshotT<Backend>::SnapshotT(unsigned num_processes, std::size_t retire_cap)
     : slots_(num_processes),
       initial_(new Record[num_processes]),
       retire_cap_(retire_cap),
+      epochs_(num_processes + 16),
       next_reclaim_at_(retire_cap) {
   assert(num_processes >= 1);
   for (unsigned i = 0; i < num_processes; ++i) {
@@ -192,6 +201,10 @@ SnapshotT<Backend>::~SnapshotT() {
 template <typename Backend>
 void SnapshotT<Backend>::retire(Record* record) const {
   if (record == nullptr || record->seq == 0) return;  // initial records
+  // The record left its slot in update() before we got here; the
+  // fenced stamp therefore follows the unlink in the domain's total
+  // order, which is what makes the horizon test below sound.
+  record->retire_epoch = epochs_.stamp();
   // Count BEFORE publishing: a capture that races between the push and
   // a post-push increment would subtract a record the counter never
   // saw, wrapping retired_count_ to ~2^64 and disarming reclamation
@@ -216,40 +229,60 @@ void SnapshotT<Backend>::maybe_reclaim() const {
   // One reclaimer at a time; losers simply skip (they will retire more
   // records and retry at the threshold).
   if (reclaim_busy_.exchange(true, std::memory_order_acquire)) return;
+  // Move the epoch along whenever every pinned scan has caught up —
+  // this is the step that keeps the horizon advancing under
+  // continuously overlapping (but individually finite) scans. Up to
+  // kGracePeriods advances per probe: a quiescent (or fully caught-up)
+  // moment then frees even just-stamped records in ONE probe, which is
+  // what keeps the sequential-updater cap exact; a lagging scan stops
+  // the walk at its pin.
+  for (unsigned i = 0;
+       i < base::EpochDomainT<Backend>::kGracePeriods && epochs_.try_advance();
+       ++i) {
+  }
   Record* batch = retired_.exchange(nullptr, std::memory_order_seq_cst);
   if (batch == nullptr) {
     reclaim_busy_.store(false, std::memory_order_release);
     return;
   }
-  std::size_t batch_length = 1;
-  Record* tail = batch;
-  while (tail->retired_next != nullptr) {
-    tail = tail->retired_next;
-    ++batch_length;
-  }
-  // Every captured record was unlinked from its slot before the capture,
-  // so only a scan registered before the capture can hold a pointer into
-  // the batch; observing zero in-flight scans now (seq_cst) proves all
-  // such scans have finished.
-  if (scans_active_.load(std::memory_order_seq_cst) == 0) {
-    while (batch != nullptr) {
-      Record* next = batch->retired_next;
+  // Free exactly the records whose stamp the horizon has passed by the
+  // grace margin: any scan still able to reach such a record would pin
+  // an older epoch and hold the horizon back (see base/epoch.hpp).
+  const std::uint64_t horizon = epochs_.reclaim_horizon();
+  Record* keep_head = nullptr;
+  Record* keep_tail = nullptr;
+  std::size_t freed = 0;
+  std::size_t kept = 0;
+  while (batch != nullptr) {
+    Record* next = batch->retired_next;
+    if (batch->retire_epoch + base::EpochDomainT<Backend>::kGracePeriods <=
+        horizon) {
       delete batch;
-      batch = next;
+      ++freed;
+    } else {
+      batch->retired_next = keep_head;
+      keep_head = batch;
+      if (keep_tail == nullptr) keep_tail = batch;
+      ++kept;
     }
-    retired_count_.fetch_sub(batch_length, std::memory_order_relaxed);
-    reclaimed_count_.fetch_add(batch_length, std::memory_order_relaxed);
-    next_reclaim_at_.store(retire_cap_, std::memory_order_relaxed);
-  } else {
-    // Readers in flight: push the whole chain back and re-arm a little
-    // above the current length so a busy period is not probed every
-    // update (the cap is soft; see header).
+    batch = next;
+  }
+  if (keep_head != nullptr) {
     Record* head = retired_.load(std::memory_order_relaxed);
     do {
-      tail->retired_next = head;
-    } while (!retired_.compare_exchange_weak(head, batch,
+      keep_tail->retired_next = head;
+    } while (!retired_.compare_exchange_weak(head, keep_head,
                                              std::memory_order_release,
                                              std::memory_order_relaxed));
+  }
+  if (freed > 0) {
+    retired_count_.fetch_sub(freed, std::memory_order_relaxed);
+    reclaimed_count_.fetch_add(freed, std::memory_order_relaxed);
+    next_reclaim_at_.store(retire_cap_, std::memory_order_relaxed);
+  } else {
+    // Nothing aged past the horizon yet: re-arm a little above the
+    // current length so each probe window advances the epoch once and
+    // the backlog stays O(retire_cap) rather than probing every update.
     next_reclaim_at_.store(
         retired_count_.load(std::memory_order_relaxed) +
             retire_cap_ / 4 + 1,
@@ -274,17 +307,10 @@ auto SnapshotT<Backend>::collect() const -> std::vector<const Record*> {
 
 template <typename Backend>
 std::vector<std::uint64_t> SnapshotT<Backend>::scan() const {
-  // Register as an in-flight reader for the whole scan: every record
-  // pointer obtained below stays safe from the reclaimer until the
-  // guard releases (not a model primitive; never charged as a step).
-  struct ScanGuard {
-    std::atomic<std::uint64_t>& active;
-    explicit ScanGuard(std::atomic<std::uint64_t>& counter)
-        : active(counter) {
-      active.fetch_add(1, std::memory_order_seq_cst);
-    }
-    ~ScanGuard() { active.fetch_sub(1, std::memory_order_seq_cst); }
-  } guard(scans_active_);
+  // Pin the current epoch for the whole scan: every record pointer
+  // obtained below stays safe from the reclaimer until the guard
+  // releases (not a model primitive; never charged as a step).
+  const typename base::EpochDomainT<Backend>::Guard guard(epochs_);
   const unsigned n = num_processes();
   std::vector<unsigned> moved(n, 0);
   std::vector<const Record*> first = collect();

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/epoch.hpp"
 #include "obs/metricsz.hpp"
 #include "obs/self_metrics.hpp"
 #include "obs/trace_ring.hpp"
@@ -96,9 +97,13 @@ class ServerCore {
     }
     if (options_.shm_slots == 0) options_.shm_slots = 1;
     if (options_.shm_slot_bytes == 0) options_.shm_slot_bytes = 4096;
+    group_table_.store(new GroupTable, std::memory_order_relaxed);
   }
 
-  ~ServerCore() { stop(); }
+  ~ServerCore() {
+    stop();
+    delete group_table_.load(std::memory_order_relaxed);
+  }
 
   bool start() {
     // lifecycle_mutex_ serializes start/stop/stats: workers_ is rebuilt
@@ -187,11 +192,15 @@ class ServerCore {
     shm_.destroy();
     shm_offer_frame_.reset();
     {
-      std::lock_guard glock(groups_mutex_);
-      groups_.clear();  // worker-held refs died with workers_
-      group_count_.store(0, std::memory_order_relaxed);
-      group_pass_seq_ = 0;
+      // Swap in a fresh empty table; post-join there are no readers, so
+      // the old table (and through it every group and its last tick)
+      // dies immediately, and the epoch backlog drains unsafely.
+      std::lock_guard wlock(groups_writer_mutex_);
+      const GroupTable* old =
+          group_table_.exchange(new GroupTable, std::memory_order_acq_rel);
+      delete old;  // worker-held group refs died with workers_
     }
+    epochs_.drain_unsafe();
   }
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
@@ -262,18 +271,50 @@ class ServerCore {
              std::uint64_t b = 0) noexcept {
     if (trace_ != nullptr) trace_->record(kind, a, b);
   }
+  /// One group's published per-tick state: an immutable record the
+  /// collector builds each pass and swings into FilterGroup::tick by
+  /// RCU pointer swap, retiring the superseded one through the epoch
+  /// domain. Workers snapshot it under an epoch guard (the shared_ptr
+  /// payloads extend every buffer past the guard) and then serve
+  /// entirely lock-free.
+  struct GroupTick {
+    std::uint64_t pass_seq = 0;     // collector pass that built it
+    std::uint64_t collect_ns = 0;   // that pass's collect stamp
+    /// The registry version the group's WIRE STREAM is labeled with
+    /// (see FilterGroup::wire_regver for the pinning rationale).
+    std::uint64_t wire_regver = 0;
+    /// The group's delta basis AFTER this pass: sequence of the last
+    /// frame shipped to the group (deltas cover (sent_seq, label]).
+    std::uint64_t sent_seq = 0;
+    // This tick's shared group delta (null: suppressed or re-based).
+    std::shared_ptr<const std::string> delta;
+    std::uint64_t delta_seq = 0;
+    std::uint64_t delta_base = 0;
+    std::uint64_t delta_regver = 0;
+    /// The pass's collected frame (one copy per tick, shared by every
+    /// group's tick) and the selection it was filtered with — the
+    /// coherent (snapshot, selection, sel_regver, wire) tuple lazy
+    /// filtered fulls encode from.
+    std::shared_ptr<const shard::TelemetryFrame> snapshot;
+    std::shared_ptr<const std::vector<std::uint64_t>> selection;
+    std::uint64_t sel_regver = 0;
+  };
+
   /// One subscription filter's server-side state: every client that
   /// SUBSCRIBEd with the same canonical filter shares one of these, and
   /// with it this tick's single delta encode and the lazily-built full.
-  /// All fields are guarded by groups_mutex_.
+  /// Ownership: `refs` is guarded by groups_writer_mutex_; the
+  /// selection/basis fields are collector-private pass scratch (workers
+  /// only ever see the immutable copies published in GroupTicks); the
+  /// full cache has its own mutex (rare re-base path only).
   struct FilterGroup {
-    std::string key;  // canonical filter key (the groups_ map key)
+    std::string key;  // canonical filter key (the table map key)
     SubscriptionFilter filter;
     std::size_t refs = 0;  // clients in the group; erased at zero
     /// Flat-table indices matching the filter, ascending — valid for
-    /// sel_regver's name table; rebuilt from a frame snapshot when the
-    /// registry version moves.
-    std::vector<std::uint64_t> selection;
+    /// sel_regver's name table; rebuilt (as a fresh immutable vector)
+    /// when the registry version moves. Collector-private.
+    std::shared_ptr<const std::vector<std::uint64_t>> selection;
     std::uint64_t sel_regver = 0;
     /// The registry version the group's WIRE STREAM is labeled with.
     /// The registry is append-only and the name table name-sorted, so a
@@ -285,19 +326,32 @@ class ServerCore {
     /// per group on every disjoint create; only a create that actually
     /// lands in the subset bumps wire_regver and re-bases everyone.
     std::uint64_t wire_regver = 0;
-    /// The group's delta basis: sequence of the last frame shipped to
-    /// the group (deltas cover (sent_seq, label]). Suppressed ticks do
-    /// not advance it, so the next delta still covers them.
+    /// The group's delta basis (see GroupTick::sent_seq). Suppressed
+    /// ticks do not advance it, so the next delta still covers them.
     std::uint64_t sent_seq = 0;
     unsigned ticks_suppressed = 0;
-    // This tick's shared group delta (null: suppressed or re-based).
-    std::shared_ptr<const std::string> delta;
-    std::uint64_t delta_seq = 0;
-    std::uint64_t delta_base = 0;
-    std::uint64_t delta_regver = 0;
-    // Lazily-encoded filtered full, cached per (group, tick).
-    std::shared_ptr<const std::string> full;
+    /// The RCU-published per-tick state. Null until the collector's
+    /// first pass over the group. Superseded ticks are retired through
+    /// the epoch domain; the last one dies with the group (a reader
+    /// holding a tick pointer always also holds the group shared_ptr
+    /// that keeps this destructor from running).
+    std::atomic<const GroupTick*> tick{nullptr};
+    // Lazily-encoded filtered full, cached per (group, pass). Its own
+    // tiny mutex: only re-basing subscribers (RESYNC, wire bump,
+    // first frame) ever take it — never the steady delta stream.
+    std::mutex full_mutex;
+    std::shared_ptr<const std::string> full;  // guarded by full_mutex
     std::uint64_t full_seq = 0;
+
+    ~FilterGroup() { delete tick.load(std::memory_order_acquire); }
+  };
+
+  /// The RCU-published group table: immutable once the writer swaps it
+  /// in (the shared_ptr values keep groups alive across table
+  /// turnover). Readers pin it with an epoch guard; superseded tables
+  /// retire through the epoch domain.
+  struct GroupTable {
+    std::unordered_map<std::string, std::shared_ptr<FilterGroup>> by_key;
   };
 
   /// Everything the collector publishes per tick; workers copy it under
@@ -309,10 +363,6 @@ class ServerCore {
     std::uint64_t collect_ns = 0;
     std::shared_ptr<const std::string> full;
     std::shared_ptr<const std::string> delta;  // null: no shared delta
-    /// Copy of the tick's collected frame, for building filtered fulls
-    /// (and late selection rebuilds). Only populated while filter
-    /// groups exist — unfiltered (v1) serving pays nothing for it.
-    std::shared_ptr<const shard::TelemetryFrame> snapshot;
     /// Newest rendered metricsz page (a full kMetricsz stream frame) and
     /// the collect sequence it was rendered at. Carried forward across
     /// ticks (rendering is on demand); null until first requested.
@@ -418,7 +468,6 @@ class ServerCore {
         pub.full = std::move(full);
       }
       bool groups_changed_valid = false;  // changed list usable for groups
-      bool version_raced = false;
       if (prev_seq != 0) {
         changed.clear();
         // A create racing in since our pass shifts flat-table indices;
@@ -444,54 +493,44 @@ class ServerCore {
           // not touch keep their delta stream flowing under a pinned
           // wire label instead of re-encoding a full each (see
           // FilterGroup::wire_regver).
-        } else {
-          version_raced = true;
         }
       }
-      // Filter-group pass, BEFORE publication: a group created by a
-      // worker any later (it must wait on groups_mutex_) reads
-      // group_pass_seq_ = this tick, so its first delta's basis never
-      // skips a tick it did not see. One encode per group per tick,
-      // shared by all its subscribers; a group whose subset did not
-      // change ships nothing (its basis stays put, so the next delta
-      // still covers the quiet ticks) until a heartbeat is due.
+      // Filter-group pass, BEFORE publication — and fully lock-free for
+      // the workers: the collector reads the RCU-published group table
+      // under an epoch guard and publishes ONE immutable GroupTick per
+      // group (pointer swap; the superseded tick retires through the
+      // epoch domain). One delta encode per group per tick, shared by
+      // all its subscribers; a group whose subset did not change ships
+      // a null delta (its basis stays put, so the next delta still
+      // covers the quiet ticks) until a heartbeat is due. A group
+      // created by a worker during this pass is simply absent from the
+      // table we pinned — the NEXT pass seeds its basis, and its
+      // subscribers' first filtered full lands at that pass or later,
+      // so no delta ever skips a tick they saw.
       //
-      // The frame snapshot (an O(fleet) copy) is built OUTSIDE the
-      // groups lock — the frame is collector-private — so workers
-      // servicing filtered clients are not serialized behind it; only
-      // the per-group delta encodes run under the lock. (A subscribe
-      // racing past the unlocked count check is caught by the re-check
-      // inside; that rare tick copies under the lock.)
-      std::shared_ptr<const shard::TelemetryFrame> snapshot;
-      if (group_count_.load(std::memory_order_relaxed) > 0) {
-        snapshot = std::make_shared<shard::TelemetryFrame>(frame);
-      }
+      // version_raced ticks (the changed walk was unusable) publish a
+      // delta-less tick and keep the basis — subscribers heal via full
+      // frames against the new version next tick.
       {
-        std::lock_guard glock(groups_mutex_);
-        group_pass_seq_ = frame.sequence;
-        if (!groups_.empty()) {
-          if (!snapshot) {
-            snapshot = std::make_shared<shard::TelemetryFrame>(frame);
-          }
-          pub.snapshot = std::move(snapshot);
-          for (auto& [key, group] : groups_) {
-            if (groups_changed_valid) {
-              build_group_delta(*group, frame, collect_ns, changed,
-                                group_subset);
-            } else if (version_raced) {
-              // The changed walk is unusable this tick; ship nothing
-              // and keep the basis — subscribers heal via full frames
-              // once the new version publishes next tick.
-              group->delta.reset();
-            } else {
-              // First tick: establish the basis.
-              group->delta.reset();
-              group->sent_seq = frame.sequence;
-              group->ticks_suppressed = 0;
-            }
+        const base::EpochDomain::Guard eguard(epochs_);
+        const GroupTable* table =
+            group_table_.load(std::memory_order_acquire);
+        if (!table->by_key.empty()) {
+          // One frame copy per tick (O(fleet)), shared by every
+          // group's tick; built from the collector-private frame with
+          // no lock anywhere near it.
+          const std::shared_ptr<const shard::TelemetryFrame> snapshot =
+              std::make_shared<shard::TelemetryFrame>(frame);
+          for (const auto& [key, group] : table->by_key) {
+            collector_group_pass(*group, frame, snapshot, collect_ns,
+                                 groups_changed_valid, changed,
+                                 group_subset);
           }
         }
       }
+      // Reap tables/ticks whose grace period has passed — outside the
+      // guard (our own pin would hold the horizon back).
+      epochs_.reclaim();
       // The shm ring gets the same bytes the unfiltered TCP stream
       // carries this tick (the shared delta when one exists, else the
       // full), minus the u32le stream prefix — ring slots carry their
@@ -589,7 +628,6 @@ class ServerCore {
     Worker& worker = *workers_[index];
     std::vector<pollfd> pfds;
     std::vector<DeltaEntry> changed_scratch;
-    std::vector<std::uint64_t> selection_scratch;
     while (running_.load(std::memory_order_acquire)) {
       adopt_inbox(worker);
       pfds.clear();
@@ -629,14 +667,13 @@ class ServerCore {
           close_client(client);
           continue;
         }
-        service_client(client, pub, changed_scratch, selection_scratch);
+        service_client(client, pub, changed_scratch);
       }
       // Clients adopted this round (beyond the pfds snapshot) get their
       // first frame immediately rather than next tick.
       for (std::size_t i = pfds.size() - base; i < worker.clients.size();
            ++i) {
-        service_client(worker.clients[i], pub, changed_scratch,
-                       selection_scratch);
+        service_client(worker.clients[i], pub, changed_scratch);
       }
       std::erase_if(worker.clients,
                     [](const Client& client) { return client.fd < 0; });
@@ -795,45 +832,69 @@ class ServerCore {
     client.fd = -1;
     drop_inflight(client);
     if (client.group) {
-      std::lock_guard glock(groups_mutex_);
-      release_group_locked(client);
+      std::lock_guard wlock(groups_writer_mutex_);
+      release_group_writer_locked(client);
     }
     clients_closed_.fetch_add(1, std::memory_order_relaxed);
     if (sys_on_) sys_.clients_closed->inc(t_wpid);
     trace(obs::TraceKind::kClientDisconnect, static_cast<std::uint64_t>(fd));
   }
 
-  /// Caller holds groups_mutex_.
-  void release_group_locked(Client& client) {
+  /// Caller holds groups_writer_mutex_. Drops the client's group ref;
+  /// the last ref republishes the table without the group.
+  void release_group_writer_locked(Client& client) {
     if (!client.group) return;
     if (--client.group->refs == 0) {
-      groups_.erase(client.group->key);
-      group_count_.store(groups_.size(), std::memory_order_relaxed);
+      const GroupTable* table =
+          group_table_.load(std::memory_order_relaxed);
+      auto next = std::make_unique<GroupTable>(*table);
+      next->by_key.erase(client.group->key);
+      publish_table_writer_locked(std::move(next));
     }
     client.group.reset();
   }
 
+  /// Caller holds groups_writer_mutex_. Swaps the published table in
+  /// and retires the superseded one through the epoch domain (the
+  /// collector's pass may still hold it pinned).
+  void publish_table_writer_locked(std::unique_ptr<GroupTable> next) {
+    const GroupTable* old =
+        group_table_.exchange(next.release(), std::memory_order_acq_rel);
+    if (old != nullptr) epochs_.retire(old);
+  }
+
   /// Moves the client onto `filter`'s group (or back to the unfiltered
   /// stream for a pass-all filter) and schedules the re-basing full.
+  /// Membership changes are the RARE writer path of the RCU scheme:
+  /// serialized on groups_writer_mutex_, they copy the current table
+  /// (shared_ptr values — O(groups) pointer copies), edit the copy off
+  /// to the side and publish it by pointer swap. Readers — the
+  /// collector's pass and workers snapshotting ticks — never wait here.
   void apply_subscription(Client& client, SubscriptionFilter filter) {
-    std::lock_guard glock(groups_mutex_);
-    release_group_locked(client);
+    std::lock_guard wlock(groups_writer_mutex_);
+    release_group_writer_locked(client);
     if (!filter.pass_all()) {
+      const GroupTable* table =
+          group_table_.load(std::memory_order_relaxed);
       std::string key = filter.canonical_key();
-      auto it = groups_.find(key);
-      if (it == groups_.end()) {
+      auto it = table->by_key.find(key);
+      if (it != table->by_key.end()) {
+        ++it->second->refs;
+        client.group = it->second;
+      } else {
+        // A fresh group enters the table with no tick: the collector's
+        // next pass seeds its basis at that pass's sequence, and its
+        // subscribers' first filtered full lands at or after it — no
+        // delta ever skips a tick they saw.
         auto group = std::make_shared<FilterGroup>();
         group->key = key;
         group->filter = std::move(filter);
-        // Basis = the last tick whose group pass already ran: the next
-        // pass's delta then covers exactly the ticks this group missed
-        // (none), and the client's re-basing full lands at ≥ this seq.
-        group->sent_seq = group_pass_seq_;
-        it = groups_.emplace(std::move(key), std::move(group)).first;
-        group_count_.store(groups_.size(), std::memory_order_relaxed);
+        group->refs = 1;
+        client.group = group;
+        auto next = std::make_unique<GroupTable>(*table);
+        next->by_key.emplace(std::move(key), std::move(group));
+        publish_table_writer_locked(std::move(next));
       }
-      ++it->second->refs;
-      client.group = it->second;
     }
     trace(obs::TraceKind::kSubscribe, static_cast<std::uint64_t>(client.fd),
           client.group ? client.group->refs : 0);
@@ -1000,8 +1061,7 @@ class ServerCore {
   /// frame; once drained, hand the client the NEWEST frame in the
   /// cheapest applicable encoding.
   void service_client(Client& client, const PublishedFrame& pub,
-                      std::vector<DeltaEntry>& changed_scratch,
-                      std::vector<std::uint64_t>& selection_scratch) {
+                      std::vector<DeltaEntry>& changed_scratch) {
     if (client.fd < 0) return;
     const bool drained = flush(client);
     if (client.fd < 0) return;
@@ -1054,7 +1114,7 @@ class ServerCore {
       }
     }
     if (client.group) {
-      service_filtered(client, pub, changed_scratch, selection_scratch);
+      service_filtered(client, changed_scratch);
       return;
     }
     if (client.sent_seq >= pub.seq) return;
@@ -1124,30 +1184,43 @@ class ServerCore {
   }
 
   /// Filtered-subscriber service: the same newest-frame/backpressure
-  /// policy, but against the client's filter group — re-basing filtered
-  /// full when needed, the group's shared tick delta when in step, a
-  /// per-client filtered catch-up delta when lagged, and nothing at all
-  /// while the subset is quiet.
-  void service_filtered(Client& client, const PublishedFrame& pub,
-                        std::vector<DeltaEntry>& changed_scratch,
-                        std::vector<std::uint64_t>& selection_scratch) {
-    // Snapshot the group's published tick state (collector writes it
-    // under groups_mutex_).
+  /// policy, but against the client's filter group — and entirely
+  /// lock-free on the steady path. The group's current GroupTick is
+  /// snapshotted under an epoch guard (the shared_ptr copies extend
+  /// every payload past the guard), then served without ever touching a
+  /// mutex: re-basing filtered full when needed (the one rare path with
+  /// a per-group cache mutex), the group's shared tick delta when in
+  /// step, a per-client filtered catch-up delta when lagged, and
+  /// nothing at all while the subset is quiet.
+  void service_filtered(Client& client,
+                        std::vector<DeltaEntry>& changed_scratch) {
     std::shared_ptr<const std::string> group_delta;
+    std::shared_ptr<const shard::TelemetryFrame> tick_snapshot;
+    std::shared_ptr<const std::vector<std::uint64_t>> tick_selection;
     std::uint64_t delta_seq = 0;
     std::uint64_t delta_base = 0;
     std::uint64_t delta_regver = 0;
     std::uint64_t group_sent = 0;
     std::uint64_t group_wire = 0;
+    std::uint64_t tick_pass = 0;
+    std::uint64_t tick_collect_ns = 0;
+    std::uint64_t tick_selver = 0;
     {
-      std::lock_guard glock(groups_mutex_);
-      const FilterGroup& group = *client.group;
-      group_delta = group.delta;
-      delta_seq = group.delta_seq;
-      delta_base = group.delta_base;
-      delta_regver = group.delta_regver;
-      group_sent = group.sent_seq;
-      group_wire = group.wire_regver;
+      const base::EpochDomain::Guard eguard(epochs_);
+      const GroupTick* tick =
+          client.group->tick.load(std::memory_order_acquire);
+      if (tick == nullptr) return;  // group born after the last pass
+      group_delta = tick->delta;
+      delta_seq = tick->delta_seq;
+      delta_base = tick->delta_base;
+      delta_regver = tick->delta_regver;
+      group_sent = tick->sent_seq;
+      group_wire = tick->wire_regver;
+      tick_snapshot = tick->snapshot;
+      tick_selection = tick->selection;
+      tick_pass = tick->pass_seq;
+      tick_collect_ns = tick->collect_ns;
+      tick_selver = tick->sel_regver;
     }
     // Re-base against the group's WIRE label, not the raw registry
     // version: a create outside the subset bumps the registry but not
@@ -1155,14 +1228,14 @@ class ServerCore {
     // of all taking a filtered full (the satellite-1 pin).
     if (client.force_full || client.sent_seq == 0 ||
         client.sent_regver != group_wire) {
-      if (pub.seq <= client.sent_seq) return;  // re-base next tick
-      std::uint64_t full_wire = pub.registry_version;
+      if (tick_pass <= client.sent_seq) return;  // re-base next tick
+      if (!tick_snapshot || !tick_selection) return;  // empty registry
       std::shared_ptr<const std::string> full =
-          group_full(client, pub, full_wire);
-      if (!full) return;  // no snapshot this tick (group just born)
+          group_full(*client.group, tick_snapshot, tick_selection,
+                     group_wire, tick_pass, tick_collect_ns);
       set_inflight(client, std::move(full));
-      client.sent_seq = pub.seq;
-      client.sent_regver = full_wire;
+      client.sent_seq = tick_pass;
+      client.sent_regver = group_wire;
       client.force_full = false;
       full_frames_sent_.fetch_add(1, std::memory_order_relaxed);
       if (sys_on_) sys_.full_frames_sent->inc(t_wpid);
@@ -1182,41 +1255,25 @@ class ServerCore {
     }
     // Lagged below the shared delta's basis: per-client filtered
     // catch-up of exactly what moved in its subset since its last
-    // fully-sent frame. Copy the selection out so the registry walk
-    // runs without groups_mutex_ held.
-    {
-      std::lock_guard glock(groups_mutex_);
-      if (client.group->sel_regver != pub.registry_version) {
-        if (!pub.snapshot) return;  // selection rebuild next tick
-        if (ensure_selection_locked(*client.group, *pub.snapshot)) {
-          // The rebuild changed the subset itself: a delta in the new
-          // subset-index space would misapply onto this client's old
-          // table. Re-base instead (the wire_regver bump makes the
-          // next service call take the full path).
-          client.force_full = true;
-          return;
-        }
-      }
-      selection_scratch = client.group->selection;
-      group_wire = client.group->wire_regver;
-    }
+    // fully-sent frame, walked against the tick's published selection —
+    // coherent with its sel_regver by construction. The walk's version
+    // guard rejects it if the registry has moved past that version; the
+    // full path heals the client next round.
+    if (!tick_selection) return;  // empty registry: nothing to walk
     changed_scratch.clear();
     const std::optional<std::uint64_t> upto = hooks_.changed_since_filtered(
-        client.sent_seq, pub.registry_version, selection_scratch,
-        changed_scratch);
+        client.sent_seq, tick_selver, *tick_selection, changed_scratch);
     if (!upto.has_value()) {
-      // The registry's version moved past this publication: the full
-      // path heals it next tick (sent_regver mismatch).
       client.force_full = true;
       return;
     }
     auto buf = std::make_shared<std::string>();
-    // Same stamp rule as the unfiltered catch-up: pub.collect_ns dates
-    // pass pub.seq only; a walk that ran ahead stamps the encode-time
+    // Same stamp rule as the unfiltered catch-up: tick_collect_ns dates
+    // pass tick_pass only; a walk that ran ahead stamps the encode-time
     // clock. Labeled with the group's pinned wire version — the index
     // space of the client's filtered table.
     const std::uint64_t stamp_ns =
-        *upto == pub.seq ? pub.collect_ns : steady_now_ns();
+        *upto == tick_pass ? tick_collect_ns : steady_now_ns();
     encode_delta_frame(*upto, group_wire, stamp_ns,
                        client.sent_seq, changed_scratch, *buf);
     set_inflight(client, std::move(buf));
@@ -1226,30 +1283,25 @@ class ServerCore {
     flush(client);
   }
 
-  /// The group's filtered full for this tick, encoding it at most once
-  /// (lazily, cached per group+tick) no matter how many subscribers
-  /// need it. Null when the tick published no snapshot (the group was
-  /// born after the collector's pass — next tick has one).
-  /// `wire_regver_out` receives the registry label the full carries —
-  /// the group's pinned wire version, which the caller records as the
-  /// client's sent_regver.
+  /// The group's filtered full for the given published tick, encoding
+  /// it at most once (lazily, cached per group+pass) no matter how many
+  /// subscribers need it. The inputs all come from ONE GroupTick, so
+  /// the (snapshot, selection, wire label, stamp) tuple is coherent by
+  /// construction. The per-group cache mutex guards only this re-base
+  /// path — the steady delta stream never takes it.
   std::shared_ptr<const std::string> group_full(
-      Client& client, const PublishedFrame& pub,
-      std::uint64_t& wire_regver_out) {
-    std::lock_guard glock(groups_mutex_);
-    FilterGroup& group = *client.group;
-    if (group.full && group.full_seq == pub.seq) {
-      wire_regver_out = group.wire_regver;
-      return group.full;
-    }
-    if (!pub.snapshot) return nullptr;
-    ensure_selection_locked(group, *pub.snapshot);
+      FilterGroup& group,
+      const std::shared_ptr<const shard::TelemetryFrame>& snapshot,
+      const std::shared_ptr<const std::vector<std::uint64_t>>& selection,
+      std::uint64_t wire_regver, std::uint64_t pass_seq,
+      std::uint64_t collect_ns) {
+    std::lock_guard lock(group.full_mutex);
+    if (group.full && group.full_seq == pass_seq) return group.full;
     auto buf = std::make_shared<std::string>();
-    encode_full_frame_filtered(*pub.snapshot, group.selection,
-                               pub.collect_ns, group.wire_regver, *buf);
+    encode_full_frame_filtered(*snapshot, *selection, collect_ns,
+                               wire_regver, *buf);
     group.full = std::move(buf);
-    group.full_seq = pub.seq;
-    wire_regver_out = group.wire_regver;
+    group.full_seq = pass_seq;
     filtered_full_encodes_.fetch_add(1, std::memory_order_relaxed);
     return group.full;
   }
@@ -1262,84 +1314,121 @@ class ServerCore {
   /// unchanged selection SIZE across a version bump means an unchanged
   /// subset (names and order), merely shifted flat indices — the pin
   /// that lets disjoint creates leave the group's stream untouched.
-  /// Caller holds groups_mutex_.
-  bool ensure_selection_locked(FilterGroup& group,
-                               const shard::TelemetryFrame& frame) {
+  /// Collector thread only (the fields are collector-private; workers
+  /// see the immutable copies published in GroupTicks).
+  bool ensure_selection(FilterGroup& group,
+                        const shard::TelemetryFrame& frame) {
     if (group.sel_regver == frame.registry_version) return false;
     const bool had = group.sel_regver != 0;
-    const std::size_t prev_size = group.selection.size();
-    group.selection.clear();
+    const std::size_t prev_size =
+        group.selection ? group.selection->size() : 0;
+    auto selection = std::make_shared<std::vector<std::uint64_t>>();
     for (std::size_t i = 0; i < frame.samples.size(); ++i) {
       if (group.filter.matches(frame.samples[i].name)) {
-        group.selection.push_back(i);
+        selection->push_back(i);
       }
     }
+    const bool subset_changed = !had || selection->size() != prev_size;
+    group.selection = std::move(selection);
     group.sel_regver = frame.registry_version;
-    const bool subset_changed =
-        !had || group.selection.size() != prev_size;
     if (subset_changed) group.wire_regver = frame.registry_version;
     return subset_changed;
   }
 
-  /// The collector's per-tick group encode: intersects the tick's
-  /// changed list with the group's selection and, when the subset moved
-  /// (or a heartbeat is due), encodes the ONE delta every in-step
-  /// subscriber of the group will share. Caller holds groups_mutex_.
-  void build_group_delta(FilterGroup& group,
-                         const shard::TelemetryFrame& frame,
-                         std::uint64_t collect_ns,
-                         const std::vector<DeltaEntry>& changed,
-                         std::vector<DeltaEntry>& subset) {
-    if (ensure_selection_locked(group, frame)) {
-      // A create landed IN the subset (or this is the first build):
-      // wire_regver just bumped, so every subscriber re-bases via a
-      // filtered full. No delta this tick; reset the basis to it.
-      group.delta.reset();
+  /// The collector's per-tick, per-group pass: maintains the group's
+  /// selection against the tick's registry version, intersects the
+  /// tick's changed list with it and, when the subset moved (or a
+  /// heartbeat is due), encodes the ONE delta every in-step subscriber
+  /// of the group will share — then publishes it all as this pass's
+  /// immutable GroupTick (RCU pointer swap; the superseded tick retires
+  /// through the epoch domain). Collector thread only.
+  void collector_group_pass(
+      FilterGroup& group, const shard::TelemetryFrame& frame,
+      const std::shared_ptr<const shard::TelemetryFrame>& snapshot,
+      std::uint64_t collect_ns, bool changed_valid,
+      const std::vector<DeltaEntry>& changed,
+      std::vector<DeltaEntry>& subset) {
+    // Only the collector publishes ticks, so a relaxed read of our own
+    // last store is exact.
+    const bool first_pass =
+        group.tick.load(std::memory_order_relaxed) == nullptr;
+    const bool rebased = ensure_selection(group, frame);
+    std::shared_ptr<const std::string> delta;
+    std::uint64_t delta_base = 0;
+    if (first_pass || rebased) {
+      // First pass establishes the basis; a re-base (a create landed IN
+      // the subset: wire_regver just bumped) resets it — every
+      // subscriber takes a filtered full from this tick.
       group.sent_seq = frame.sequence;
       group.ticks_suppressed = 0;
-      return;
-    }
-    subset.clear();
-    // Both sides ascend by flat index: one two-pointer pass. Entries
-    // are emitted with SUBSET positions — the filtered table's index
-    // space.
-    std::size_t ci = 0;
-    std::size_t si = 0;
-    while (ci < changed.size() && si < group.selection.size()) {
-      if (changed[ci].index < group.selection[si]) {
-        ++ci;
-      } else if (changed[ci].index > group.selection[si]) {
-        ++si;
+    } else if (!changed_valid) {
+      // The changed walk was unusable this tick (registry version raced
+      // the collect): ship nothing and keep the basis — the next delta
+      // still covers this tick, and re-basing subscribers heal via the
+      // tick's full.
+    } else {
+      subset.clear();
+      // Both sides ascend by flat index: one two-pointer pass. Entries
+      // are emitted with SUBSET positions — the filtered table's index
+      // space.
+      static const std::vector<std::uint64_t> kNoSelection;
+      const std::vector<std::uint64_t>& selection =
+          group.selection ? *group.selection : kNoSelection;
+      std::size_t ci = 0;
+      std::size_t si = 0;
+      while (ci < changed.size() && si < selection.size()) {
+        if (changed[ci].index < selection[si]) {
+          ++ci;
+        } else if (changed[ci].index > selection[si]) {
+          ++si;
+        } else {
+          // Carry the vector payloads too: a histogram or top-k row in
+          // the subset must keep its buckets/labels, or the entry would
+          // re-encode as a scalar and the subscriber's view reject it.
+          subset.push_back({si, changed[ci].value, changed[ci].buckets,
+                            changed[ci].labels});
+          ++ci;
+          ++si;
+        }
+      }
+      if (subset.empty() &&
+          ++group.ticks_suppressed < options_.group_heartbeat_ticks) {
+        // Quiet subset: ship nothing this tick (basis stays put).
+        group_deltas_suppressed_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        // Carry the vector payloads too: a histogram or top-k row in
-        // the subset must keep its buckets/labels, or the entry would
-        // re-encode as a scalar and the subscriber's view reject it.
-        subset.push_back({si, changed[ci].value, changed[ci].buckets,
-                          changed[ci].labels});
-        ++ci;
-        ++si;
+        auto buf = std::make_shared<std::string>();
+        // Labeled with the group's pinned wire version (== the registry
+        // version of its subscribers' tables), NOT the raw registry
+        // version: across disjoint creates the stream keeps flowing
+        // under the old label and nobody re-bases.
+        encode_delta_frame(frame.sequence, group.wire_regver, collect_ns,
+                           group.sent_seq, subset, *buf);
+        delta = std::move(buf);
+        delta_base = group.sent_seq;
+        group.sent_seq = frame.sequence;
+        group.ticks_suppressed = 0;
+        filtered_delta_encodes_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    if (subset.empty() &&
-        ++group.ticks_suppressed < options_.group_heartbeat_ticks) {
-      group.delta.reset();  // quiet subset: ship nothing this tick
-      group_deltas_suppressed_.fetch_add(1, std::memory_order_relaxed);
-      return;
+    auto* tick = new GroupTick;
+    tick->pass_seq = frame.sequence;
+    tick->collect_ns = collect_ns;
+    tick->wire_regver = group.wire_regver;
+    tick->sent_seq = group.sent_seq;
+    if (delta) {
+      tick->delta = std::move(delta);
+      tick->delta_seq = frame.sequence;
+      tick->delta_base = delta_base;
+      tick->delta_regver = group.wire_regver;
     }
-    auto buf = std::make_shared<std::string>();
-    // Labeled with the group's pinned wire version (== the registry
-    // version of its subscribers' tables), NOT the raw registry
-    // version: across disjoint creates the stream keeps flowing under
-    // the old label and nobody re-bases.
-    encode_delta_frame(frame.sequence, group.wire_regver, collect_ns,
-                       group.sent_seq, subset, *buf);
-    group.delta = std::move(buf);
-    group.delta_seq = frame.sequence;
-    group.delta_base = group.sent_seq;
-    group.delta_regver = group.wire_regver;
-    group.sent_seq = frame.sequence;
-    group.ticks_suppressed = 0;
-    filtered_delta_encodes_.fetch_add(1, std::memory_order_relaxed);
+    tick->snapshot = snapshot;
+    tick->selection = group.selection;
+    tick->sel_regver = group.sel_regver;
+    // Publish the fully built tick, then retire the one it replaces —
+    // a worker may still hold it pinned under an epoch guard.
+    const GroupTick* old =
+        group.tick.exchange(tick, std::memory_order_acq_rel);
+    if (old != nullptr) epochs_.retire(old);
   }
 
   void publish_min_acked(Worker& worker) {
@@ -1361,15 +1450,21 @@ class ServerCore {
   std::atomic<unsigned> next_worker_{0};
   std::mutex published_mutex_;
   PublishedFrame published_;
-  /// Filter groups, keyed by canonical filter (wire v2). The map, every
-  /// FilterGroup's fields and group_pass_seq_ are guarded by
-  /// groups_mutex_; Client::group pointers are worker-thread-owned.
-  std::mutex groups_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<FilterGroup>> groups_;
-  std::uint64_t group_pass_seq_ = 0;  // last tick whose group pass ran
-  /// groups_.size() mirror, readable without groups_mutex_ (the
-  /// collector's pre-lock snapshot-copy decision).
-  std::atomic<std::size_t> group_count_{0};
+  /// Filter groups, keyed by canonical filter (wire v2), RCU-published:
+  /// the current immutable GroupTable hangs off this atomic pointer.
+  /// Readers — the collector's pass and (indirectly, via the per-group
+  /// tick pointers) the workers — pin with an epoch guard and never
+  /// block; membership changes are the rare writer path: serialized on
+  /// groups_writer_mutex_, they build the next table off to the side
+  /// and swap, retiring the old one through epochs_. Client::group
+  /// pointers are worker-thread-owned shared_ptrs that keep a group
+  /// alive independently of table turnover.
+  std::mutex groups_writer_mutex_;
+  std::atomic<const GroupTable*> group_table_{nullptr};
+  /// Epoch domain for everything RCU-published here (tables and group
+  /// ticks). The collector drives reclaim() once per tick; stop()
+  /// drains the backlog after the joins.
+  base::EpochDomain epochs_;
   std::atomic<std::uint64_t> frames_collected_{0};
   std::atomic<std::uint64_t> clients_accepted_{0};
   std::atomic<std::uint64_t> clients_closed_{0};

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -181,37 +182,46 @@ TEST(SnapshotRetirement, ConcurrentScannersKeepViewsSafe) {
                                         kCap / 4 + 2}));
 }
 
-TEST(SnapshotRetirement, ContinuouslyOverlappingScansSoftCapRegression) {
-  // The ROADMAP follow-up pinned as a regression test. Reclamation only
-  // frees at *observed* scan quiescence: a capture attempt that sees a
-  // scan in flight pushes its batch back and re-arms. Under scanners
-  // looping back-to-back the in-flight count may never be observed at
-  // zero, so the cap is genuinely SOFT — this test documents (and pins)
-  // exactly what that buys and what it does not:
+TEST(SnapshotRetirement, ContinuouslyOverlappingScansHardCapRegression) {
+  // The ROADMAP item 1 upgrade, pinned as a regression test. The old
+  // scheme freed only at *observed* scan quiescence, so back-to-back
+  // scanners made the cap soft (the backlog could grow with the update
+  // count). With per-reader epochs (base/epoch.hpp) the bound is HARD
+  // under per-reader progress: each reclaim probe advances the epoch
+  // past every scan that has since completed, and frees all records
+  // two epochs behind the horizon — no reader-free instant required,
+  // and this workload never has one.
   //
-  //   * growth is bounded by the retirement count, never by a leak or a
-  //     double-retire (the list is ≤ total updates, and every record is
-  //     freed at the latest on destruction);
-  //   * nothing is freed early: concurrent scanners keep dereferencing
-  //     captured-then-pushed-back records, so the ASan job turns any
-  //     premature free into a use-after-free report;
-  //   * the backlog HEALS at quiescence: once the scanners stop, a
-  //     burst of cap/4+2 updates crosses the re-arm threshold with zero
-  //     scans in flight and drains the list back under the cap.
+  // The updater paces itself on scanner turnover (every scanner must
+  // complete a fresh scan per probe window) because the hard bound is
+  // stated relative to reader progress: a descheduled scanner
+  // legitimately pins its epoch, and
+  // on a single-core host it could otherwise hold the horizon across
+  // thousands of updates. Bound arithmetic for the assertion: probes
+  // fire every ≤ cap/4+1 retires and each advances the epoch once, a
+  // record frees two epochs after its stamp, and the paced workload
+  // lets at most a few probes fail to advance — records spanning ~4
+  // probe windows plus the cap itself stay well under 4·cap.
   //
-  // Making the cap hard under continuous overlap needs per-reader
-  // epochs or hazard pointers (readers publish the records they may
-  // still touch; capture frees everything unpublished) — the documented
-  // upgrade path if a never-quiescing scan workload materializes.
+  // Safety is checked from the other side too: scanners dereference
+  // captured records throughout, so the ASan job turns any premature
+  // free into a use-after-free report, and monotone views prove scan
+  // atomicity survived the reclamation change.
   constexpr unsigned kScanners = 2;
-  constexpr int kUpdates = 5000;
+  constexpr int kUpdates = 2000;
+  constexpr int kPaceEvery = 4;  // one paced wait per 4 updates: the
+                                 // bound argument only needs reader
+                                 // turnover per probe window (~8
+                                 // retires), and each wait can cost a
+                                 // scheduler quantum on a 1-core host
   constexpr std::size_t kCap = 32;
   Snapshot snap(kScanners + 1, kCap);
   std::atomic<bool> done{false};
   std::atomic<bool> views_monotone{true};
+  std::array<std::atomic<std::uint64_t>, kScanners> scans_completed{};
   std::vector<std::thread> scanners;
   for (unsigned s = 0; s < kScanners; ++s) {
-    scanners.emplace_back([&] {
+    scanners.emplace_back([&, s] {
       std::vector<std::uint64_t> previous(kScanners + 1, 0);
       while (!done.load(std::memory_order_acquire)) {
         const std::vector<std::uint64_t> view = snap.scan();
@@ -221,30 +231,55 @@ TEST(SnapshotRetirement, ContinuouslyOverlappingScansSoftCapRegression) {
           }
         }
         previous = view;
+        scans_completed[s].fetch_add(1, std::memory_order_release);
       }
     });
   }
   std::size_t max_observed = 0;
+  std::array<std::uint64_t, kScanners> last_scans{};
   for (std::uint64_t v = 1; v <= kUpdates; ++v) {
+    // Pace on reader progress (see header comment): wait for a fresh
+    // completed scan from EVERY scanner — per-scanner, not aggregate,
+    // because one scanner racing ahead would pass an aggregate gate
+    // while a descheduled peer legitimately pins an old epoch and the
+    // backlog grows past the bound (a real flake under parallel ctest
+    // load). Never waits for a scan-free moment.
+    if (v % kPaceEvery == 0) {
+      for (unsigned s = 0; s < kScanners; ++s) {
+        while (scans_completed[s].load(std::memory_order_acquire) ==
+               last_scans[s]) {
+          std::this_thread::yield();
+        }
+        last_scans[s] = scans_completed[s].load(std::memory_order_acquire);
+      }
+    }
     snap.update(kScanners, v);
     max_observed = std::max(max_observed, snap.retired_records_unrecorded());
+    ASSERT_LE(snap.retired_records_unrecorded(), 4 * kCap)
+        << "hard cap broke at update " << v;
   }
+  // DURING overlap — the scanners are still looping here: the backlog
+  // stayed bounded and records were actually freed mid-flight, which
+  // the quiescence-based scheme could not guarantee on this workload.
+  EXPECT_LE(max_observed, 4 * kCap) << "retired backlog grew with updates";
+  EXPECT_GT(snap.reclaimed_records_unrecorded(), 0u)
+      << "nothing reclaimed while scans continuously overlapped";
   done.store(true, std::memory_order_release);
   for (auto& scanner : scanners) scanner.join();
   EXPECT_TRUE(views_monotone.load()) << "a scan view regressed";
-  // Soft bound: the list never exceeds what was actually retired (one
-  // record per update beyond the first) — growth is workload-bounded,
-  // not a leak amplifying it.
-  EXPECT_LE(max_observed, static_cast<std::size_t>(kUpdates));
 
-  // Quiescent burst: reclamation now observes zero in-flight scans and
-  // drains the backlog under the cap — the soft cap heals.
-  for (std::uint64_t v = kUpdates + 1; v <= kUpdates + kCap / 4 + 2; ++v) {
-    snap.update(kScanners, v);
+  // Quiescent drain: with no readers every probe advances the epoch,
+  // so a short update burst walks the horizon past the whole backlog
+  // and the list settles back under the cap.
+  std::uint64_t v = kUpdates;
+  for (int i = 0; i < static_cast<int>(16 * kCap) &&
+                  snap.retired_records_unrecorded() > kCap;
+       ++i) {
+    snap.update(kScanners, ++v);
   }
   EXPECT_LE(snap.retired_records_unrecorded(), kCap);
   EXPECT_GT(snap.reclaimed_records_unrecorded(), 0u);
-  EXPECT_EQ(snap.scan()[kScanners], kUpdates + kCap / 4 + 2);
+  EXPECT_EQ(snap.scan()[kScanners], v);
 }
 
 TEST(SnapshotCounter, SequentialExactness) {

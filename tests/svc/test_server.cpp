@@ -1055,5 +1055,107 @@ TEST(SnapshotServer, EvictionDisabledKeepsStalledPeerOpen) {
   server.stop();
 }
 
+TEST(SnapshotServer, GroupChurnWithSixtyFourStreamersResolvesCleanly) {
+  // The RCU group-table pin: 64 streaming clients re-subscribe across
+  // four filter families mid-stream, so groups are created, shared,
+  // and erased concurrently with every I/O worker resolving
+  // client→group lock-free under an epoch guard. A torn resolution
+  // (a worker reading a half-built group, a freed selection, or a
+  // stale tick after rebase) would surface as an off-subset sample in
+  // a settled view; the epoch domain must also let every retired
+  // table and tick drain, which the in-flight gauge checks at the end.
+  constexpr unsigned kSubscribers = 64;
+  constexpr int kRounds = 3;
+  constexpr int kFramesPerRound = 5;
+  constexpr int kFamilies = 4;
+  shard::RegistryT<base::DirectBackend> registry(4);
+  std::vector<shard::AnyCounter*> hot;
+  for (int g = 0; g < kFamilies; ++g) {
+    for (int c = 0; c < 2; ++c) {
+      shard::AnyCounter& counter =
+          registry.create("grp" + std::to_string(g) + "_c" + std::to_string(c),
+                          {ErrorModel::kExact, 0, 2});
+      if (c == 0) hot.push_back(&counter);
+    }
+  }
+  ServerOptions options;
+  options.period = 5ms;
+  options.io_threads = 4;
+  SnapshotServer server(registry, 3, options);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (shard::AnyCounter* counter : hot) counter->increment(0);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  std::atomic<unsigned> happy{0};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> subscribers;
+  for (unsigned i = 0; i < kSubscribers; ++i) {
+    subscribers.emplace_back([&, i] {
+      TelemetryClient client;
+      if (!client.connect(server.port())) return;
+      for (int round = 0; round < kRounds; ++round) {
+        const std::string prefix =
+            "grp" + std::to_string((i + round) % kFamilies) + "_";
+        SubscriptionFilter filter;
+        filter.prefixes = {prefix};
+        if (!client.subscribe(filter)) return;
+        auto pure = [&] {
+          for (const shard::Sample& sample : client.view().samples()) {
+            if (!sample.name.starts_with(prefix)) return false;
+          }
+          return true;
+        };
+        // Phase 1: pump until the re-basing full for THIS filter lands
+        // (a stale pre-subscribe full may clear the pending flag with
+        // the old subset — that is ordering, not tearing).
+        bool rebased = false;
+        for (int p = 0; p < 600 && !rebased; ++p) {
+          if (!client.poll_frame(kFrameTimeout)) return;
+          rebased = !client.view().rebase_pending() &&
+                    client.view().samples().size() == 2 && pure();
+        }
+        if (!rebased) return;
+        // Phase 2: once settled on the subset, EVERY subsequent frame
+        // must stay on it — an off-subset sample here is a torn
+        // resolution in the lock-free worker path.
+        for (int f = 0; f < kFramesPerRound; ++f) {
+          if (!client.poll_frame(kFrameTimeout)) return;
+          if (!pure() || client.view().samples().size() != 2) {
+            torn.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+      if (client.connected()) happy.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : subscribers) t.join();
+  stop.store(true, std::memory_order_release);
+  incrementer.join();
+
+  EXPECT_FALSE(torn.load()) << "a settled subscriber saw an off-subset frame";
+  EXPECT_EQ(happy.load(), kSubscribers) << "a subscriber stalled or dropped";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.subscribes_received,
+            static_cast<std::uint64_t>(kSubscribers) * kRounds);
+
+  // Every client is gone; the one-in-flight refcounts they pinned must
+  // drain to zero (the collector keeps ticking, which is what notices
+  // the closed sockets and releases their frames).
+  bool drained = false;
+  for (int i = 0; i < 400 && !drained; ++i) {
+    std::this_thread::sleep_for(5ms);
+    drained = server.stats().frames_in_flight == 0;
+  }
+  EXPECT_TRUE(drained) << "in-flight frames leaked after group churn";
+  server.stop();
+}
+
 }  // namespace
 }  // namespace approx::svc

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI guard for contended filter-group latency (E22).
+
+Reads e22_contended_groups --json output and fails (exit 1) if the
+measured subscribers' p99 collect->apply latency under 64 groups plus
+subscribe churn exceeds --threshold (default 1.20) times the
+uncontended (one group, no churn) run — the acceptance bar for the RCU
+group-table refactor: I/O workers resolve client->group and read the
+group's published tick under a per-reader epoch guard, so growing or
+churning the table must not put a lock (or anything else they can
+feel) back on the worker path. A ratio past the bar means the writer
+path leaked back into the readers (a mutex on resolve, a tick encode
+under a lock the workers share, an epoch guard that spins).
+
+The bench already defends the measurement itself: medians over
+interleaved A/B repetitions compared pairwise, so a noisy CI neighbor
+taxes both configs alike. The guard therefore applies the 1.2x bar
+directly rather than re-deriving noise tolerances here.
+
+Usage: check_e22_groups.py [e22.json] [--threshold=1.20]
+Reads stdin when no file is given.
+"""
+
+import json
+import sys
+
+RATIO_COLUMN = "p99 ratio"
+CONTENDED_ROW = "G=64 + churn"
+
+
+def main(argv):
+    threshold = 1.20
+    path = None
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            path = arg
+    doc = json.load(open(path) if path else sys.stdin)
+
+    for section in doc.get("sections", []):
+        columns = section.get("columns", [])
+        if RATIO_COLUMN not in columns:
+            continue
+        ratio_idx = columns.index(RATIO_COLUMN)
+        for row in section.get("rows", []):
+            if row[0] != CONTENDED_ROW:
+                continue
+            ratio = float(row[ratio_idx])
+            if ratio > threshold:
+                print(
+                    f"check_e22_groups: worker p99 under 64 groups + "
+                    f"churn is {ratio:.3f}x the uncontended run > "
+                    f"{threshold:.2f}x bar — group-table contention "
+                    f"reached the worker service path"
+                )
+                return 1
+            print(
+                f"check_e22_groups: OK — contended worker p99 is "
+                f"{ratio:.3f}x uncontended (bar {threshold:.2f}x)"
+            )
+            return 0
+    print(
+        "check_e22_groups: no 'G=64 + churn' ratio row found — "
+        "wrong input, or the bench produced no frames?"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
